@@ -1,0 +1,101 @@
+"""E11 — the special top-N operator at the query-language level.
+
+Paper basis (Section 3, Step 1): "introducing special top N operators,
+which can be seen as special select operators, will allow optimal
+utilization of the new structure of the data at the query language
+level."
+
+Reproduced series: the algebra-level ``topn`` operator vs the
+sort-then-slice plan it replaces, with and without the optimizer; and
+the order-aware fast path on a pre-sorted ranked LIST.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra import evaluate, make_bag, make_list, parse
+from repro.optimizer import Optimizer
+from repro.storage import CostCounter
+
+from conftest import BENCH_SCALE, record_table
+
+N_ROWS = max(int(300_000 * BENCH_SCALE), 30_000)
+
+
+@pytest.fixture(scope="module")
+def score_bag():
+    return make_bag(np.random.default_rng(111).random(N_ROWS).tolist())
+
+
+@pytest.fixture(scope="module")
+def ranked_list():
+    values = np.sort(np.random.default_rng(112).random(N_ROWS))[::-1]
+    return make_list(values.tolist())
+
+
+def test_e11_topn_vs_sort_slice(benchmark, score_bag):
+    def sweep():
+        rows = []
+        for n in (1, 10, 100):
+            env = {"scores": score_bag}
+            with CostCounter.activate() as sort_cost:
+                slow = evaluate(parse(f"slice(sort(scores, 1), 0, {n})"), env)
+            with CostCounter.activate() as topn_cost:
+                fast = evaluate(parse(f"topn(scores, {n})"), env)
+            assert slow.equals(fast)
+            rows.append([n, sort_cost.comparisons, topn_cost.comparisons])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        f"E11a: topn operator vs sort+slice over {N_ROWS:,} scores (comparisons)",
+        ["N", "sort+slice", "topn operator"],
+        rows,
+    )
+    for n, slow, fast in rows:
+        assert fast < slow / 3
+
+
+def test_e11_optimizer_introduces_topn(benchmark, score_bag):
+    optimizer = Optimizer()
+    env = {"scores": score_bag}
+    expr = parse("slice(sort(scores, 1), 0, 10)")
+    report = benchmark.pedantic(lambda: optimizer.optimize(expr, env),
+                                rounds=1, iterations=1)
+    record_table(
+        "E11b: optimizer introduces the special operator",
+        ["step", "value"],
+        [["original", str(report.original)],
+         ["optimized", str(report.optimized)],
+         ["estimated speedup", f"x{report.estimated_speedup:.1f}"]],
+    )
+    assert str(report.optimized) == "topn(scores, 10, 1)"
+
+
+def test_e11_order_aware_prefix(benchmark, ranked_list):
+    """On an already ranked LIST the special operator degenerates to a
+    prefix read — 'optimal utilization of the new structure'."""
+
+    def run():
+        env = {"ranked": ranked_list}
+        with CostCounter.activate() as cost:
+            evaluate(parse("topn(ranked, 10)"), env)
+        return cost.tuples_read
+
+    tuples = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "E11c: topn on a pre-ranked LIST",
+        ["input size", "tuples read"],
+        [[N_ROWS, tuples]],
+    )
+    assert tuples <= 10
+
+
+def test_e11_bench_topn(benchmark, score_bag):
+    expr = parse("topn(scores, 10)")
+    benchmark(lambda: evaluate(expr, {"scores": score_bag}))
+
+
+def test_e11_bench_sort_slice(benchmark, score_bag):
+    expr = parse("slice(sort(scores, 1), 0, 10)")
+    benchmark(lambda: evaluate(expr, {"scores": score_bag}))

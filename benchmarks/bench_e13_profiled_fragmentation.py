@@ -1,0 +1,117 @@
+"""E13 — learned (profiled) fragmentation for non-text content.
+
+Paper basis (Section 3, Step 1, future work): "For the case of
+non-text content data we are yet not aware of a special distribution
+of the data (such as Zipf for text).  Maybe such a distribution can be
+'learned' by the system by means of profiling, although the thus found
+distribution most likely will not be independent from the data set."
+
+Reproduced series: the learned hit distribution's skew (the non-text
+analogue of E1's Zipf table); unsafe hot-fragment execution vs the
+full scan (speed vs quality — mirroring E3 on feature data); and the
+safe bound-administrated variant (exact answers, partial work —
+mirroring E4/E5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fragmentation import ProfiledFragments, profile_hits, profiled_topn
+from repro.mm import query_near_cluster, texture_features
+from repro.quality import overlap_at
+from repro.storage import CostCounter
+
+from conftest import BENCH_SCALE, record_table
+
+N_OBJECTS = max(int(20_000 * BENCH_SCALE), 2000)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return texture_features(N_OBJECTS, dim=8, n_clusters=12, spread=0.07, seed=13)
+
+
+@pytest.fixture(scope="module")
+def fragments(space):
+    hits = profile_hits(space, n_queries=300, k=50, seed=1)
+    return ProfiledFragments(space, hits, hot_fraction=0.2, n_groups=48, seed=2)
+
+
+def workload(space, count=25):
+    return [query_near_cluster(space, cluster=i % 12, seed=500 + i)
+            for i in range(count)]
+
+
+def test_e13_learned_distribution_skew(benchmark, space):
+    def run():
+        hits = profile_hits(space, n_queries=300, k=50, seed=1)
+        order = np.sort(hits)[::-1]
+        total = order.sum()
+        rows = []
+        for top in (0.01, 0.05, 0.10, 0.20, 0.50):
+            k = max(int(top * len(order)), 1)
+            rows.append([f"top {top:.0%} of objects", f"{order[:k].sum() / total:.1%} of hits"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "E13a: learned interestingness distribution of feature objects "
+        "(non-text analogue of E1)",
+        ["object slice (by profiled hits)", "share of top-K appearances"],
+        rows,
+    )
+    top20 = float(rows[3][1].rstrip("% of hits")) / 100
+    assert top20 > 0.4  # the learned distribution is strongly skewed
+
+
+def test_e13_hot_fragment_strategies(benchmark, space, fragments):
+    queries = workload(space)
+
+    def run():
+        results = {}
+        for mode in ("full", "unsafe", "safe"):
+            scored = 0
+            overlaps = []
+            with CostCounter.activate() as cost:
+                for i, query in enumerate(queries):
+                    result = profiled_topn(fragments, query, 10, mode=mode)
+                    if mode == "full":
+                        results.setdefault("reference", {})[i] = result.doc_ids
+                    else:
+                        overlaps.append(overlap_at(
+                            result.doc_ids, results["reference"][i], 10))
+                    scored += result.stats["objects_scored"]
+            results[mode] = (scored, cost.tuples_read,
+                             float(np.mean(overlaps)) if overlaps else 1.0)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    full_scored, _, _ = results["full"]
+    unsafe_scored, _, unsafe_overlap = results["unsafe"]
+    safe_scored, _, safe_overlap = results["safe"]
+    record_table(
+        f"E13b: profiled fragmentation over {N_OBJECTS} feature objects "
+        "(mirrors E3/E4 on non-text content)",
+        ["mode", "objects scored", "vs full", "overlap@10 with exact"],
+        [
+            ["full scan", full_scored, "100%", 1.0],
+            ["unsafe (hot only)", unsafe_scored,
+             f"{unsafe_scored / full_scored:.1%}", unsafe_overlap],
+            ["safe (bound pruning)", safe_scored,
+             f"{safe_scored / full_scored:.1%}", safe_overlap],
+        ],
+    )
+    assert unsafe_scored < full_scored * 0.25  # hot fragment is small
+    assert unsafe_overlap < 1.0  # and unsafe is measurably lossy
+    assert safe_overlap == pytest.approx(1.0)  # bounds keep safe exact
+    assert safe_scored < full_scored  # while pruning real work
+
+
+def test_e13_bench_safe_query(benchmark, space, fragments):
+    query = workload(space, count=1)[0]
+    benchmark(lambda: profiled_topn(fragments, query, 10, mode="safe"))
+
+
+def test_e13_bench_full_query(benchmark, space, fragments):
+    query = workload(space, count=1)[0]
+    benchmark(lambda: profiled_topn(fragments, query, 10, mode="full"))

@@ -1,0 +1,136 @@
+"""E14 — ablations of the design choices DESIGN.md calls out.
+
+Three parameter sweeps that expose *why* the system is configured the
+way it is:
+
+* the fragmentation volume cut (Step 1's "95%"): smaller cuts make the
+  small fragment cheaper but lossier;
+* the quality-check sensitivity (Step 1's switch): lower sensitivity
+  switches more often — higher quality, higher cost;
+* the quit/continue postings budget (Brown's unsafe pruning): quality
+  rises monotonically with budget, continue dominates quit at equal
+  budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MMDatabase, QuerySession
+from repro.fragmentation import QualityCheck
+from repro.quality import mean_over_queries, overlap_at
+from repro.storage import CostCounter
+from repro.topn import naive_topn, quit_continue_topn
+
+from conftest import record_table
+
+
+def test_e14_volume_cut_sweep(benchmark, ft_collection, ft_queries):
+    def run():
+        rows = []
+        for cut in (0.80, 0.90, 0.95, 0.99):
+            db = MMDatabase.from_collection(ft_collection)
+            db.fragment(volume_cut=cut)
+            session = QuerySession(db)
+            reference = session.reference_rankings(ft_queries, n=20)
+            unsafe = session.run(ft_queries, n=20, strategy="unsafe-small",
+                                 reference_rankings=reference)
+            exact = session.run(ft_queries, n=20, strategy="unfragmented")
+            rows.append([
+                f"{cut:.0%}",
+                f"{db.fragmented.small_volume_share():.1%}",
+                f"{1 - unsafe.tuples_read / exact.tuples_read:.1%}",
+                unsafe.mean_overlap_vs_reference,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "E14a: ablation — fragmentation volume cut",
+        ["volume cut", "small fragment share", "unsafe data reduction", "overlap@20"],
+        rows,
+    )
+    # a larger volume cut assigns more postings to the LARGE fragment,
+    # shrinking the small fragment: cheaper unsafe queries, worse quality
+    overlaps = [row[3] for row in rows]
+    assert overlaps[0] >= overlaps[-1]
+    reductions = [float(row[2].rstrip("%")) for row in rows]
+    assert reductions[-1] >= reductions[0]
+
+
+def test_e14_switch_sensitivity_sweep(benchmark, ft_database, ft_queries):
+    def run():
+        rows = []
+        executor = ft_database._executor
+        original_check = executor.quality_check
+        try:
+            # n=5 so the check's threshold (not the too-few-candidates
+            # guard) is what decides; see QualityCheck.decide
+            for sensitivity in (0.05, 0.35, 2.0, 1e9):
+                executor.quality_check = QualityCheck(sensitivity=sensitivity)
+                switched = 0
+                overlaps = []
+                with CostCounter.activate() as cost:
+                    for query in ft_queries:
+                        tids = list(query.term_ids)
+                        exact = ft_database.search(tids, n=5, strategy="unfragmented")
+                        result = ft_database.search(tids, n=5, strategy="safe-switch")
+                        switched += bool(result.result.stats["switched"])
+                        overlaps.append(overlap_at(result.doc_ids, exact.doc_ids, 5))
+                rows.append([
+                    sensitivity,
+                    f"{switched / len(ft_queries):.0%}",
+                    mean_over_queries(overlaps),
+                    cost.tuples_read,
+                ])
+        finally:
+            executor.quality_check = original_check
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "E14b: ablation — quality-check sensitivity (switch threshold)",
+        ["sensitivity", "switch rate", "overlap@5", "tuples read"],
+        rows,
+    )
+    # laxer checks switch less, cost less, and lose quality
+    assert rows[0][2] > rows[-1][2]
+    assert rows[0][3] > rows[-1][3]
+
+
+def test_e14_pruning_budget_sweep(benchmark, ft_database, ft_queries):
+    index = ft_database.index
+    model = ft_database.model
+
+    def run():
+        exact = {q.query_id: naive_topn(index, list(q.term_ids), model, 20).doc_ids
+                 for q in ft_queries}
+        rows = []
+        for budget in (0.1, 0.3, 0.6, 1.0):
+            for strategy in ("quit", "continue"):
+                overlaps = []
+                with CostCounter.activate() as cost:
+                    for query in ft_queries:
+                        result = quit_continue_topn(
+                            index, list(query.term_ids), model, 20,
+                            budget_fraction=budget, strategy=strategy,
+                        )
+                        overlaps.append(overlap_at(result.doc_ids,
+                                                   exact[query.query_id], 20))
+                rows.append([budget, strategy, mean_over_queries(overlaps),
+                             cost.tuples_read])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "E14c: ablation — quit/continue postings budget",
+        ["budget", "strategy", "overlap@20", "tuples read"],
+        rows,
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+    # quality rises with budget
+    assert by_key[(1.0, "quit")][2] >= by_key[(0.1, "quit")][2]
+    # full budget = exact
+    assert by_key[(1.0, "quit")][2] == pytest.approx(1.0)
+    # continue >= quit at equal budget (it refines survivor scores)
+    for budget in (0.1, 0.3, 0.6):
+        assert by_key[(budget, "continue")][2] >= by_key[(budget, "quit")][2] - 1e-9

@@ -1,0 +1,84 @@
+"""E15 — middleware access costs: TA vs NRA vs CA.
+
+Paper basis (Section 2): the Fagin framework the paper builds on is a
+*middleware* cost model — sorted and random accesses have different
+prices depending on the subsystem (a remote image server may not
+support random access at all).  This experiment charges
+``cost = sorted + h * random`` for a sweep of cost ratios ``h`` and
+shows the crossovers: TA wins when random access is cheap, NRA when it
+is impossible, CA tracks the best of both — the adaptivity an
+integrated MM optimizer (Step 3) must model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mm import feature_source, query_near_cluster, texture_features
+from repro.storage import CostCounter
+from repro.topn import SUM, combined_topn, naive_topn_sources, nra_topn, threshold_topn
+
+from conftest import BENCH_SCALE, record_table
+
+N_OBJECTS = max(int(20_000 * BENCH_SCALE), 2000)
+
+
+@pytest.fixture(scope="module")
+def spaces():
+    return [
+        texture_features(N_OBJECTS, dim=8, n_clusters=10, seed=151),
+        texture_features(N_OBJECTS, dim=10, n_clusters=10, spread=0.12, seed=152),
+        texture_features(N_OBJECTS, dim=6, n_clusters=10, spread=0.18, seed=153),
+    ]
+
+
+def make_sources(spaces, seed):
+    return [
+        feature_source(space, query_near_cluster(space, cluster=seed % 10,
+                                                 seed=seed + i), measure="l2")
+        for i, space in enumerate(spaces)
+    ]
+
+
+def run_with_costs(func, spaces, n, seed):
+    with CostCounter.activate() as cost:
+        result = func(make_sources(spaces, seed), n, SUM)
+    return result, cost.sorted_accesses, cost.random_accesses
+
+
+def test_e15_cost_ratio_sweep(benchmark, spaces):
+    def sweep():
+        naive_result, _, _ = run_with_costs(naive_topn_sources, spaces, 10, 3)
+        ta_result, ta_s, ta_r = run_with_costs(threshold_topn, spaces, 10, 3)
+        nra_result, nra_s, nra_r = run_with_costs(nra_topn, spaces, 10, 3)
+        assert ta_result.same_ranking(naive_result)
+        assert nra_result.same_set(naive_result)
+        rows = []
+        for h in (1, 4, 16, 64):
+            ca_result, ca_s, ca_r = run_with_costs(
+                lambda s_, n_, a_: combined_topn(s_, n_, a_, h=h, check_every=8),
+                spaces, 10, 3)
+            assert ca_result.same_set(naive_result)
+            ta_cost = ta_s + h * ta_r
+            nra_cost = nra_s + h * nra_r
+            ca_cost = ca_s + h * ca_r
+            rows.append([h, ta_cost, nra_cost, ca_cost,
+                         "TA" if ta_cost < nra_cost else "NRA"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        f"E15: weighted middleware cost (sorted + h*random), {N_OBJECTS} objects, "
+        "3 sources, N=10",
+        ["h (random/sorted)", "TA cost", "NRA cost", "CA cost", "TA-vs-NRA winner"],
+        rows,
+    )
+    # crossover shape: TA leads at cheap random access, NRA at expensive
+    assert rows[0][1] < rows[0][2]  # h=1: TA beats NRA
+    assert rows[-1][2] < rows[-1][1]  # h=64: NRA beats TA
+    # CA is never catastrophically worse than the per-h winner
+    for h, ta_cost, nra_cost, ca_cost, _ in rows:
+        assert ca_cost <= 4 * min(ta_cost, nra_cost)
+
+
+def test_e15_bench_ca(benchmark, spaces):
+    benchmark(lambda: combined_topn(make_sources(spaces, 9), 10, SUM, h=8))

@@ -1,0 +1,59 @@
+"""E1 — "text data is Zipf distributed"; frequent terms own the volume.
+
+Paper basis (Section 3, Step 1): the fragmentation argument rests on
+the Zipf distribution of terms: "the least frequently occurring terms
+are the most interesting ones while the most frequently occurring /
+least interesting terms take up most of the storage/memory space."
+
+Reproduced series: the rank-frequency table (log-spaced), the fitted
+Zipf exponent/fit quality, and the storage-share table (top-x% of
+terms vs share of postings volume).
+"""
+
+import pytest
+
+from repro.ir import fit_zipf, rank_frequency_table, volume_share_of_top_terms, vocabulary_share_for_volume
+
+from conftest import record_table
+
+
+@pytest.fixture(scope="module")
+def frequencies(ft_index):
+    cf = ft_index.vocabulary.cf_array()
+    return cf[cf > 0]
+
+
+def test_e1_rank_frequency_series(benchmark, ft_index, frequencies):
+    fit = benchmark.pedantic(lambda: fit_zipf(frequencies, min_frequency=3),
+                             rounds=1, iterations=1)
+    table = rank_frequency_table(frequencies, n_points=12)
+    rows = [[rank, freq, fit.predicted_cf(rank)] for rank, freq in table]
+    record_table(
+        "E1a: Zipf rank-frequency (measured vs fitted law)",
+        ["rank", "collection freq", "fitted"],
+        rows,
+    )
+    record_table(
+        "E1b: Zipf fit",
+        ["exponent", "r^2", "terms"],
+        [[fit.exponent, fit.r_squared, fit.n_terms]],
+    )
+    # the paper's premise: a clean Zipf law
+    assert 0.8 < fit.exponent < 2.2
+    assert fit.r_squared > 0.8
+
+
+def test_e1_volume_shares(benchmark, frequencies):
+    shares = benchmark.pedantic(
+        lambda: [(top, volume_share_of_top_terms(frequencies, top))
+                 for top in (0.01, 0.05, 0.10, 0.25, 0.50)],
+        rounds=1, iterations=1,
+    )
+    vocab_share_95 = vocabulary_share_for_volume(frequencies, 0.95)
+    rows = [[f"top {top:.0%} of terms", f"{share:.1%} of volume"] for top, share in shares]
+    rows.append([f"terms needed for 95% volume", f"{vocab_share_95:.1%} of vocabulary"])
+    record_table("E1c: storage share of frequent terms", ["vocabulary slice", "postings volume"], rows)
+    # paper shape: a small minority of terms owns most of the volume
+    top5 = dict(shares)[0.05]
+    assert top5 > 0.5
+    assert vocab_share_95 < 0.5

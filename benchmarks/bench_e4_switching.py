@@ -1,0 +1,67 @@
+"""E4 — the safe switching variant.
+
+Paper basis (Section 3, Step 1): the early quality check "improved the
+answer quality significantly but lowered the speed also quite a lot".
+
+Reproduced rows: SAFE_SWITCH quality (≈ unfragmented) and cost
+(between UNSAFE and UNFRAGMENTED), switch rate over the query set.
+"""
+
+import pytest
+
+from repro.core import QuerySession
+
+from conftest import record_table
+
+
+def test_e4_safe_switch(benchmark, ft_database, ft_queries):
+    session = QuerySession(ft_database)
+
+    def run_all():
+        reference = session.reference_rankings(ft_queries, n=20)
+        exact = session.run(ft_queries, n=20, strategy="unfragmented",
+                            reference_rankings=reference)
+        unsafe = session.run(ft_queries, n=20, strategy="unsafe-small",
+                             reference_rankings=reference)
+        switch = session.run(ft_queries, n=20, strategy="safe-switch",
+                             reference_rankings=reference)
+        return exact, unsafe, switch
+
+    exact, unsafe, switch = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    switch_rate = sum(
+        1 for query in ft_queries
+        if ft_database.search(list(query.term_ids), n=20,
+                              strategy="safe-switch").result.stats["switched"]
+    ) / len(ft_queries)
+
+    quality_recovery = (
+        (switch.mean_average_precision - unsafe.mean_average_precision)
+        / max(exact.mean_average_precision - unsafe.mean_average_precision, 1e-12)
+    )
+    record_table(
+        "E4: SAFE_SWITCH vs UNSAFE vs UNFRAGMENTED "
+        "(paper: quality improved significantly, speed lowered quite a lot)",
+        ["strategy", "tuples read", "MAP", "overlap@20"],
+        [
+            ["unfragmented", exact.tuples_read, exact.mean_average_precision,
+             exact.mean_overlap_vs_reference],
+            ["unsafe-small", unsafe.tuples_read, unsafe.mean_average_precision,
+             unsafe.mean_overlap_vs_reference],
+            ["safe-switch", switch.tuples_read, switch.mean_average_precision,
+             switch.mean_overlap_vs_reference],
+            ["switch rate", f"{switch_rate:.0%}", "-", "-"],
+            ["quality gap recovered", f"{quality_recovery:.0%}", "-", "-"],
+        ],
+    )
+    # shape: switching restores most of the quality gap ...
+    assert switch.mean_average_precision >= unsafe.mean_average_precision
+    assert switch.mean_overlap_vs_reference >= unsafe.mean_overlap_vs_reference
+    # ... but is much more expensive than the unsafe plan
+    assert switch.tuples_read > unsafe.tuples_read
+
+
+def test_e4_bench_safe_switch_query(benchmark, ft_database, ft_queries):
+    query = max(ft_queries.queries, key=lambda q: len(q.term_ids))
+    tids = list(query.term_ids)
+    benchmark(lambda: ft_database.search(tids, n=20, strategy="safe-switch"))

@@ -1,0 +1,71 @@
+"""E5 — the non-dense index on the large fragment.
+
+Paper basis (Section 3, Step 1): "plan to introduce a non-dense index
+in the system to speed up processing the large fragment.  This even
+will allow for extra computations while still decreasing execution
+time, bringing the answer quality nearer to or even on the same level
+as in the unfragmented case."
+
+Reproduced rows: INDEXED strategy touches far less data than
+SAFE_SWITCH (which must scan the unindexed large fragment) at equal
+answers; non-dense index size relative to the fragment.
+"""
+
+import pytest
+
+from repro.core import QuerySession
+
+from conftest import record_table
+
+
+def test_e5_indexed_vs_scan_switch(benchmark, ft_database, ft_queries):
+    session = QuerySession(ft_database)
+
+    def run_all():
+        reference = session.reference_rankings(ft_queries, n=20)
+        switch = session.run(ft_queries, n=20, strategy="safe-switch",
+                             reference_rankings=reference)
+        indexed = session.run(ft_queries, n=20, strategy="indexed",
+                              reference_rankings=reference)
+        exact = session.run(ft_queries, n=20, strategy="unfragmented",
+                            reference_rankings=reference)
+        return exact, switch, indexed
+
+    exact, switch, indexed = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    sparse = ft_database.fragmented.large._sparse_index
+    index_ratio = sparse.size_ratio() if sparse is not None else 0.0
+    reduction_vs_switch = 1.0 - indexed.tuples_read / switch.tuples_read
+
+    record_table(
+        "E5: non-dense index on the large fragment "
+        "(paper: extra computations while still decreasing execution time)",
+        ["strategy", "tuples read", "MAP", "overlap@20"],
+        [
+            ["unfragmented", exact.tuples_read, exact.mean_average_precision,
+             exact.mean_overlap_vs_reference],
+            ["safe-switch (scan)", switch.tuples_read, switch.mean_average_precision,
+             switch.mean_overlap_vs_reference],
+            ["indexed (non-dense)", indexed.tuples_read, indexed.mean_average_precision,
+             indexed.mean_overlap_vs_reference],
+            ["index size / fragment", f"{index_ratio:.2%}", "-", "-"],
+            ["data reduction vs scan-switch", f"{reduction_vs_switch:.1%}", "-", "-"],
+        ],
+    )
+    # same answers as the scanning switch...
+    assert indexed.mean_overlap_vs_reference == pytest.approx(
+        switch.mean_overlap_vs_reference, abs=1e-9
+    )
+    # ...at a small fraction of the data touched, with a tiny index.
+    # (Note: our UNFRAGMENTED baseline already enjoys CSR per-term
+    # access, so INDEXED does not beat it in tuples; the paper's
+    # comparison point — the scanning switch — is beaten by orders of
+    # magnitude.  Recorded as a deviation in EXPERIMENTS.md.)
+    assert indexed.tuples_read < switch.tuples_read / 10
+    assert index_ratio < 0.05
+
+
+def test_e5_bench_indexed_query(benchmark, ft_database, ft_queries):
+    query = max(ft_queries.queries, key=lambda q: len(q.term_ids))
+    tids = list(query.term_ids)
+    ft_database.search(tids, n=20, strategy="indexed")  # warm: builds index
+    benchmark(lambda: ft_database.search(tids, n=20, strategy="indexed"))

@@ -1,0 +1,102 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_eXX_*.py`` module reproduces one experiment from the
+DESIGN.md index.  Experiments print their result tables through
+:func:`record_table`, which (a) stores them for the end-of-run summary
+(visible in ``pytest benchmarks/ --benchmark-only`` output) and
+(b) writes them to ``benchmarks/results/``.
+
+``REPRO_BENCH_SCALE`` (default ``0.15``) scales the FT-like workload;
+1.0 is the full 20k-document stand-in.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import MMDatabase
+from repro.ir import InvertedIndex
+from repro.workloads import SyntheticCollection, generate_queries, trec
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_TABLES: list[str] = []
+
+
+def fmt_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_fmt_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def record_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Record an experiment table for the run summary and results dir."""
+    table = fmt_table(title, headers, rows)
+    _TABLES.append(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = title.split(":")[0].strip().lower().replace(" ", "_")
+    with open(RESULTS_DIR / f"{slug}.txt", "w") as fh:
+        fh.write(table + "\n")
+    return table
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 70)
+    terminalreporter.write_line("EXPERIMENT TABLES (paper-shape reproduction)")
+    terminalreporter.write_line("=" * 70)
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+
+
+# -- shared workloads --------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def ft_collection():
+    """The FT-like collection used by the text experiments."""
+    return SyntheticCollection.generate(trec.ft_like(scale=BENCH_SCALE, seed=2000))
+
+
+@pytest.fixture(scope="session")
+def ft_index(ft_collection):
+    return InvertedIndex.build(ft_collection)
+
+
+@pytest.fixture(scope="session")
+def ft_queries(ft_collection):
+    return generate_queries(ft_collection, n_queries=40, terms_range=(3, 8),
+                            rare_bias=3.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def ft_database(ft_collection):
+    database = MMDatabase.from_collection(ft_collection)
+    database.fragment()
+    return database

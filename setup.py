@@ -1,0 +1,6 @@
+"""Setup shim so legacy editable installs work offline (no `wheel` package
+is available in this environment, which the PEP 517 editable path needs)."""
+
+from setuptools import setup
+
+setup()

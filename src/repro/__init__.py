@@ -1,0 +1,65 @@
+"""repro — reproduction of *"Top N optimization issues in MM databases"*
+(H.E. Blok, EDBT 2000 PhD Workshop).
+
+The library implements, from scratch, the full system the paper
+describes or depends on:
+
+* :mod:`repro.storage` — a MonetDB-style binary-table (BAT) kernel with
+  a simulated, page-granular cost model;
+* :mod:`repro.algebra` — a Moa-style extensible structured object
+  algebra (ATOMIC / TUPLE / SET / BAG / LIST) flattened onto BATs;
+* :mod:`repro.ir` — text-retrieval substrate (inverted index, tf-idf /
+  BM25 / language-model ranking, Zipf analysis);
+* :mod:`repro.mm` — multimedia feature-space substrate (synthetic
+  features, distances, sorted/random-access score sources);
+* :mod:`repro.topn` — safe and unsafe top-N operators: naive scan,
+  Fagin's FA, TA, NRA, Brown/INQUERY-style quit/continue pruning,
+  Carey–Kossmann STOP AFTER, Donjerkovic–Ramakrishnan probabilistic
+  top-N;
+* :mod:`repro.fragmentation` — the paper's Step 1: Zipf-based
+  horizontal fragmentation with unsafe, safe-switching and sparse-index
+  execution strategies;
+* :mod:`repro.optimizer` — the paper's Steps 2+3: a three-layer
+  optimizer (general logical rules, the novel *inter-object* layer, and
+  E-ADT-style intra-object optimizers) with a centralized cost model;
+* :mod:`repro.quality` — retrieval-quality metrics;
+* :mod:`repro.workloads` — synthetic TREC-like collection and query
+  generators;
+* :mod:`repro.core` — the :class:`~repro.core.database.MMDatabase`
+  facade tying everything together.
+
+Quickstart::
+
+    from repro import MMDatabase
+    from repro.workloads import SyntheticCollection
+
+    collection = SyntheticCollection.generate(n_docs=2000, seed=7)
+    db = MMDatabase.from_collection(collection)
+    result = db.search("query terms here", n=10)
+    for hit in result.hits:
+        print(hit.doc_id, hit.score)
+"""
+
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy re-exports keep `import repro` cheap while still offering the
+    # convenient flat API documented in the README.
+    if name == "MMDatabase":
+        from .core.database import MMDatabase
+
+        return MMDatabase
+    if name == "BAT":
+        from .storage.bat import BAT
+
+        return BAT
+    if name == "CostCounter":
+        from .storage.stats import CostCounter
+
+        return CostCounter
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,12 @@
+"""``python -m repro`` dispatches to the CLI."""
+
+import signal
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    # behave like a well-mannered unix tool when piped into `head` etc.
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""The Moa-style extensible structured object algebra.
+
+Layers:
+
+* :mod:`~repro.algebra.types` — the structure type system
+  (ATOMIC / LIST / BAG / SET / TUPLE);
+* :mod:`~repro.algebra.values` — values flattened onto BATs;
+* :mod:`~repro.algebra.extensions` — the ADT registry with
+  optimizer-facing operator metadata;
+* :mod:`~repro.algebra.builtin` — the built-in extensions;
+* :mod:`~repro.algebra.expr` — logical expression trees;
+* :mod:`~repro.algebra.parser` — textual syntax
+  (``select(projecttobag([1,2,3,4,4,5]), 2, 4)``);
+* :mod:`~repro.algebra.flatten` / :mod:`~repro.algebra.physical` —
+  flattening to physical BAT plans;
+* :mod:`~repro.algebra.engine` — ``evaluate`` / ``explain``.
+"""
+
+from .engine import evaluate, explain, infer_type
+from .expr import Apply, Expr, Literal, ScalarLiteral, Var
+from .extensions import OperatorDef, Registry, default_registry
+from .flatten import flatten
+from .parser import parse
+from .physical import PhysicalPlan
+from .types import (
+    AtomicType,
+    BagType,
+    FLOAT,
+    INT,
+    ListType,
+    STR,
+    SetType,
+    StructureType,
+    TupleType,
+)
+from .values import (
+    AtomValue,
+    CollectionValue,
+    StructureValue,
+    TupleValue,
+    make_bag,
+    make_list,
+    make_set,
+)
+
+__all__ = [
+    "Apply",
+    "AtomValue",
+    "AtomicType",
+    "BagType",
+    "CollectionValue",
+    "Expr",
+    "FLOAT",
+    "INT",
+    "ListType",
+    "Literal",
+    "OperatorDef",
+    "PhysicalPlan",
+    "Registry",
+    "STR",
+    "ScalarLiteral",
+    "SetType",
+    "StructureType",
+    "StructureValue",
+    "TupleType",
+    "TupleValue",
+    "Var",
+    "default_registry",
+    "evaluate",
+    "explain",
+    "flatten",
+    "infer_type",
+    "make_bag",
+    "make_list",
+    "make_set",
+    "parse",
+]

@@ -1,0 +1,51 @@
+"""The algebra evaluator: flatten, then execute.
+
+:func:`evaluate` is the one-call entry point used by examples and
+tests.  Optimized execution goes through
+:class:`repro.optimizer.pipeline.Optimizer` first, which rewrites the
+expression before handing it here.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .expr import Expr
+from .extensions import Registry, default_registry
+from .flatten import flatten
+from .types import StructureType
+from .values import StructureValue
+
+
+def evaluate(
+    expr: Expr,
+    env: Mapping[str, StructureValue] | None = None,
+    registry: Registry | None = None,
+) -> StructureValue:
+    """Evaluate ``expr`` against an environment of named values."""
+    env = dict(env or {})
+    env_types = {name: value.stype for name, value in env.items()}
+    plan = flatten(expr, env_types, registry or default_registry())
+    return plan.execute(env)
+
+
+def explain(
+    expr: Expr,
+    env: Mapping[str, StructureValue] | None = None,
+    registry: Registry | None = None,
+) -> str:
+    """The physical plan of ``expr``, as an indented tree string."""
+    env = dict(env or {})
+    env_types = {name: value.stype for name, value in env.items()}
+    plan = flatten(expr, env_types, registry or default_registry())
+    return plan.explain()
+
+
+def infer_type(
+    expr: Expr,
+    env: Mapping[str, StructureValue] | None = None,
+    registry: Registry | None = None,
+) -> StructureType:
+    """Static type of ``expr`` under the given environment."""
+    env_types = {name: value.stype for name, value in (env or {}).items()}
+    return expr.infer_type(env_types, registry or default_registry())

@@ -1,0 +1,188 @@
+"""Logical expression trees of the object algebra.
+
+An expression is a tree of :class:`Apply` nodes over :class:`Var` /
+:class:`Literal` / :class:`ScalarLiteral` leaves.  Expressions are
+immutable; the optimizer rewrites by building new trees.
+
+Scalar parameters (selection bounds, top-N counts, field names) are
+ordinary argument expressions of atomic type; dispatching splits the
+argument list into *value* arguments (collections/tuples) and *scalar*
+parameters by their inferred types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..errors import AlgebraTypeError
+from .extensions import OperatorDef, Registry, default_registry
+from .types import StructureType
+from .values import AtomValue, StructureValue, _infer_atom_type
+
+
+class Expr:
+    """Base class of all expression nodes (immutable)."""
+
+    def infer_type(self, env_types: Mapping[str, StructureType] | None = None,
+                   registry: Registry | None = None) -> StructureType:
+        """Static result type of this expression."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        return sum(1 for _ in self.walk())
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, eq=False)
+class Var(Expr):
+    """A named input (bound in the evaluation environment)."""
+
+    name: str
+
+    def infer_type(self, env_types=None, registry=None) -> StructureType:
+        if not env_types or self.name not in env_types:
+            raise AlgebraTypeError(f"unbound variable {self.name!r}")
+        return env_types[self.name]
+
+    def _key(self):
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(Expr):
+    """An inline structure value (collection or tuple literal)."""
+
+    value: StructureValue
+
+    def infer_type(self, env_types=None, registry=None) -> StructureType:
+        return self.value.stype
+
+    def _key(self):
+        # identity-keyed: structure values are not hashable in general
+        return (id(self.value),)
+
+    def __str__(self) -> str:
+        # small atomic collections print as source-syntax literals, so
+        # rewrites of the paper's Example 1 render verbatim
+        from .values import CollectionValue
+
+        value = self.value
+        if isinstance(value, CollectionValue) and value.is_atomic_elements and value.count <= 12:
+            elements = ", ".join(repr(e) for e in value.iter_elements())
+            brackets = "{}" if value.stype.extension_name in ("BAG", "SET") else "[]"
+            return f"{brackets[0]}{elements}{brackets[1]}"
+        return repr(value)
+
+
+@dataclass(frozen=True, eq=False)
+class ScalarLiteral(Expr):
+    """An inline atomic constant (selection bound, N, field name...)."""
+
+    value: object
+
+    def infer_type(self, env_types=None, registry=None) -> StructureType:
+        return _infer_atom_type(self.value)
+
+    def _key(self):
+        return (self.value,)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class Apply(Expr):
+    """Application of a named operator to argument expressions."""
+
+    def __init__(self, op: str, *args: Expr) -> None:
+        coerced = []
+        for arg in args:
+            if isinstance(arg, Expr):
+                coerced.append(arg)
+            elif isinstance(arg, StructureValue) and isinstance(arg, AtomValue):
+                coerced.append(ScalarLiteral(arg.value))
+            elif isinstance(arg, StructureValue):
+                coerced.append(Literal(arg))
+            elif isinstance(arg, (int, float, str)):
+                coerced.append(ScalarLiteral(arg))
+            else:
+                raise AlgebraTypeError(f"cannot use {arg!r} as an expression argument")
+        self.op = op
+        self.args = tuple(coerced)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def _key(self):
+        return (self.op, self.args)
+
+    def split_args(self, env_types=None, registry=None) -> tuple[list[Expr], list[Expr]]:
+        """Partition arguments into (value args, scalar args) by type."""
+        values, scalars = [], []
+        for arg in self.args:
+            stype = arg.infer_type(env_types, registry)
+            if stype.is_atomic:
+                scalars.append(arg)
+            else:
+                values.append(arg)
+        return values, scalars
+
+    def dispatch(self, env_types=None, registry=None) -> OperatorDef:
+        """Resolve the operator definition this node applies."""
+        registry = registry or default_registry()
+        values, _ = self.split_args(env_types, registry)
+        if not values:
+            raise AlgebraTypeError(
+                f"operator {self.op!r} has no collection argument to dispatch on"
+            )
+        receiver_type = values[0].infer_type(env_types, registry)
+        return registry.operator_for(receiver_type, self.op)
+
+    def scalar_values(self, env_types=None, registry=None) -> list:
+        """Literal scalar parameter values (None for non-literals)."""
+        _, scalars = self.split_args(env_types, registry)
+        return [arg.value if isinstance(arg, ScalarLiteral) else None for arg in scalars]
+
+    def infer_type(self, env_types=None, registry=None) -> StructureType:
+        registry = registry or default_registry()
+        opdef = self.dispatch(env_types, registry)
+        values, _ = self.split_args(env_types, registry)
+        arg_types = [arg.infer_type(env_types, registry) for arg in values]
+        return opdef.result_type(arg_types, self.scalar_values(env_types, registry))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.op}({inner})"
+
+
+def rebuild(expr: Expr, new_children: tuple[Expr, ...]) -> Expr:
+    """Copy an expression node with different children (rewrite helper)."""
+    if isinstance(expr, Apply):
+        clone = Apply.__new__(Apply)
+        clone.op = expr.op
+        clone.args = tuple(new_children)
+        return clone
+    if new_children:
+        raise AlgebraTypeError(f"leaf node {expr} cannot take children")
+    return expr

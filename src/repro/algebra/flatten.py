@@ -1,0 +1,61 @@
+"""Flattening: logical expressions → physical plans.
+
+This is the reproduction of Moa's defining mechanism: a structured
+algebra expression is translated into a plan over flat binary tables.
+Each operator's extension supplies the translation (its ``build``
+rule); flattening itself is a simple bottom-up fold.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import AlgebraTypeError
+from .expr import Apply, Expr, Literal, ScalarLiteral, Var
+from .extensions import Registry, default_registry
+from .physical import PhysicalOp, PhysicalPlan, SourceLiteral, SourceVar
+from .types import StructureType
+
+
+def flatten(
+    expr: Expr,
+    env_types: Mapping[str, StructureType] | None = None,
+    registry: Registry | None = None,
+) -> PhysicalPlan:
+    """Translate ``expr`` into an executable :class:`PhysicalPlan`.
+
+    ``env_types`` gives the structure types of free variables; literal
+    leaves carry their own types.  Raises
+    :class:`~repro.errors.AlgebraTypeError` on ill-typed expressions —
+    flattening doubles as the algebra's type checker.
+    """
+    registry = registry or default_registry()
+    result_type = expr.infer_type(env_types, registry)
+    root = _flatten_node(expr, env_types, registry)
+    return PhysicalPlan(root, result_type)
+
+
+def _flatten_node(expr: Expr, env_types, registry) -> PhysicalOp:
+    if isinstance(expr, Var):
+        return SourceVar(name=expr.name)
+    if isinstance(expr, Literal):
+        return SourceLiteral(value=expr.value)
+    if isinstance(expr, ScalarLiteral):
+        raise AlgebraTypeError(
+            f"scalar literal {expr.value!r} cannot be flattened standalone"
+        )
+    if isinstance(expr, Apply):
+        opdef = expr.dispatch(env_types, registry)
+        value_args, scalar_args = expr.split_args(env_types, registry)
+        plans = [_flatten_node(arg, env_types, registry) for arg in value_args]
+        scalars = []
+        for arg in scalar_args:
+            if isinstance(arg, ScalarLiteral):
+                scalars.append(arg.value)
+            else:
+                raise AlgebraTypeError(
+                    f"scalar parameter of {expr.op!r} must be a literal, got {arg}"
+                )
+        arg_types = [arg.infer_type(env_types, registry) for arg in value_args]
+        return opdef.build(plans, scalars, arg_types)
+    raise AlgebraTypeError(f"cannot flatten expression node {expr!r}")

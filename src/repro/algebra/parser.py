@@ -1,0 +1,132 @@
+"""A small textual syntax for algebra expressions.
+
+Lets tests, examples and docs write the paper's expressions verbatim::
+
+    parse("select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)")
+
+Grammar (whitespace-insensitive)::
+
+    expr     := call | listlit | baglit | number | string | ident
+    call     := ident '(' expr (',' expr)* ')'
+    listlit  := '[' atoms? ']'          -- a LIST literal
+    baglit   := '{' atoms? '}'          -- a BAG literal
+    atoms    := atom (',' atom)*
+    atom     := number | string
+
+Identifiers not followed by ``(`` are variables.  Numbers become scalar
+literals (selection bounds, top-N counts); quoted strings become scalar
+string literals (field names).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .expr import Apply, Expr, Literal, ScalarLiteral, Var
+from .values import make_bag, make_list
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct>[()\[\]{},])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at position {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> tuple[str, str]:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> None:
+        kind, value = self.next()
+        if value != text:
+            raise ParseError(f"expected {text!r}, got {value!r}")
+
+    def parse_expr(self) -> Expr:
+        kind, value = self.peek()
+        if kind == "number":
+            self.next()
+            scalar = float(value) if "." in value else int(value)
+            return ScalarLiteral(scalar)
+        if kind == "string":
+            self.next()
+            return ScalarLiteral(value[1:-1])
+        if kind == "ident":
+            self.next()
+            if self.peek()[1] == "(":
+                return self.parse_call(value)
+            return Var(value)
+        if value == "[":
+            return Literal(make_list(self.parse_atoms("[", "]")))
+        if value == "{":
+            return Literal(make_bag(self.parse_atoms("{", "}")))
+        raise ParseError(f"unexpected token {value!r}")
+
+    def parse_call(self, name: str) -> Expr:
+        self.expect("(")
+        args = []
+        if self.peek()[1] != ")":
+            args.append(self.parse_expr())
+            while self.peek()[1] == ",":
+                self.next()
+                args.append(self.parse_expr())
+        self.expect(")")
+        return Apply(name, *args)
+
+    def parse_atoms(self, open_char: str, close_char: str) -> list:
+        self.expect(open_char)
+        atoms = []
+        if self.peek()[1] != close_char:
+            atoms.append(self.parse_atom())
+            while self.peek()[1] == ",":
+                self.next()
+                atoms.append(self.parse_atom())
+        self.expect(close_char)
+        return atoms
+
+    def parse_atom(self):
+        kind, value = self.next()
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "string":
+            return value[1:-1]
+        raise ParseError(f"collection literals may only contain atoms, got {value!r}")
+
+
+def parse(text: str) -> Expr:
+    """Parse ``text`` into an :class:`~repro.algebra.expr.Expr`."""
+    parser = _Parser(_tokenize(text))
+    expr = parser.parse_expr()
+    if parser.peek()[0] != "eof":
+        raise ParseError(f"trailing input starting at {parser.peek()[1]!r}")
+    return expr

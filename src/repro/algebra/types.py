@@ -1,0 +1,177 @@
+"""The structure type system of the Moa-style object algebra.
+
+Moa (Boncz/Wilschut/Kersten 1998; de Vries/Wilschut 1999) is a
+*structured object algebra*: values are built from a small set of
+orthogonal structures — ATOMIC base types and the bulk structures
+LIST, BAG and SET, plus named-field TUPLEs — and every structure is
+provided by an *extension* that also supplies its operators.
+
+Types matter to the optimizer: the paper's Example 1 turns on the fact
+that a LIST "is aware of the ordering of the elements, which ... in
+case of a list is well defined, but formally does not exist for a bag".
+:attr:`StructureType.ordered` exposes exactly that property to the
+inter-object optimizer layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AlgebraTypeError
+
+#: atomic base-type kinds supported by the storage kernel
+ATOM_KINDS = ("int", "float", "str")
+
+
+class StructureType:
+    """Base class for all structure types.  Instances are immutable
+    value objects: equality is structural."""
+
+    #: does this structure maintain a well-defined element order?
+    ordered: bool = False
+    #: may this structure contain duplicate elements?
+    allows_duplicates: bool = True
+    #: name of the extension providing this structure ("LIST", ...)
+    extension_name: str = "?"
+
+    def element(self) -> "StructureType":
+        """The element type for collection structures; raises for
+        non-collections."""
+        raise AlgebraTypeError(f"{self} has no element type")
+
+    @property
+    def is_collection(self) -> bool:
+        return False
+
+    @property
+    def is_atomic(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class AtomicType(StructureType):
+    """An ATOMIC base type: ``int``, ``float`` or ``str``."""
+
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ATOM_KINDS:
+            raise AlgebraTypeError(f"unknown atomic kind {self.kind!r}; expected one of {ATOM_KINDS}")
+
+    extension_name = "ATOMIC"
+
+    @property
+    def is_atomic(self) -> bool:
+        return True
+
+    @property
+    def numeric(self) -> bool:
+        """Whether values of this type support arithmetic/comparison."""
+        return self.kind in ("int", "float")
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+INT = AtomicType("int")
+FLOAT = AtomicType("float")
+STR = AtomicType("str")
+
+
+def atom_for_dtype_kind(kind: str) -> AtomicType:
+    """Map a numpy dtype kind ('i', 'f', 'U') to an atomic type."""
+    mapping = {"i": INT, "f": FLOAT, "U": STR}
+    try:
+        return mapping[kind]
+    except KeyError:
+        raise AlgebraTypeError(f"no atomic type for dtype kind {kind!r}") from None
+
+
+@dataclass(frozen=True)
+class _CollectionType(StructureType):
+    element_type: StructureType
+
+    def element(self) -> StructureType:
+        return self.element_type
+
+    @property
+    def is_collection(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.extension_name}<{self.element_type}>"
+
+
+class ListType(_CollectionType):
+    """LIST — ordered, duplicates allowed.  The structure of ranked
+    retrieval results."""
+
+    ordered = True
+    allows_duplicates = True
+    extension_name = "LIST"
+
+
+class BagType(_CollectionType):
+    """BAG — unordered, duplicates allowed."""
+
+    ordered = False
+    allows_duplicates = True
+    extension_name = "BAG"
+
+
+class SetType(_CollectionType):
+    """SET — unordered, duplicates eliminated."""
+
+    ordered = False
+    allows_duplicates = False
+    extension_name = "SET"
+
+
+@dataclass(frozen=True)
+class TupleType(StructureType):
+    """TUPLE — a record of named fields, each with its own structure."""
+
+    fields: tuple[tuple[str, StructureType], ...]
+
+    extension_name = "TUPLE"
+
+    @classmethod
+    def of(cls, **fields: StructureType) -> "TupleType":
+        return cls(tuple(sorted(fields.items())))
+
+    def field(self, name: str) -> StructureType:
+        for field_name, field_type in self.fields:
+            if field_name == name:
+                return field_type
+        raise AlgebraTypeError(f"tuple type has no field {name!r}: {self}")
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name}: {ftype}" for name, ftype in self.fields)
+        return f"TUPLE<{inner}>"
+
+
+def require_collection(stype: StructureType, op: str) -> StructureType:
+    """Validate that ``stype`` is a collection; return its element type."""
+    if not stype.is_collection:
+        raise AlgebraTypeError(f"operator {op!r} requires a collection, got {stype}")
+    return stype.element()
+
+
+def require_numeric_collection(stype: StructureType, op: str) -> AtomicType:
+    """Validate a collection of numeric atoms; return the element type."""
+    element = require_collection(stype, op)
+    if not (element.is_atomic and element.numeric):
+        raise AlgebraTypeError(
+            f"operator {op!r} requires a collection of numeric atoms, got {stype}"
+        )
+    return element
+
+
+def same_type(a: StructureType, b: StructureType, op: str) -> StructureType:
+    """Validate type equality between two operands."""
+    if a != b:
+        raise AlgebraTypeError(f"operator {op!r} requires equal types, got {a} vs {b}")
+    return a

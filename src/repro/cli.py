@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``       build a synthetic database and print sizing statistics
+``zipf``        Zipf analysis of a synthetic collection
+``search``      run one query under a chosen execution strategy
+``experiment``  run the Step-1 fragmentation experiment and print the
+                paper-vs-measured table
+``example1``    the paper's Example 1 through the optimizer
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import MMDatabase, QuerySession
+from .storage import CostCounter
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Top N optimization issues in MM databases' "
+                    "(Blok, EDBT 2000).",
+    )
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="FT-like workload scale (1.0 = 20k documents)")
+    parser.add_argument("--seed", type=int, default=7, help="generation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", help="database sizing statistics")
+    sub.add_parser("zipf", help="Zipf analysis of the collection")
+    sub.add_parser("example1", help="the paper's Example 1 through the optimizer")
+
+    search = sub.add_parser("search", help="run one top-N query")
+    search.add_argument("terms", nargs="+", help="query terms")
+    search.add_argument("--n", type=int, default=10)
+    search.add_argument("--strategy", default="auto",
+                        choices=["auto", "naive", "unfragmented", "unsafe-small",
+                                 "safe-switch", "indexed"])
+
+    experiment = sub.add_parser("experiment",
+                                help="run a named experiment (currently: e3)")
+    experiment.add_argument("name", choices=["e3"])
+    experiment.add_argument("--queries", type=int, default=30)
+    experiment.add_argument("--topn", type=int, default=20)
+    return parser
+
+
+def _make_database(args) -> MMDatabase:
+    from .workloads import SyntheticCollection, trec
+
+    collection = SyntheticCollection.generate(trec.ft_like(scale=args.scale,
+                                                           seed=args.seed))
+    db = MMDatabase.from_collection(collection)
+    db.fragment()
+    return db
+
+
+def _cmd_stats(args, out) -> int:
+    db = _make_database(args)
+    for key, value in sorted(db.stats().items()):
+        print(f"{key:<26} {value}", file=out)
+    return 0
+
+
+def _cmd_zipf(args, out) -> int:
+    from .ir import fit_zipf, rank_frequency_table, vocabulary_share_for_volume
+
+    db = _make_database(args)
+    cf = db.index.vocabulary.cf_array()
+    used = cf[cf > 0]
+    fit = fit_zipf(used, min_frequency=3)
+    print(f"zipf exponent {fit.exponent:.3f}  r^2 {fit.r_squared:.3f}  "
+          f"terms {fit.n_terms}", file=out)
+    print(f"{'rank':>8} {'frequency':>12}", file=out)
+    for rank, freq in rank_frequency_table(used, n_points=10):
+        print(f"{rank:>8} {freq:>12.0f}", file=out)
+    share = vocabulary_share_for_volume(used, 0.95)
+    print(f"95% of volume is carried by {share:.1%} of the used vocabulary", file=out)
+    return 0
+
+
+def _cmd_search(args, out) -> int:
+    db = _make_database(args)
+    with CostCounter.activate() as cost:
+        result = db.search(" ".join(args.terms), n=args.n, strategy=args.strategy)
+    print(f"strategy={result.result.strategy} safe={result.safe} "
+          f"tuples={cost.tuples_read:,} time={result.elapsed_seconds * 1000:.1f}ms",
+          file=out)
+    if not result.hits:
+        print("no results (unknown terms?)", file=out)
+        return 1
+    for rank, item in enumerate(result.hits, start=1):
+        print(f"{rank:>4}. doc {item.obj_id:<8} score {item.score:.4f}", file=out)
+    return 0
+
+
+def _cmd_experiment_e3(args, out) -> int:
+    from .workloads import generate_queries
+
+    db = _make_database(args)
+    queries = generate_queries(db.collection, n_queries=args.queries,
+                               terms_range=(3, 8), rare_bias=3.0,
+                               seed=args.seed + 1)
+    session = QuerySession(db)
+    reference = session.reference_rankings(queries, n=args.topn)
+    exact = session.run(queries, n=args.topn, strategy="unfragmented",
+                        reference_rankings=reference)
+    unsafe = session.run(queries, n=args.topn, strategy="unsafe-small",
+                         reference_rankings=reference)
+    print(f"{'metric':<28} {'paper':<10} measured", file=out)
+    print(f"{'data touched reduction':<28} {'>= 60%':<10} "
+          f"{1 - unsafe.tuples_read / exact.tuples_read:.1%}", file=out)
+    print(f"{'average-precision drop':<28} {'> 30%':<10} "
+          f"{1 - unsafe.mean_average_precision / exact.mean_average_precision:.1%}",
+          file=out)
+    print(f"{'top-N overlap with exact':<28} {'-':<10} "
+          f"{unsafe.mean_overlap_vs_reference:.1%}", file=out)
+    return 0
+
+
+def _cmd_example1(args, out) -> int:
+    from .algebra import evaluate, parse
+    from .optimizer import Optimizer
+
+    expr = parse("select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)")
+    value, report = Optimizer().execute(expr)
+    print(report.describe(), file=out)
+    print(f"answer: {sorted(value.to_python())}", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    import signal
+
+    if out is None and hasattr(signal, "SIGPIPE"):
+        # console-script entry: die quietly when the reader closes the
+        # pipe (e.g. `repro zipf | head`)
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "stats":
+        return _cmd_stats(args, out)
+    if args.command == "zipf":
+        return _cmd_zipf(args, out)
+    if args.command == "search":
+        return _cmd_search(args, out)
+    if args.command == "experiment":
+        return _cmd_experiment_e3(args, out)
+    if args.command == "example1":
+        return _cmd_example1(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,17 @@
+"""Public facade: :class:`MMDatabase`, search results and sessions."""
+
+from .bridge import RANKING_TYPE, ranking_to_value, value_to_ranking
+from .config import DatabaseConfig
+from .database import MMDatabase
+from .session import QuerySession, SearchResult, SessionReport
+
+__all__ = [
+    "DatabaseConfig",
+    "MMDatabase",
+    "QuerySession",
+    "RANKING_TYPE",
+    "SearchResult",
+    "SessionReport",
+    "ranking_to_value",
+    "value_to_ranking",
+]

@@ -1,0 +1,67 @@
+"""Bridge between retrieval results and the object algebra.
+
+The paper's Step 2 motivates inter-object optimization with exactly
+this pattern: *"Ranking of documents in a list results often in
+similar nested operators/structures which are typically defined in
+different extensions.  However, ... ranking a list of documents is the
+core business of content based retrieval DBMSs."*
+
+:func:`ranking_to_value` lifts a :class:`~repro.topn.result.TopNResult`
+into a ``LIST<TUPLE<doc: int, score: float>>`` algebra value, so ranked
+retrieval output can be post-processed with ordinary algebra
+expressions (score-range selects, re-cuts, projections) — and those
+expressions go through the same three-layer optimizer as everything
+else.  :func:`value_to_ranking` converts back.
+"""
+
+from __future__ import annotations
+
+from ..algebra.types import FLOAT, INT, ListType, TupleType
+from ..algebra.values import CollectionValue
+from ..errors import AlgebraTypeError
+from ..storage.bat import BAT
+from ..topn.result import RankedItem, TopNResult
+
+#: the element type of ranked-result values
+RANKING_ELEMENT = TupleType.of(doc=INT, score=FLOAT)
+#: the structure type of ranked-result values
+RANKING_TYPE = ListType(RANKING_ELEMENT)
+
+
+def ranking_to_value(result: TopNResult) -> CollectionValue:
+    """Lift a top-N result into a ``LIST<TUPLE<doc, score>>`` value.
+
+    The LIST order is the ranking order; the score column is marked
+    descending-sorted so order-aware operators (prefix top-N) apply.
+    """
+    import numpy as np
+
+    docs = np.asarray([item.obj_id for item in result.items], dtype=np.int64)
+    scores = np.asarray([item.score for item in result.items], dtype=np.float64)
+    return CollectionValue(
+        RANKING_TYPE,
+        {
+            "doc": BAT(docs),
+            "score": BAT(scores, tail_sorted_desc=True),
+        },
+    )
+
+
+def value_to_ranking(value: CollectionValue, n_requested: int | None = None,
+                     strategy: str = "algebra", safe: bool = True) -> TopNResult:
+    """Convert a ``LIST<TUPLE<doc, score>>`` value back to a result.
+
+    The value must be score-descending (i.e. still a ranking); raises
+    otherwise so silent mis-use is impossible.
+    """
+    if value.stype != RANKING_TYPE:
+        raise AlgebraTypeError(
+            f"expected {RANKING_TYPE}, got {value.stype}"
+        )
+    rows = list(value.iter_elements())
+    scores = [row["score"] for row in rows]
+    if any(a < b for a, b in zip(scores, scores[1:])):
+        raise AlgebraTypeError("value is not score-descending; not a ranking")
+    items = [RankedItem(int(row["doc"]), float(row["score"])) for row in rows]
+    return TopNResult(items, n_requested if n_requested is not None else len(items),
+                      strategy, safe)

@@ -1,0 +1,383 @@
+"""The MMDatabase facade: one object tying the whole system together.
+
+This is the integrated MM retrieval DBMS the paper's research aims at:
+text content (inverted index + ranking models + Zipf fragmentation),
+multimedia feature spaces (Fagin-family multi-source top-N), and
+alphanumeric attributes (STOP AFTER over attribute predicates) — all
+over one storage kernel with one cost accounting.
+
+Typical use::
+
+    collection = SyntheticCollection.generate(n_docs=2000, seed=7)
+    db = MMDatabase.from_collection(collection)
+    db.fragment()                      # enable Step-1 strategies
+    hits = db.search("zipf ranking", n=10, strategy="indexed")
+
+    db.add_feature_space(color_histograms(len(collection), seed=1))
+    hits = db.feature_search({"color": query_vector}, n=10, algorithm="ta")
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import ReproError, TopNError, WorkloadError
+from ..fragmentation import FragmentedExecutor, QualityCheck, Strategy, fragment_by_volume
+from ..ir.analysis import Analyzer, DEFAULT_ANALYZER
+from ..ir.documents import Collection
+from ..ir.invindex import InvertedIndex
+from ..ir.ranking import make_model
+from ..mm.features import FeatureSpace
+from ..mm.sources import ArraySource, PostingsSource, feature_source
+from ..storage.bat import BAT
+from ..storage.stats import CostCounter
+from ..topn import (
+    SUM,
+    combined_topn,
+    conjunctive_topn,
+    fagin_topn,
+    naive_topn,
+    nra_topn,
+    stop_after_filter,
+    threshold_topn,
+)
+from ..topn.result import TopNResult
+from .config import DatabaseConfig
+from .session import SearchResult
+
+_ALGORITHMS = {
+    "fa": fagin_topn,
+    "ta": threshold_topn,
+    "nra": nra_topn,
+    "ca": combined_topn,
+}
+
+
+class MMDatabase:
+    """An in-process multimedia retrieval database."""
+
+    def __init__(self, collection: Collection, index: InvertedIndex,
+                 config: DatabaseConfig | None = None) -> None:
+        self.collection = collection
+        self.index = index
+        self.config = config or DatabaseConfig()
+        self.config.validate()
+        self.model = make_model(self.config.model, **self.config.model_params)
+        self.fragmented = None
+        self._executor: FragmentedExecutor | None = None
+        self.feature_spaces: dict[str, FeatureSpace] = {}
+        self.attributes: dict[str, BAT] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_collection(cls, collection: Collection,
+                        config: DatabaseConfig | None = None) -> "MMDatabase":
+        """Build a database (index included) from a collection."""
+        return cls(collection, InvertedIndex.build(collection), config)
+
+    @classmethod
+    def from_texts(cls, texts: list[str], analyzer: Analyzer | None = None,
+                   config: DatabaseConfig | None = None) -> "MMDatabase":
+        """Build a database from raw text documents."""
+        index, collection = InvertedIndex.from_texts(texts, analyzer or DEFAULT_ANALYZER)
+        return cls(collection, index, config)
+
+    # -- content registration ---------------------------------------------------
+
+    def fragment(self, volume_cut: float | None = None) -> None:
+        """Fragment the inverted file (paper Step 1); enables the
+        ``unsafe-small`` / ``safe-switch`` / ``indexed`` strategies."""
+        cut = volume_cut if volume_cut is not None else self.config.fragment_volume_cut
+        self.fragmented = fragment_by_volume(self.index, volume_cut=cut)
+        self._executor = FragmentedExecutor(
+            self.fragmented, self.model,
+            QualityCheck(sensitivity=self.config.switch_sensitivity),
+        )
+
+    def add_feature_space(self, space: FeatureSpace, name: str | None = None) -> None:
+        """Register a multimedia feature space over the documents."""
+        if space.n_objects != self.collection.n_docs:
+            raise WorkloadError(
+                f"feature space covers {space.n_objects} objects, "
+                f"collection has {self.collection.n_docs}"
+            )
+        self.feature_spaces[name or space.name] = space
+
+    def set_attribute(self, name: str, values) -> None:
+        """Register an alphanumeric attribute column over documents."""
+        values = np.asarray(values)
+        if len(values) != self.collection.n_docs:
+            raise WorkloadError(
+                f"attribute {name!r} has {len(values)} values for "
+                f"{self.collection.n_docs} documents"
+            )
+        self.attributes[name] = BAT(values, name=f"attr_{name}", persistent=True)
+
+    # -- text search ----------------------------------------------------------
+
+    def _terms_to_tids(self, query) -> list[int]:
+        if isinstance(query, str):
+            terms = query.split()
+        else:
+            terms = list(query)
+        tids = []
+        for term in terms:
+            if isinstance(term, (int, np.integer)):
+                tids.append(int(term))
+            elif term in self.index.vocabulary:
+                tids.append(self.index.vocabulary.term_id(term))
+        return tids
+
+    def _resolve_strategy(self, strategy) -> Strategy | None:
+        """None means plain naive evaluation on the full index."""
+        if isinstance(strategy, Strategy):
+            return strategy
+        name = strategy or self.config.default_strategy
+        if name == "auto":
+            if self._executor is None:
+                return None
+            return Strategy.INDEXED
+        if name in ("naive", "unfragmented"):
+            return Strategy.UNFRAGMENTED if self._executor else None
+        for member in Strategy:
+            if member.value == name:
+                return member
+        raise ReproError(f"unknown search strategy {name!r}")
+
+    def search(self, query, n: int = 10, strategy=None,
+               attr_filter: tuple[str, object, object] | None = None,
+               mode: str = "any") -> SearchResult:
+        """Top-``n`` text search.
+
+        ``query`` is a string (whitespace-split; unknown terms are
+        ignored) or a list of term strings / term ids.  ``attr_filter``
+        = ``(attribute, lo, hi)`` restricts results to documents whose
+        attribute lies in the range, executed with the STOP AFTER
+        machinery over the score stream.  ``mode="all"`` requires every
+        query term (Boolean AND + ranking; naive evaluation only).
+        """
+        if mode not in ("any", "all"):
+            raise ReproError(f"unknown query mode {mode!r}; have any/all")
+        tids = self._terms_to_tids(query)
+        resolved = self._resolve_strategy(strategy)
+        started = time.perf_counter()
+        with CostCounter.activate() as cost:
+            if mode == "all":
+                result = conjunctive_topn(self.index, tids, self.model, n)
+            elif attr_filter is not None:
+                result = self._search_with_attr_filter(tids, n, resolved, attr_filter)
+            elif resolved is None:
+                result = naive_topn(self.index, tids, self.model, n)
+            else:
+                if self._executor is None:
+                    raise ReproError("database is not fragmented; call fragment() "
+                                     "or use strategy='naive'")
+                result = self._executor.query(tids, n, resolved)
+        elapsed = time.perf_counter() - started
+        return SearchResult(result, tids, cost, elapsed, self.collection)
+
+    def _search_with_attr_filter(self, tids, n, resolved, attr_filter) -> TopNResult:
+        name, lo, hi = attr_filter
+        if name not in self.attributes:
+            raise WorkloadError(f"unknown attribute {name!r}; have {sorted(self.attributes)}")
+        # score the candidates, then apply the Carey-Kossmann
+        # stop/filter plan over the (score, attribute) pair
+        from ..ir.ranking import score_all
+        from ..storage import kernel
+        from ..topn.result import RankedItem
+
+        scores_sparse = score_all(self.index, tids, self.model)
+        candidates = scores_sparse.head_array()
+        attr_values = kernel.fetch_values(self.attributes[name], candidates)
+        result = stop_after_filter(
+            BAT(scores_sparse.tail), BAT(attr_values), n, lo, hi, policy="aggressive"
+        )
+        # map candidate positions back to document ids
+        items = [RankedItem(int(candidates[item.obj_id]), item.score)
+                 for item in result.items]
+        return TopNResult(items, n, result.strategy, result.safe, result.stats)
+
+    # -- multimedia search ---------------------------------------------------------
+
+    def feature_search(self, queries: dict[str, np.ndarray], n: int = 10,
+                       algorithm: str = "ta", agg=SUM,
+                       measure: str = "l2") -> SearchResult:
+        """Multi-feature top-``n``: one graded source per feature query,
+        combined with a Fagin-family algorithm."""
+        if algorithm not in _ALGORITHMS:
+            raise TopNError(f"unknown algorithm {algorithm!r}; have {sorted(_ALGORITHMS)}")
+        sources = []
+        for name, vector in queries.items():
+            if name not in self.feature_spaces:
+                raise WorkloadError(f"unknown feature space {name!r}; "
+                                    f"have {sorted(self.feature_spaces)}")
+            sources.append(feature_source(self.feature_spaces[name], vector, measure))
+        started = time.perf_counter()
+        with CostCounter.activate() as cost:
+            result = _ALGORITHMS[algorithm](sources, n, agg)
+        elapsed = time.perf_counter() - started
+        return SearchResult(result, [], cost, elapsed, self.collection)
+
+    def combined_search(self, text_query, feature_queries: dict[str, np.ndarray],
+                        n: int = 10, algorithm: str = "ta", agg=SUM,
+                        measure: str = "l2") -> SearchResult:
+        """Integrated content query: text terms and feature similarity
+        as one multi-source top-N (the paper's target scenario —
+        "integrated top N queries on several content and alpha
+        numerical types")."""
+        if algorithm not in _ALGORITHMS:
+            raise TopNError(f"unknown algorithm {algorithm!r}; have {sorted(_ALGORITHMS)}")
+        sources = []
+        tids = self._terms_to_tids(text_query)
+        for tid in tids:
+            sources.append(PostingsSource(self.index, tid, self.model))
+        for name, vector in feature_queries.items():
+            if name not in self.feature_spaces:
+                raise WorkloadError(f"unknown feature space {name!r}")
+            space = self.feature_spaces[name]
+            # scale text-partial magnitudes and similarities comparably
+            raw = feature_source(space, vector, measure)
+            sources.append(raw)
+        if not sources:
+            raise TopNError("combined_search needs at least one source")
+        started = time.perf_counter()
+        with CostCounter.activate() as cost:
+            result = _ALGORITHMS[algorithm](sources, n, agg)
+        elapsed = time.perf_counter() - started
+        return SearchResult(result, tids, cost, elapsed, self.collection)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, directory) -> None:
+        """Persist the database (index, vocabulary, attributes, feature
+        spaces, config) under ``directory``.
+
+        Document *content* is not stored — like any IR system, the
+        inverted index plus vocabulary is the searchable database; a
+        loaded database answers queries identically but cannot re-render
+        document text.
+        """
+        import json
+        from pathlib import Path
+
+        from ..storage.catalog import Catalog
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        catalog = Catalog()
+        catalog.register("postings_terms", self.index.postings_terms)
+        catalog.register("postings_docs", self.index.postings_docs)
+        catalog.register("postings_tf", self.index.postings_tf)
+        catalog.register("doc_lengths", self.index.doc_lengths)
+        for name, bat in self.attributes.items():
+            catalog.register(f"attr_{name}", bat)
+        catalog.save(directory / "bats")
+        np.save(directory / "offsets.npy", self.index.offsets)
+        np.savez(
+            directory / "vocabulary.npz",
+            df=self.index.vocabulary.df_array(),
+            cf=self.index.vocabulary.cf_array(),
+        )
+        with open(directory / "terms.txt", "w") as fh:
+            fh.write("\n".join(self.index.vocabulary.terms()))
+        for name, space in self.feature_spaces.items():
+            np.savez(directory / f"feature_{name}.npz", vectors=space.vectors,
+                     cluster_of=(space.cluster_of
+                                 if space.cluster_of is not None else np.empty(0)))
+        manifest = {
+            "n_docs": self.collection.n_docs,
+            "name": self.collection.name,
+            "model": self.config.model,
+            "model_params": self.config.model_params,
+            "fragment_volume_cut": self.config.fragment_volume_cut,
+            "switch_sensitivity": self.config.switch_sensitivity,
+            "default_strategy": self.config.default_strategy,
+            "attributes": sorted(self.attributes),
+            "feature_spaces": sorted(self.feature_spaces),
+            "fragmented": self.fragmented is not None,
+        }
+        with open(directory / "database.json", "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, directory) -> "MMDatabase":
+        """Load a database saved with :meth:`save`.
+
+        The loaded database answers queries identically (same index,
+        vocabulary, model, attributes, feature spaces); fragmentation
+        is re-derived when the saved database was fragmented.
+        """
+        import json
+        from pathlib import Path
+
+        from ..ir.documents import Collection, Document
+        from ..ir.vocabulary import Vocabulary
+        from ..storage.catalog import Catalog
+
+        directory = Path(directory)
+        with open(directory / "database.json") as fh:
+            manifest = json.load(fh)
+        catalog = Catalog.load(directory / "bats")
+        with open(directory / "terms.txt") as fh:
+            term_strings = fh.read().split("\n") if fh else []
+        vocab_arrays = np.load(directory / "vocabulary.npz")
+        vocabulary = Vocabulary()
+        vocabulary._id_to_term = term_strings
+        vocabulary._term_to_id = {t: i for i, t in enumerate(term_strings)}
+        vocabulary._df = vocab_arrays["df"].tolist()
+        vocabulary._cf = vocab_arrays["cf"].tolist()
+        offsets = np.load(directory / "offsets.npy")
+        index = InvertedIndex(
+            catalog.get("postings_terms"),
+            catalog.get("postings_docs"),
+            catalog.get("postings_tf"),
+            offsets,
+            catalog.get("doc_lengths"),
+            vocabulary,
+        )
+        # placeholder documents: content is not persisted (see save)
+        documents = [Document(i, np.empty(0, dtype=np.int64))
+                     for i in range(manifest["n_docs"])]
+        collection = Collection(documents, term_strings, name=manifest["name"])
+        config = DatabaseConfig(
+            model=manifest["model"],
+            model_params=manifest["model_params"],
+            fragment_volume_cut=manifest["fragment_volume_cut"],
+            switch_sensitivity=manifest["switch_sensitivity"],
+            default_strategy=manifest["default_strategy"],
+        )
+        db = cls(collection, index, config)
+        for name in manifest["attributes"]:
+            db.attributes[name] = catalog.get(f"attr_{name}")
+        for name in manifest["feature_spaces"]:
+            arrays = np.load(directory / f"feature_{name}.npz")
+            cluster_of = arrays["cluster_of"]
+            db.feature_spaces[name] = FeatureSpace(
+                name, arrays["vectors"],
+                cluster_of if len(cluster_of) else None,
+            )
+        if manifest["fragmented"]:
+            db.fragment()
+        return db
+
+    # -- introspection ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Sizing statistics of the database."""
+        out = {
+            "n_docs": self.collection.n_docs,
+            "n_terms": self.index.n_terms,
+            "total_postings": self.index.total_postings(),
+            "avg_doc_length": self.index.avg_dl,
+            "model": self.model.name,
+            "feature_spaces": sorted(self.feature_spaces),
+            "attributes": sorted(self.attributes),
+            "fragmented": self.fragmented is not None,
+        }
+        if self.fragmented is not None:
+            out["small_volume_share"] = self.fragmented.small_volume_share()
+            out["small_vocabulary_share"] = self.fragmented.small_vocabulary_share()
+        return out

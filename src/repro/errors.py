@@ -1,0 +1,94 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems raise the most specific
+subclass that applies; the hierarchy mirrors the package layout
+(storage, algebra, optimizer, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the binary-table storage kernel."""
+
+
+class BATTypeError(StorageError):
+    """An operation received a BAT whose column type it cannot handle."""
+
+
+class BATShapeError(StorageError):
+    """Head and tail columns of a BAT disagree in length, or an
+    operation received BATs of incompatible cardinalities."""
+
+
+class CatalogError(StorageError):
+    """A named BAT was not found in, or conflicts with, the catalog."""
+
+
+class BufferError_(StorageError):
+    """The simulated buffer manager was configured or used incorrectly."""
+
+
+class IndexError_(StorageError):
+    """A (non-)dense index was built over or probed with invalid data."""
+
+
+class AlgebraError(ReproError):
+    """Base class for errors raised by the structured object algebra."""
+
+
+class AlgebraTypeError(AlgebraError):
+    """A structure expression is ill-typed (e.g. ``select`` applied to
+    an ATOMIC value, or operator arity mismatch)."""
+
+
+class UnknownOperatorError(AlgebraError):
+    """An expression refers to an operator no extension provides."""
+
+
+class UnknownExtensionError(AlgebraError):
+    """An expression refers to a structure/extension that has not been
+    registered with the extension registry."""
+
+
+class ParseError(AlgebraError):
+    """The textual algebra parser could not parse its input."""
+
+
+class EvaluationError(AlgebraError):
+    """A well-formed expression failed during physical evaluation."""
+
+
+class OptimizerError(ReproError):
+    """Base class for errors raised by the optimizer layers."""
+
+
+class RewriteError(OptimizerError):
+    """A rewrite rule produced an invalid or ill-typed expression."""
+
+
+class CostModelError(OptimizerError):
+    """The cost model was asked to cost an unknown operator shape."""
+
+
+class TopNError(ReproError):
+    """Base class for errors raised by top-N operator implementations."""
+
+
+class SourceExhaustedError(TopNError):
+    """A sorted/random access source was read past its end where the
+    algorithm required more input."""
+
+
+class WorkloadError(ReproError):
+    """A workload/collection generator received invalid parameters."""
+
+
+class QualityError(ReproError):
+    """A retrieval-quality metric received inconsistent rankings or
+    relevance judgments."""

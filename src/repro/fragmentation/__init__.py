@@ -1,0 +1,21 @@
+"""Step 1 of the paper: Zipf-based horizontal fragmentation of the
+inverted file, with unsafe, safe-switching and non-dense-indexed
+execution strategies."""
+
+from .executor import FragmentedExecutor, Strategy
+from .fragmenter import FragmentedIndex, HeapFragment, fragment_by_volume
+from .profiling import ProfiledFragments, profile_hits, profiled_topn
+from .quality_check import QualityCheck, SwitchDecision
+
+__all__ = [
+    "FragmentedExecutor",
+    "FragmentedIndex",
+    "HeapFragment",
+    "ProfiledFragments",
+    "QualityCheck",
+    "Strategy",
+    "SwitchDecision",
+    "fragment_by_volume",
+    "profile_hits",
+    "profiled_topn",
+]

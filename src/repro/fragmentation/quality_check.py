@@ -1,0 +1,77 @@
+"""The early quality check that drives the safe switching strategy.
+
+The paper: *"I inserted a check early in the query plan that is able
+to detect when the answer quality would be better when the other
+fragment would be used.  This allows query processing to switch
+accordingly in time."*
+
+The check is upper-bound administration applied across fragments: the
+score mass a query could still gain from its large-fragment terms is
+bounded by the sum of those terms' per-posting upper bounds.  If that
+potential exceeds a fraction of the provisional N-th score obtained
+from the small fragment alone, the large fragment can still change the
+top N and the plan must switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.invindex import InvertedIndex
+from ..ir.ranking import ScoringModel
+
+
+@dataclass(frozen=True)
+class SwitchDecision:
+    """Outcome of the quality check, with its evidence."""
+
+    switch: bool
+    missing_mass: float
+    nth_score: float
+    threshold: float
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.switch
+
+
+class QualityCheck:
+    """Decides whether small-fragment-only processing is good enough.
+
+    ``sensitivity`` scales how aggressively the check switches: the
+    check switches when ``missing_mass > sensitivity * nth_score``.
+    Low sensitivity (< 1) switches often (conservative about quality);
+    high sensitivity tolerates more potential error (faster).
+    """
+
+    def __init__(self, sensitivity: float = 0.35) -> None:
+        self.sensitivity = sensitivity
+
+    def decide(
+        self,
+        index: InvertedIndex,
+        model: ScoringModel,
+        large_tids: list[int],
+        nth_score: float,
+        found: int,
+        n: int,
+    ) -> SwitchDecision:
+        """Evaluate the check after the small fragment was processed.
+
+        Parameters
+        ----------
+        large_tids:
+            The query terms living in the large fragment (skipped so far).
+        nth_score:
+            The provisional N-th best score from the small fragment.
+        found:
+            How many candidates the small fragment produced.
+        """
+        missing_mass = sum(
+            model.upper_bound(index, index.term_stats(tid)) for tid in large_tids
+        )
+        if found < n:
+            # not even N candidates: quality is definitely at risk
+            return SwitchDecision(bool(large_tids), missing_mass, nth_score,
+                                  threshold=0.0)
+        threshold = self.sensitivity * max(nth_score, 1e-12)
+        return SwitchDecision(missing_mass > threshold, missing_mass, nth_score, threshold)

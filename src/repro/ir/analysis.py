@@ -1,0 +1,84 @@
+"""Text analysis: tokenization, stopping, stemming.
+
+A deliberately classic early-2000s IR pipeline, matching what the
+mirror/INQUERY-era systems the paper builds on would have used: regex
+word tokenizer, lowercase, a small English stopword list, and a light
+suffix-stripping stemmer (a reduced Porter step 1).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+#: compact English stopword list (the SMART top tier)
+STOPWORDS = frozenset(
+    """
+    a about above after again all also am an and any are as at be because
+    been before being below between both but by can did do does doing down
+    during each few for from further had has have having he her here hers
+    him his how i if in into is it its itself just me more most my no nor
+    not now of off on once only or other our ours out over own same she
+    should so some such than that the their theirs them then there these
+    they this those through to too under until up very was we were what
+    when where which while who whom why will with you your yours
+    """.split()
+)
+
+#: suffixes stripped by the light stemmer, longest first
+_SUFFIXES = ("ations", "ation", "ingly", "iness", "ments", "ness", "ings", "ing", "ies", "ment", "edly", "ed", "es", "ly", "s")
+_MIN_STEM = 3
+
+
+def tokenize(text: str) -> Iterator[str]:
+    """Lowercase word tokens of ``text`` (letters and digits)."""
+    for match in _WORD_RE.finditer(text.lower()):
+        yield match.group()
+
+
+def stem(token: str) -> str:
+    """Light suffix-stripping stem of ``token``.
+
+    Strips the longest matching suffix that leaves at least
+    ``_MIN_STEM`` characters; ``ies`` restores the ``y``
+    (``queries`` → ``query``).
+    """
+    for suffix in _SUFFIXES:
+        if token.endswith(suffix) and len(token) - len(suffix) >= _MIN_STEM:
+            base = token[: -len(suffix)]
+            if suffix == "ies":
+                return base + "y"
+            return base
+    return token
+
+
+class Analyzer:
+    """Configurable analysis pipeline: tokenize → stop → stem."""
+
+    def __init__(self, use_stopwords: bool = True, use_stemming: bool = True,
+                 extra_stopwords: Iterable[str] = ()) -> None:
+        self.use_stopwords = use_stopwords
+        self.use_stemming = use_stemming
+        self.stopwords = STOPWORDS | frozenset(extra_stopwords)
+
+    def analyze(self, text: str) -> list[str]:
+        """Index terms of ``text`` after the full pipeline."""
+        terms = []
+        for token in tokenize(text):
+            if self.use_stopwords and token in self.stopwords:
+                continue
+            if self.use_stemming:
+                token = stem(token)
+            terms.append(token)
+        return terms
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Analyzer(stopwords={self.use_stopwords}, stemming={self.use_stemming})"
+        )
+
+
+#: a default analyzer instance for convenience
+DEFAULT_ANALYZER = Analyzer()

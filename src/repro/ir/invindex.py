@@ -1,0 +1,217 @@
+"""The inverted index, flattened onto BATs.
+
+Layout is CSR-style, exactly how a Moa/MonetDB IR schema would store
+it: three aligned, persistent BATs sorted by term id —
+
+* ``postings_terms``  ``[pos -> term_id]`` (ascending),
+* ``postings_docs``   ``[pos -> doc_id]``,
+* ``postings_tf``     ``[pos -> tf]``,
+
+plus an in-memory offsets array ``offsets[tid] .. offsets[tid+1]``
+delimiting each term's posting range, and a ``doc_lengths`` BAT.
+Reading a term's postings charges a scan of exactly that range on the
+simulated buffer manager, so "how much of the inverted file a strategy
+touches" is measured the way the paper argues about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..storage import kernel
+from ..storage.bat import BAT
+from .analysis import Analyzer, DEFAULT_ANALYZER
+from .documents import Collection, Document
+from .vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class TermStats:
+    """Per-term statistics published to ranking models and optimizers."""
+
+    term_id: int
+    df: int
+    cf: int
+    max_tf: int
+    max_tf_over_dl: float
+
+
+class InvertedIndex:
+    """CSR inverted index over persistent BATs."""
+
+    def __init__(
+        self,
+        postings_terms: BAT,
+        postings_docs: BAT,
+        postings_tf: BAT,
+        offsets: np.ndarray,
+        doc_lengths: BAT,
+        vocabulary: Vocabulary,
+        stats_from: "InvertedIndex | None" = None,
+    ) -> None:
+        self.postings_terms = postings_terms
+        self.postings_docs = postings_docs
+        self.postings_tf = postings_tf
+        self.offsets = offsets
+        self.doc_lengths = doc_lengths
+        self.vocabulary = vocabulary
+        self.n_docs = len(doc_lengths)
+        self.n_terms = len(offsets) - 1
+        self._dl = doc_lengths.tail.astype(np.float64)
+        if stats_from is not None:
+            # fragments share the full index's global statistics so that
+            # ranking-model scores are identical across fragmentations
+            self.avg_dl = stats_from.avg_dl
+            self.total_cf = stats_from.total_cf
+        else:
+            self.avg_dl = float(self._dl.mean()) if self.n_docs else 0.0
+            self.total_cf = int(postings_tf.tail.sum()) if len(postings_tf) else 0
+        # per-term maxima, for upper-bound administration
+        self._max_tf = np.zeros(self.n_terms, dtype=np.int64)
+        self._max_tf_over_dl = np.zeros(self.n_terms, dtype=np.float64)
+        tf = postings_tf.tail
+        docs = postings_docs.tail
+        for tid in range(self.n_terms):
+            start, stop = offsets[tid], offsets[tid + 1]
+            if stop > start:
+                seg_tf = tf[start:stop]
+                self._max_tf[tid] = int(seg_tf.max())
+                self._max_tf_over_dl[tid] = float(
+                    (seg_tf / self._dl[docs[start:stop]]).max()
+                )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, collection: Collection, vocabulary: Vocabulary | None = None) -> "InvertedIndex":
+        """Build the index from a collection of term-id documents."""
+        if vocabulary is None:
+            vocabulary = Vocabulary.from_token_id_docs(
+                (doc.token_ids for doc in collection.documents), collection.term_strings
+            )
+        n_terms = len(vocabulary)
+        term_chunks, doc_chunks, tf_chunks = [], [], []
+        for doc in collection.documents:
+            unique, counts = np.unique(doc.token_ids, return_counts=True)
+            term_chunks.append(unique.astype(np.int64))
+            doc_chunks.append(np.full(len(unique), doc.doc_id, dtype=np.int64))
+            tf_chunks.append(counts.astype(np.int64))
+        if term_chunks:
+            terms = np.concatenate(term_chunks)
+            docs = np.concatenate(doc_chunks)
+            tfs = np.concatenate(tf_chunks)
+        else:
+            terms = docs = tfs = np.empty(0, dtype=np.int64)
+        order = np.argsort(terms, kind="stable")  # doc order preserved per term
+        terms, docs, tfs = terms[order], docs[order], tfs[order]
+        offsets = np.searchsorted(terms, np.arange(n_terms + 1))
+        doc_lengths = BAT(
+            np.asarray([doc.length for doc in collection.documents], dtype=np.int64),
+            name="doc_lengths",
+            persistent=True,
+        )
+        return cls(
+            BAT(terms, name="postings_terms", tail_sorted=True, persistent=True),
+            BAT(docs, name="postings_docs", persistent=True),
+            BAT(tfs, name="postings_tf", persistent=True),
+            offsets,
+            doc_lengths,
+            vocabulary,
+        )
+
+    @classmethod
+    def from_postings(
+        cls,
+        terms: np.ndarray,
+        docs: np.ndarray,
+        tfs: np.ndarray,
+        n_terms: int,
+        doc_lengths: BAT,
+        vocabulary: Vocabulary,
+        stats_from: "InvertedIndex | None" = None,
+        name: str = "fragment",
+    ) -> "InvertedIndex":
+        """Build an index over raw posting triples (must be sorted by
+        term id).  Used by the fragmentation layer, which carves one
+        full index into term-disjoint physical fragments that share the
+        global vocabulary and collection statistics."""
+        if len(terms) > 1 and not np.all(terms[:-1] <= terms[1:]):
+            raise WorkloadError("from_postings requires term-sorted triples")
+        offsets = np.searchsorted(terms, np.arange(n_terms + 1))
+        return cls(
+            BAT(terms, name=f"{name}_terms", tail_sorted=True, persistent=True),
+            BAT(docs, name=f"{name}_docs", persistent=True),
+            BAT(tfs, name=f"{name}_tf", persistent=True),
+            offsets,
+            doc_lengths,
+            vocabulary,
+            stats_from=stats_from,
+        )
+
+    @classmethod
+    def from_texts(cls, texts: list[str], analyzer: Analyzer | None = None,
+                   name: str = "texts") -> tuple["InvertedIndex", Collection]:
+        """Analyze raw text documents and build an index over them."""
+        analyzer = analyzer or DEFAULT_ANALYZER
+        vocabulary = Vocabulary()
+        documents = []
+        for doc_id, text in enumerate(texts):
+            token_ids = vocabulary.add_document_terms(analyzer.analyze(text))
+            documents.append(Document(doc_id, np.asarray(token_ids, dtype=np.int64)))
+        collection = Collection(documents, vocabulary.terms(), name=name)
+        return cls.build(collection, vocabulary), collection
+
+    # -- access ---------------------------------------------------------------
+
+    def posting_length(self, tid: int) -> int:
+        """Length of a term's posting list (metadata; no I/O)."""
+        self._check_tid(tid)
+        return int(self.offsets[tid + 1] - self.offsets[tid])
+
+    def postings(self, tid: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(doc_ids, tfs)`` for a term, charging the scan of exactly
+        that posting range on both posting columns."""
+        self._check_tid(tid)
+        start, stop = int(self.offsets[tid]), int(self.offsets[tid + 1])
+        n = stop - start
+        kernel.scan_cost(self.postings_docs, n, start=start)
+        kernel.scan_cost(self.postings_tf, n, start=start)
+        return self.postings_docs.tail[start:stop], self.postings_tf.tail[start:stop]
+
+    def doc_length(self, doc_ids: np.ndarray) -> np.ndarray:
+        """Lengths of the given documents (random probe charge)."""
+        return kernel.fetch_values(self.doc_lengths, doc_ids).astype(np.float64)
+
+    def doc_lengths_array(self) -> np.ndarray:
+        """All document lengths (cached metadata; used by models that
+        pre-normalize — charged once at build)."""
+        return self._dl
+
+    def term_stats(self, tid: int) -> TermStats:
+        self._check_tid(tid)
+        return TermStats(
+            term_id=tid,
+            df=self.vocabulary.df(tid),
+            cf=self.vocabulary.cf(tid),
+            max_tf=int(self._max_tf[tid]),
+            max_tf_over_dl=float(self._max_tf_over_dl[tid]),
+        )
+
+    def candidate_documents(self, tids: list[int]) -> np.ndarray:
+        """Distinct documents containing at least one of the terms —
+        the candidate set whose size the paper's Section 1 discusses."""
+        parts = [self.postings(tid)[0] for tid in tids]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def total_postings(self) -> int:
+        """Total number of postings (the "unfragmented size")."""
+        return len(self.postings_docs)
+
+    def _check_tid(self, tid: int) -> None:
+        if not 0 <= tid < self.n_terms:
+            raise WorkloadError(f"term id {tid} outside index vocabulary (n={self.n_terms})")

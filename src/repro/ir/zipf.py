@@ -1,0 +1,98 @@
+"""Zipf analysis of term distributions.
+
+The paper's Step 1 rests on two empirical facts about text: term
+frequencies are Zipf distributed, and therefore "the least frequently
+occurring terms are the most interesting ones while the most frequently
+occurring/least interesting terms take up most of the storage/memory
+space".  This module quantifies both: a Zipf exponent fit, and the
+share of postings volume occupied by the most frequent terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ZipfFit:
+    """Least-squares fit of ``log cf = intercept - exponent * log rank``."""
+
+    exponent: float
+    intercept: float
+    r_squared: float
+    n_terms: int
+
+    def predicted_cf(self, rank: int) -> float:
+        """Model-predicted collection frequency at 1-based ``rank``."""
+        return float(np.exp(self.intercept - self.exponent * np.log(rank)))
+
+
+def fit_zipf(frequencies: np.ndarray, min_frequency: int = 1) -> ZipfFit:
+    """Fit a Zipf law to term frequencies (any order; zeros dropped).
+
+    Ranks terms by descending frequency and regresses log-frequency on
+    log-rank.  ``min_frequency`` drops the noisy low-frequency tail
+    (standard practice when estimating the exponent).
+    """
+    freqs = np.asarray(frequencies, dtype=np.float64)
+    freqs = np.sort(freqs[freqs >= max(min_frequency, 1)])[::-1]
+    if len(freqs) < 3:
+        raise WorkloadError("need at least 3 nonzero frequencies to fit a Zipf law")
+    log_rank = np.log(np.arange(1, len(freqs) + 1, dtype=np.float64))
+    log_freq = np.log(freqs)
+    slope, intercept = np.polyfit(log_rank, log_freq, 1)
+    predicted = intercept + slope * log_rank
+    total_var = float(((log_freq - log_freq.mean()) ** 2).sum())
+    residual = float(((log_freq - predicted) ** 2).sum())
+    r_squared = 1.0 - residual / total_var if total_var > 0 else 1.0
+    return ZipfFit(exponent=-float(slope), intercept=float(intercept),
+                   r_squared=r_squared, n_terms=len(freqs))
+
+
+def volume_share_of_top_terms(frequencies: np.ndarray, top_fraction: float) -> float:
+    """Fraction of total postings/occurrence volume contributed by the
+    ``top_fraction`` most frequent terms.
+
+    With a Zipf distribution a tiny fraction of the vocabulary carries
+    most of the volume — the quantitative core of the paper's
+    fragmentation argument.
+    """
+    if not 0.0 <= top_fraction <= 1.0:
+        raise WorkloadError(f"top_fraction must be in [0, 1], got {top_fraction}")
+    freqs = np.sort(np.asarray(frequencies, dtype=np.float64))[::-1]
+    total = freqs.sum()
+    if total <= 0:
+        return 0.0
+    k = int(round(top_fraction * len(freqs)))
+    return float(freqs[:k].sum() / total)
+
+
+def vocabulary_share_for_volume(frequencies: np.ndarray, volume_fraction: float) -> float:
+    """Smallest fraction of the (most frequent) vocabulary whose
+    combined volume reaches ``volume_fraction`` of the total.
+
+    E.g. a return value of 0.05 at ``volume_fraction=0.95`` means 5% of
+    terms carry 95% of the postings."""
+    if not 0.0 <= volume_fraction <= 1.0:
+        raise WorkloadError(f"volume_fraction must be in [0, 1], got {volume_fraction}")
+    freqs = np.sort(np.asarray(frequencies, dtype=np.float64))[::-1]
+    total = freqs.sum()
+    if total <= 0 or len(freqs) == 0:
+        return 0.0
+    cumulative = np.cumsum(freqs) / total
+    k = int(np.searchsorted(cumulative, volume_fraction) + 1)
+    return min(k / len(freqs), 1.0)
+
+
+def rank_frequency_table(frequencies: np.ndarray, n_points: int = 20) -> list[tuple[int, float]]:
+    """(rank, frequency) samples at log-spaced ranks, for plots/benches."""
+    freqs = np.sort(np.asarray(frequencies, dtype=np.float64))[::-1]
+    freqs = freqs[freqs > 0]
+    if len(freqs) == 0:
+        return []
+    ranks = np.unique(np.geomspace(1, len(freqs), num=min(n_points, len(freqs))).astype(int))
+    return [(int(rank), float(freqs[rank - 1])) for rank in ranks]

@@ -1,0 +1,40 @@
+"""Multimedia feature substrate: synthetic feature spaces, distance /
+similarity measures, and the graded-list score sources consumed by the
+Fagin-family algorithms."""
+
+from .distances import (
+    SIMILARITIES,
+    cosine_similarity,
+    distance_to_similarity,
+    histogram_intersection,
+    l1_distances,
+    l2_distances,
+    similarity_scores,
+)
+from .features import (
+    FeatureSpace,
+    color_histograms,
+    keyword_scores,
+    query_near_cluster,
+    texture_features,
+)
+from .sources import ArraySource, PostingsSource, ScoreSource, feature_source
+
+__all__ = [
+    "ArraySource",
+    "FeatureSpace",
+    "PostingsSource",
+    "SIMILARITIES",
+    "ScoreSource",
+    "color_histograms",
+    "cosine_similarity",
+    "distance_to_similarity",
+    "feature_source",
+    "histogram_intersection",
+    "keyword_scores",
+    "l1_distances",
+    "l2_distances",
+    "query_near_cluster",
+    "similarity_scores",
+    "texture_features",
+]

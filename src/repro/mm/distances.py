@@ -1,0 +1,71 @@
+"""Distance and similarity functions over feature vectors.
+
+Fagin's middleware algorithms need per-feature *grades* in a bounded
+range with larger-is-better semantics, so each distance comes with a
+similarity transform into ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+def l1_distances(vectors: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Manhattan distance of every row to the query."""
+    return np.abs(vectors - query).sum(axis=1)
+
+
+def l2_distances(vectors: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Euclidean distance of every row to the query."""
+    return np.sqrt(((vectors - query) ** 2).sum(axis=1))
+
+
+def histogram_intersection(vectors: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Histogram intersection similarity (already in [0, 1] for
+    normalized histograms): ``sum_i min(v_i, q_i)``."""
+    return np.minimum(vectors, query).sum(axis=1)
+
+
+def cosine_similarity(vectors: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Cosine similarity, clipped to [0, 1] for non-negative features."""
+    norms = np.linalg.norm(vectors, axis=1) * np.linalg.norm(query)
+    norms = np.where(norms == 0, 1.0, norms)
+    return np.clip(vectors @ query / norms, 0.0, 1.0)
+
+
+def distance_to_similarity(distances: np.ndarray, scale: float | None = None) -> np.ndarray:
+    """Map distances to similarities in (0, 1] via ``exp(-d / scale)``.
+
+    ``scale`` defaults to the mean distance (so similarities are well
+    spread regardless of the feature's natural scale)."""
+    distances = np.asarray(distances, dtype=np.float64)
+    if (distances < 0).any():
+        raise WorkloadError("distances must be non-negative")
+    if scale is None:
+        mean = float(distances.mean()) if len(distances) else 1.0
+        scale = mean if mean > 0 else 1.0
+    return np.exp(-distances / scale)
+
+
+#: named similarity functions: feature matrix + query -> scores in [0, 1]
+SIMILARITIES = {
+    "l1": lambda vectors, query: distance_to_similarity(l1_distances(vectors, query)),
+    "l2": lambda vectors, query: distance_to_similarity(l2_distances(vectors, query)),
+    "histogram": histogram_intersection,
+    "cosine": cosine_similarity,
+}
+
+
+def similarity_scores(vectors: np.ndarray, query: np.ndarray, measure: str = "l2") -> np.ndarray:
+    """Similarity of every object to ``query`` under a named measure."""
+    try:
+        func = SIMILARITIES[measure]
+    except KeyError:
+        raise WorkloadError(f"unknown similarity measure {measure!r}; have {sorted(SIMILARITIES)}") from None
+    if vectors.shape[1] != len(query):
+        raise WorkloadError(
+            f"query dimension {len(query)} != feature dimension {vectors.shape[1]}"
+        )
+    return func(vectors, np.asarray(query, dtype=np.float64))

@@ -1,0 +1,149 @@
+"""Score sources: the access model of Fagin's middleware algorithms.
+
+Fagin's FA/TA/NRA see each subsystem (a feature index, a text engine)
+as a *graded list* supporting
+
+* **sorted access** — next ``(object, grade)`` in descending grade
+  order, and
+* **random access** — the grade of a given object.
+
+Both access kinds are charged on the active cost counters
+(``sorted_accesses`` / ``random_accesses``), which is the cost measure
+Fagin's analysis — and experiment E6 — is stated in.
+
+:class:`ArraySource` wraps a precomputed score array (e.g. a feature
+similarity for one query).  :class:`PostingsSource` adapts one query
+term of an inverted index, bridging the IR substrate into the same
+middleware model (objects absent from the posting list grade 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SourceExhaustedError, TopNError
+from ..storage import stats
+from .distances import similarity_scores
+from .features import FeatureSpace
+
+
+class ScoreSource:
+    """Abstract graded list over objects ``0 .. n_objects - 1``."""
+
+    name = "source"
+
+    @property
+    def n_objects(self) -> int:
+        raise NotImplementedError
+
+    def sorted_access(self, rank: int) -> tuple[int, float]:
+        """The ``rank``-th best ``(object, grade)`` (0-based).  Charges
+        one sorted access."""
+        raise NotImplementedError
+
+    def random_access(self, obj_id: int) -> float:
+        """The grade of ``obj_id``.  Charges one random access."""
+        raise NotImplementedError
+
+    def exhausted(self, rank: int) -> bool:
+        """True when ``rank`` is past the end of the list."""
+        return rank >= self.n_objects
+
+
+class ArraySource(ScoreSource):
+    """A score source over a dense grade array (one grade per object)."""
+
+    def __init__(self, scores: np.ndarray, name: str = "array") -> None:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1:
+            raise TopNError(f"scores must be one-dimensional, got shape {scores.shape}")
+        if len(scores) and scores.min() < 0:
+            raise TopNError("grades must be non-negative (monotone aggregation contract)")
+        self.name = name
+        self._scores = scores
+        # descending grade order; ties broken by object id for determinism
+        self._order = np.lexsort((np.arange(len(scores)), -scores))
+
+    @property
+    def n_objects(self) -> int:
+        return len(self._scores)
+
+    def sorted_access(self, rank: int) -> tuple[int, float]:
+        if rank >= len(self._order):
+            raise SourceExhaustedError(
+                f"sorted access past end of source {self.name!r} (rank {rank})"
+            )
+        stats.charge_sorted_accesses(1)
+        obj = int(self._order[rank])
+        return obj, float(self._scores[obj])
+
+    def random_access(self, obj_id: int) -> float:
+        if not 0 <= obj_id < len(self._scores):
+            raise TopNError(f"object id {obj_id} outside source {self.name!r}")
+        stats.charge_random_accesses(1)
+        return float(self._scores[obj_id])
+
+    def bottom_grade(self, rank: int) -> float:
+        """Grade at ``rank`` without charging (used only by tests)."""
+        return float(self._scores[self._order[min(rank, len(self._order) - 1)]])
+
+
+def feature_source(space: FeatureSpace, query: np.ndarray, measure: str = "l2") -> ArraySource:
+    """Build a graded list from a feature space and a query vector."""
+    scores = similarity_scores(space.vectors, query, measure)
+    return ArraySource(scores, name=f"{space.name}:{measure}")
+
+
+class PostingsSource(ScoreSource):
+    """One query term of an inverted index as a graded list.
+
+    Grades are the ranking model's partial scores; objects without the
+    term grade 0.  Sorted access sorts the posting list by partial
+    score once, at first use (charged as comparisons + the posting
+    scan); random access binary-searches the doc-sorted postings.
+    """
+
+    def __init__(self, index, tid: int, model) -> None:
+        self.index = index
+        self.tid = tid
+        self.model = model
+        self.name = f"term:{tid}"
+        doc_ids, tfs = index.postings(tid)
+        self._doc_ids = doc_ids  # ascending doc id (for random access)
+        partials = (
+            model.partial_scores(index, tid, doc_ids, tfs)
+            if len(doc_ids)
+            else np.empty(0, dtype=np.float64)
+        )
+        self._partials = partials
+        order = np.lexsort((doc_ids, -partials))
+        stats.charge_comparisons(len(doc_ids) * max(int(np.log2(max(len(doc_ids), 2))), 1))
+        self._by_score_docs = doc_ids[order]
+        self._by_score_grades = partials[order]
+
+    @property
+    def n_objects(self) -> int:
+        return self.index.n_docs
+
+    @property
+    def posting_length(self) -> int:
+        return len(self._doc_ids)
+
+    def exhausted(self, rank: int) -> bool:
+        # after the posting list ends, every remaining object grades 0
+        return rank >= len(self._by_score_docs)
+
+    def sorted_access(self, rank: int) -> tuple[int, float]:
+        if rank >= len(self._by_score_docs):
+            raise SourceExhaustedError(
+                f"sorted access past posting list of {self.name!r} (rank {rank})"
+            )
+        stats.charge_sorted_accesses(1)
+        return int(self._by_score_docs[rank]), float(self._by_score_grades[rank])
+
+    def random_access(self, obj_id: int) -> float:
+        stats.charge_random_accesses(1)
+        pos = int(np.searchsorted(self._doc_ids, obj_id))
+        if pos < len(self._doc_ids) and self._doc_ids[pos] == obj_id:
+            return float(self._partials[pos])
+        return 0.0

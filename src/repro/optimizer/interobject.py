@@ -1,0 +1,199 @@
+"""The inter-object optimizer layer — the paper's novel contribution.
+
+Step 2 of the paper: *"The special kind of optimization that deals
+with two distinct extensions/structures, which I call inter-object
+optimization, has not been shown in literature before ... The new
+inter-object optimizer layer will be responsible for coordinating
+optimization between operators on distinct extensions."*
+
+The rules here never look inside an extension; they consume only the
+metadata extensions publish into the registry (``kind="conversion"``,
+``content_preserving``, ``dedups``, ``filter_commutes``,
+``target_extension``).  A third-party extension that registers a
+conversion with the same metadata benefits from all of these rules for
+free — which is exactly the extensibility argument the paper makes.
+
+The flagship rule, :class:`PushSelectThroughConversion`, performs the
+paper's Example 1 rewrite::
+
+    select(projecttobag([1,2,3,4,4,5]), 2, 4)
+      =>  projecttobag(select([1,2,3,4,4,5], 2, 4))
+
+after which the LIST extension's order-awareness (binary-search select
+on a sorted list) makes the inner select cheap, and the conversion
+processes only the selected elements.
+"""
+
+from __future__ import annotations
+
+from ..algebra.expr import Apply, Expr, ScalarLiteral
+from .logical import make_select, split_select, _split_sort
+from .rules import RewriteRule, RuleContext
+
+
+def _conversion_def(expr: Expr, context: RuleContext):
+    """The OperatorDef of ``expr`` if it is a conversion Apply node."""
+    if not isinstance(expr, Apply):
+        return None
+    try:
+        opdef = context.opdef_of(expr)
+    except Exception:
+        return None
+    if opdef.kind != "conversion":
+        return None
+    return opdef
+
+
+class PushSelectThroughConversion(RewriteRule):
+    """``select(convert(x), lo, hi)`` → ``convert(select(x, lo, hi))``
+    for conversions whose metadata says filters commute."""
+
+    name = "push-select-through-conversion"
+    layer = "inter-object"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        decomposed = split_select(expr, context)
+        if decomposed is None:
+            return None
+        child, field, lo, hi = decomposed
+        opdef = _conversion_def(child, context)
+        if opdef is None or not opdef.properties.get("filter_commutes"):
+            return None
+        inner_child = child.args[0]
+        pushed = make_select(inner_child, field, lo, hi)
+        return Apply(child.op, pushed)
+
+
+class PushTopNThroughConversion(RewriteRule):
+    """``topn(convert(x), n)`` → ``topn(x, n)`` for *content preserving*
+    conversions (top-N only depends on the element multiset, and both
+    sides produce a LIST)."""
+
+    name = "push-topn-through-conversion"
+    layer = "inter-object"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        if expr.op != "topn":
+            return None
+        values, scalars = expr.split_args(context.env_types, context.registry)
+        if len(values) != 1:
+            return None
+        opdef = _conversion_def(values[0], context)
+        if opdef is None or not opdef.properties.get("content_preserving"):
+            return None
+        inner_child = values[0].args[0]
+        return Apply("topn", inner_child, *scalars)
+
+
+class PushSortThroughConversion(RewriteRule):
+    """``sort(convert(x), ...)`` → ``sort(x, ...)`` for content
+    preserving conversions (both sides produce a LIST over the same
+    multiset; physical tie-breaking is positional and the conversion is
+    physically the identity)."""
+
+    name = "push-sort-through-conversion"
+    layer = "inter-object"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        if expr.op != "sort":
+            return None
+        values, scalars = expr.split_args(context.env_types, context.registry)
+        if len(values) != 1:
+            return None
+        opdef = _conversion_def(values[0], context)
+        if opdef is None or not opdef.properties.get("content_preserving"):
+            return None
+        return Apply("sort", values[0].args[0], *scalars)
+
+
+class AggregateThroughConversion(RewriteRule):
+    """Aggregates skip conversions when the conversion's metadata
+    guarantees the aggregate is unchanged: all aggregates for content
+    preserving conversions; ``max``/``min`` also for deduplicating
+    ones (duplicates never change extrema)."""
+
+    name = "aggregate-through-conversion"
+    layer = "inter-object"
+
+    _ALL = ("count", "sum", "avg", "max", "min")
+    _DEDUP_SAFE = ("max", "min")
+
+    def apply(self, expr: Apply, context: RuleContext):
+        if expr.op not in self._ALL:
+            return None
+        values, scalars = expr.split_args(context.env_types, context.registry)
+        if len(values) != 1:
+            return None
+        opdef = _conversion_def(values[0], context)
+        if opdef is None:
+            return None
+        props = opdef.properties
+        allowed = (
+            props.get("content_preserving")
+            or (props.get("dedups") and expr.op in self._DEDUP_SAFE)
+        )
+        if not allowed:
+            return None
+        return Apply(expr.op, values[0].args[0], *scalars)
+
+
+class SliceOfSortIsTopN(RewriteRule):
+    """``slice(sort(x, dir), 0, n)`` → ``topn(x, n, dir)`` — the paper's
+    "special top N operators, which can be seen as special select
+    operators": a prefix of a full sort is a top-N and should be
+    executed as one.  Works across extensions (x may be a BAG whose
+    sort produced the LIST being sliced)."""
+
+    name = "slice-of-sort-is-topn"
+    layer = "inter-object"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        if expr.op != "slice":
+            return None
+        values, scalars = expr.split_args(context.env_types, context.registry)
+        if len(values) != 1 or not isinstance(values[0], Apply):
+            return None
+        if not all(isinstance(s, ScalarLiteral) for s in scalars):
+            return None
+        offset, count = [s.value for s in scalars]
+        if offset != 0:
+            return None
+        sort_parts = _split_sort(values[0], context)
+        if sort_parts is None:
+            return None
+        child, field, descending = sort_parts
+        args = [child] if field is None else [child, field]
+        return Apply("topn", *args, count, 1 if descending else 0)
+
+
+class MembershipThroughConversion(RewriteRule):
+    """``contains(convert(x), v)`` → ``contains(x, v)`` — membership is
+    invariant under *any* content-derived conversion (both content
+    preserving and deduplicating ones)."""
+
+    name = "membership-through-conversion"
+    layer = "inter-object"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        if expr.op != "contains":
+            return None
+        values, scalars = expr.split_args(context.env_types, context.registry)
+        if len(values) != 1:
+            return None
+        opdef = _conversion_def(values[0], context)
+        if opdef is None:
+            return None
+        props = opdef.properties
+        if not (props.get("content_preserving") or props.get("dedups")):
+            return None
+        return Apply("contains", values[0].args[0], *scalars)
+
+
+DEFAULT_INTER_OBJECT_RULES: list[RewriteRule] = [
+    PushSelectThroughConversion(),
+    PushTopNThroughConversion(),
+    PushSortThroughConversion(),
+    AggregateThroughConversion(),
+    MembershipThroughConversion(),
+    SliceOfSortIsTopN(),
+]

@@ -1,0 +1,142 @@
+"""Intra-object (E-ADT style) optimizers — per-extension local rules.
+
+The paper plans to implement this layer "like E-ADTs as described in
+[SP97]" (PREDATOR): each extension owns an optimizer for expressions
+that stay *within* the extension.  Rules register per extension name;
+:func:`intra_rules_for` assembles the active set, and third-party
+extensions can contribute rules with :func:`register_intra_rule`.
+"""
+
+from __future__ import annotations
+
+from ..algebra.expr import Apply, ScalarLiteral
+from .logical import _split_sort
+from .rules import RewriteRule, RuleContext
+
+
+class TopNOfSortSameKey(RewriteRule):
+    """LIST: ``topn(sort(x, dir), n, dir)`` → ``topn(x, n, dir)`` —
+    the sort is redundant work for a top-N on the same key."""
+
+    name = "list-topn-of-sort"
+    layer = "intra-object"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        if expr.op != "topn":
+            return None
+        values, scalars = expr.split_args(context.env_types, context.registry)
+        if len(values) != 1 or not all(isinstance(s, ScalarLiteral) for s in scalars):
+            return None
+        sort_parts = _split_sort(values[0], context) if isinstance(values[0], Apply) else None
+        if sort_parts is None:
+            return None
+        child, sort_field, sort_desc = sort_parts
+        scalar_values = [s.value for s in scalars]
+        topn_field = None
+        if scalar_values and isinstance(scalar_values[0], str):
+            topn_field, scalar_values = scalar_values[0], scalar_values[1:]
+        if topn_field != sort_field:
+            return None
+        # sorting in any direction is redundant before a topn on the
+        # same key: topn re-orders by that key itself
+        args = [child] if topn_field is None else [child, topn_field]
+        return Apply("topn", *args, *scalar_values)
+
+
+class SortOfTopN(RewriteRule):
+    """LIST: ``sort(topn(x, n, dir), dir)`` → ``topn(x, n, dir)`` —
+    a top-N result is already ordered on its key."""
+
+    name = "list-sort-of-topn"
+    layer = "intra-object"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        sort_parts = _split_sort(expr, context)
+        if sort_parts is None or not isinstance(sort_parts[0], Apply):
+            return None
+        child, sort_field, sort_desc = sort_parts
+        if child.op != "topn":
+            return None
+        child_values, child_scalars = child.split_args(context.env_types, context.registry)
+        if not all(isinstance(s, ScalarLiteral) for s in child_scalars):
+            return None
+        scalar_values = [s.value for s in child_scalars]
+        topn_field = None
+        if scalar_values and isinstance(scalar_values[0], str):
+            topn_field, scalar_values = scalar_values[0], scalar_values[1:]
+        topn_desc = bool(scalar_values[1]) if len(scalar_values) > 1 else True
+        if sort_field != topn_field or sort_desc != topn_desc:
+            return None
+        return child
+
+
+class SelectAfterTopNShrink(RewriteRule):
+    """LIST: ``topn(topn(x, k), n)`` with ``n <= k`` and same key and
+    direction → ``topn(x, n)``."""
+
+    name = "list-topn-of-topn"
+    layer = "intra-object"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        if expr.op != "topn":
+            return None
+        values, scalars = expr.split_args(context.env_types, context.registry)
+        if len(values) != 1 or not isinstance(values[0], Apply) or values[0].op != "topn":
+            return None
+        if not all(isinstance(s, ScalarLiteral) for s in scalars):
+            return None
+        inner = values[0]
+        inner_values, inner_scalars = inner.split_args(context.env_types, context.registry)
+        if not all(isinstance(s, ScalarLiteral) for s in inner_scalars):
+            return None
+        outer_parts = _topn_parts([s.value for s in scalars])
+        inner_parts = _topn_parts([s.value for s in inner_scalars])
+        if outer_parts is None or inner_parts is None:
+            return None
+        if outer_parts[0] != inner_parts[0] or outer_parts[2] != inner_parts[2]:
+            return None
+        if outer_parts[1] > inner_parts[1]:
+            return None
+        field, n, descending = outer_parts
+        args = [inner_values[0]] if field is None else [inner_values[0], field]
+        return Apply("topn", *args, n, 1 if descending else 0)
+
+
+def _topn_parts(scalar_values):
+    """(field, n, descending) of topn scalar parameters."""
+    field = None
+    if scalar_values and isinstance(scalar_values[0], str):
+        field, scalar_values = scalar_values[0], scalar_values[1:]
+    if not scalar_values:
+        return None
+    n = scalar_values[0]
+    descending = bool(scalar_values[1]) if len(scalar_values) > 1 else True
+    return field, n, descending
+
+
+_INTRA_RULES: dict[str, list[RewriteRule]] = {
+    "LIST": [TopNOfSortSameKey(), SortOfTopN(), SelectAfterTopNShrink()],
+    "BAG": [TopNOfSortSameKey(), SelectAfterTopNShrink()],
+    "SET": [],
+}
+
+
+def register_intra_rule(extension_name: str, rule: RewriteRule) -> None:
+    """Contribute an intra-object rule for one extension."""
+    _INTRA_RULES.setdefault(extension_name, []).append(rule)
+
+
+def intra_rules_for(extension_names=None) -> list[RewriteRule]:
+    """The active intra-object rule set (all extensions by default)."""
+    names = extension_names or sorted(_INTRA_RULES)
+    rules: list[RewriteRule] = []
+    for name in names:
+        rules.extend(_INTRA_RULES.get(name, []))
+    # dedupe while preserving order (rules may be shared across extensions)
+    seen = set()
+    unique = []
+    for rule in rules:
+        if id(rule) not in seen:
+            seen.add(id(rule))
+            unique.append(rule)
+    return unique

@@ -1,0 +1,128 @@
+"""The general (structure-independent) logical optimizer layer.
+
+These rules hold for any collection extension because they only use
+algebraic identities of the operators themselves — no knowledge of the
+structures involved.  In the paper's architecture this is the
+"high level, general algebraic logical optimizer" sitting above the
+inter-object layer.
+"""
+
+from __future__ import annotations
+
+from ..algebra.expr import Apply, Expr, ScalarLiteral
+from .rules import RewriteRule, RuleContext
+
+
+def split_select(expr: Apply, context: RuleContext):
+    """Decompose a ``select`` node into (child, field, lo, hi); returns
+    None when the node is not a plain literal-bounded select."""
+    if expr.op != "select":
+        return None
+    values, scalars = expr.split_args(context.env_types, context.registry)
+    if len(values) != 1 or not all(isinstance(s, ScalarLiteral) for s in scalars):
+        return None
+    scalar_values = [s.value for s in scalars]
+    if scalar_values and isinstance(scalar_values[0], str):
+        field, bounds = scalar_values[0], scalar_values[1:]
+    else:
+        field, bounds = None, scalar_values
+    if len(bounds) != 2:
+        return None
+    return values[0], field, bounds[0], bounds[1]
+
+
+def make_select(child: Expr, field, lo, hi) -> Apply:
+    """Reassemble a select node from its parts."""
+    args = [child] if field is None else [child, field]
+    return Apply("select", *args, lo, hi)
+
+
+class MergeSelects(RewriteRule):
+    """``select(select(x, a, b), c, d)`` → ``select(x, max(a,c), min(b,d))``
+    when both selects target the same column."""
+
+    name = "merge-selects"
+    layer = "logical"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        outer = split_select(expr, context)
+        if outer is None or not isinstance(outer[0], Apply):
+            return None
+        inner = split_select(outer[0], context)
+        if inner is None:
+            return None
+        child_outer, field_outer, lo_outer, hi_outer = outer
+        child_inner, field_inner, lo_inner, hi_inner = inner
+        if field_outer != field_inner:
+            return None
+        try:
+            lo = max(lo_inner, lo_outer)
+            hi = min(hi_inner, hi_outer)
+        except TypeError:
+            return None  # incomparable bound types
+        return make_select(child_inner, field_outer, lo, hi)
+
+
+class SliceOfSlice(RewriteRule):
+    """``slice(slice(x, o1, c1), o2, c2)`` →
+    ``slice(x, o1+o2, clamp(...))`` (LIST only by typing)."""
+
+    name = "merge-slices"
+    layer = "logical"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        if expr.op != "slice":
+            return None
+        values, scalars = expr.split_args(context.env_types, context.registry)
+        if len(values) != 1 or not isinstance(values[0], Apply) or values[0].op != "slice":
+            return None
+        if not all(isinstance(s, ScalarLiteral) for s in scalars):
+            return None
+        inner_values, inner_scalars = values[0].split_args(context.env_types, context.registry)
+        if not all(isinstance(s, ScalarLiteral) for s in inner_scalars):
+            return None
+        offset_outer, count_outer = [s.value for s in scalars]
+        offset_inner, count_inner = [s.value for s in inner_scalars]
+        offset = offset_inner + offset_outer
+        count = max(min(count_inner - offset_outer, count_outer), 0)
+        return Apply("slice", inner_values[0], offset, count)
+
+
+class SortIdempotent(RewriteRule):
+    """``sort(sort(x, key, dir), key, dir)`` → ``sort(x, key, dir)``."""
+
+    name = "sort-idempotent"
+    layer = "logical"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        decomposed = _split_sort(expr, context)
+        if decomposed is None or not isinstance(decomposed[0], Apply):
+            return None
+        inner = _split_sort(decomposed[0], context)
+        if inner is None:
+            return None
+        if decomposed[1:] != inner[1:]:
+            return None
+        return decomposed[0]
+
+
+def _split_sort(expr: Apply, context: RuleContext):
+    """(child, field, descending) of a sort node, else None."""
+    if expr.op != "sort":
+        return None
+    values, scalars = expr.split_args(context.env_types, context.registry)
+    if len(values) != 1 or not all(isinstance(s, ScalarLiteral) for s in scalars):
+        return None
+    scalar_values = [s.value for s in scalars]
+    field = None
+    if scalar_values and isinstance(scalar_values[0], str):
+        field, scalar_values = scalar_values[0], scalar_values[1:]
+    descending = bool(scalar_values[0]) if scalar_values else False
+    return values[0], field, descending
+
+
+DEFAULT_LOGICAL_RULES: list[RewriteRule] = [
+    MergeSelects(),
+    SliceOfSlice(),
+    SortIdempotent(),
+]

@@ -1,0 +1,137 @@
+"""The three-layer optimizer pipeline.
+
+Mirrors the architecture the paper proposes: a general logical layer,
+the inter-object layer "conceptually located between the high level,
+general algebraic logical optimizer and the extension specific
+optimizer parts", then the intra-object (E-ADT) layer — followed by a
+cost-based choice among the candidate plans using the centralized cost
+model (Step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.engine import evaluate as _evaluate
+from ..algebra.expr import Expr
+from ..algebra.extensions import Registry, default_registry
+from .cost import CostModel, PlanEstimate
+from .interobject import DEFAULT_INTER_OBJECT_RULES
+from .intraobject import intra_rules_for
+from .logical import DEFAULT_LOGICAL_RULES
+from .rules import RuleContext, TraceEntry, rewrite_fixpoint
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer did: candidate plans, estimates, the choice."""
+
+    original: Expr
+    optimized: Expr
+    trace: list[TraceEntry] = field(default_factory=list)
+    candidates: list[tuple[Expr, PlanEstimate]] = field(default_factory=list)
+
+    @property
+    def original_estimate(self) -> PlanEstimate:
+        return self.candidates[0][1]
+
+    @property
+    def chosen_estimate(self) -> PlanEstimate:
+        for expr, estimate in self.candidates:
+            if expr == self.optimized:
+                return estimate
+        return self.candidates[-1][1]
+
+    @property
+    def estimated_speedup(self) -> float:
+        """Estimated cost ratio original / chosen (>= 1 when the
+        optimizer found an improvement)."""
+        chosen = self.chosen_estimate.cost
+        if chosen <= 0:
+            return 1.0
+        return self.original_estimate.cost / chosen
+
+    def rules_fired(self) -> list[str]:
+        return [entry.rule for entry in self.trace]
+
+    def describe(self) -> str:
+        """Multi-line human-readable account (for examples/CLIs)."""
+        lines = [f"original : {self.original}"]
+        for entry in self.trace:
+            lines.append(f"  [{entry.layer}] {entry.rule}")
+            lines.append(f"    {entry.before}")
+            lines.append(f"    => {entry.after}")
+        lines.append(f"optimized: {self.optimized}")
+        lines.append(
+            f"estimated cost {self.original_estimate.cost:.1f} -> "
+            f"{self.chosen_estimate.cost:.1f} "
+            f"(x{self.estimated_speedup:.1f})"
+        )
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """The full pipeline: logical → inter-object → intra-object →
+    cost-based choice."""
+
+    def __init__(
+        self,
+        registry: Registry | None = None,
+        cost_model: CostModel | None = None,
+        logical_rules=None,
+        inter_object_rules=None,
+        intra_object_rules=None,
+        cost_based: bool = True,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.cost_model = cost_model or CostModel()
+        self.logical_rules = list(DEFAULT_LOGICAL_RULES if logical_rules is None else logical_rules)
+        self.inter_object_rules = list(
+            DEFAULT_INTER_OBJECT_RULES if inter_object_rules is None else inter_object_rules
+        )
+        self.intra_object_rules = list(
+            intra_rules_for() if intra_object_rules is None else intra_object_rules
+        )
+        self.cost_based = cost_based
+
+    def optimize(self, expr: Expr, env=None) -> OptimizationReport:
+        """Rewrite ``expr`` through the three layers and pick the
+        cheapest candidate by estimated cost."""
+        env = env or {}
+        env_types = {name: value.stype for name, value in env.items()}
+        context = RuleContext(env_types=env_types, registry=self.registry)
+
+        trace: list[TraceEntry] = []
+        stages: list[Expr] = [expr]
+        current = expr
+        for rules in (self.logical_rules, self.inter_object_rules, self.intra_object_rules):
+            current, stage_trace = rewrite_fixpoint(current, rules, context)
+            trace.extend(stage_trace)
+            stages.append(current)
+        # one more logical pass: inter/intra rewrites can expose new
+        # general opportunities (e.g. merged selects after a pushdown)
+        current, stage_trace = rewrite_fixpoint(current, self.logical_rules, context)
+        trace.extend(stage_trace)
+        stages.append(current)
+
+        # unique candidates in stage order
+        candidates: list[Expr] = []
+        for stage in stages:
+            if stage not in candidates:
+                candidates.append(stage)
+        estimates = [
+            (candidate, self.cost_model.estimate_expr(candidate, env, self.registry))
+            for candidate in candidates
+        ]
+        if self.cost_based:
+            # ties go to the most-rewritten candidate (simpler plans)
+            chosen = min(reversed(estimates), key=lambda pair: pair[1].cost)[0]
+        else:
+            chosen = candidates[-1]
+        return OptimizationReport(expr, chosen, trace, estimates)
+
+    def execute(self, expr: Expr, env=None):
+        """Optimize, evaluate the chosen plan, return (value, report)."""
+        report = self.optimize(expr, env)
+        value = _evaluate(report.optimized, env, self.registry)
+        return value, report

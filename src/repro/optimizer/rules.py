@@ -1,0 +1,129 @@
+"""The rewrite-rule framework shared by all three optimizer layers.
+
+A rule inspects one :class:`~repro.algebra.expr.Apply` node (with its
+context) and either returns a replacement expression or ``None``.
+:func:`rewrite_fixpoint` applies a rule set bottom-up until no rule
+fires, recording a trace of every application — the trace is surfaced
+by the pipeline's reports and asserted on in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..algebra.expr import Apply, Expr, rebuild
+from ..algebra.extensions import Registry, default_registry
+from ..algebra.types import StructureType
+from ..errors import RewriteError
+
+#: the three optimizer layers of the paper's architecture
+LAYERS = ("logical", "inter-object", "intra-object")
+
+
+@dataclass
+class RuleContext:
+    """Static context a rule may consult."""
+
+    env_types: Mapping[str, StructureType] = field(default_factory=dict)
+    registry: Registry = field(default_factory=default_registry)
+
+    def type_of(self, expr: Expr) -> StructureType:
+        return expr.infer_type(self.env_types, self.registry)
+
+    def opdef_of(self, expr: Apply):
+        return expr.dispatch(self.env_types, self.registry)
+
+
+class RewriteRule:
+    """Base class for rewrite rules."""
+
+    #: unique rule name (shows up in traces)
+    name = "abstract"
+    #: which optimizer layer the rule belongs to
+    layer = "logical"
+
+    def apply(self, expr: Apply, context: RuleContext) -> Expr | None:
+        """Return a replacement for ``expr`` or None if not applicable."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.layer} rule {self.name}>"
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded rule application."""
+
+    rule: str
+    layer: str
+    before: str
+    after: str
+
+
+def _rewrite_node(expr: Expr, rules, context, trace, budget) -> Expr:
+    """Bottom-up single pass: rewrite children first, then this node."""
+    if isinstance(expr, Apply):
+        new_children = tuple(
+            _rewrite_node(child, rules, context, trace, budget) for child in expr.children()
+        )
+        if new_children != expr.children():
+            expr = rebuild(expr, new_children)
+        changed = True
+        while changed and budget[0] > 0:
+            changed = False
+            for rule in rules:
+                if not isinstance(expr, Apply):
+                    break
+                replacement = rule.apply(expr, context)
+                if replacement is None:
+                    continue
+                _check_type_preserved(expr, replacement, context, rule)
+                trace.append(TraceEntry(rule.name, rule.layer, str(expr), str(replacement)))
+                budget[0] -= 1
+                expr = replacement
+                # the replacement may expose new opportunities below it
+                if isinstance(expr, Apply):
+                    new_children = tuple(
+                        _rewrite_node(child, rules, context, trace, budget)
+                        for child in expr.children()
+                    )
+                    if new_children != expr.children():
+                        expr = rebuild(expr, new_children)
+                changed = True
+                break
+    return expr
+
+
+def _check_type_preserved(before: Expr, after: Expr, context: RuleContext, rule) -> None:
+    before_type = context.type_of(before)
+    after_type = context.type_of(after)
+    if before_type != after_type:
+        raise RewriteError(
+            f"rule {rule.name!r} changed the expression type "
+            f"{before_type} -> {after_type} ({before} => {after})"
+        )
+
+
+def rewrite_fixpoint(
+    expr: Expr,
+    rules: list[RewriteRule],
+    context: RuleContext | None = None,
+    max_applications: int = 100,
+) -> tuple[Expr, list[TraceEntry]]:
+    """Apply ``rules`` bottom-up to a fixpoint (bounded by
+    ``max_applications`` to guard against non-terminating rule sets).
+
+    Every application is type-checked: a rule that changes the result
+    type raises :class:`~repro.errors.RewriteError`.
+    """
+    context = context or RuleContext()
+    trace: list[TraceEntry] = []
+    budget = [max_applications]
+    result = _rewrite_node(expr, rules, context, trace, budget)
+    if budget[0] <= 0:
+        raise RewriteError(
+            f"rewrite did not reach a fixpoint within {max_applications} applications "
+            f"(cyclic rules?): last state {result}"
+        )
+    return result, trace

@@ -1,0 +1,22 @@
+"""Retrieval-quality metrics: precision/recall/AP against qrels and
+ranking-agreement metrics (overlap, Kendall tau) against exact rankings."""
+
+from .metrics import (
+    average_precision,
+    kendall_tau,
+    mean_over_queries,
+    overlap_at,
+    precision_at,
+    r_precision,
+    recall_at,
+)
+
+__all__ = [
+    "average_precision",
+    "kendall_tau",
+    "mean_over_queries",
+    "overlap_at",
+    "precision_at",
+    "r_precision",
+    "recall_at",
+]

@@ -1,0 +1,48 @@
+"""Binary-table storage kernel (the MonetDB stand-in Moa flattens onto).
+
+Public surface:
+
+* :class:`~repro.storage.bat.BAT` — binary association tables;
+* :mod:`~repro.storage.kernel` — the BAT algebra (selections, joins,
+  sorts, top-N, aggregates) with simulated cost accounting;
+* :class:`~repro.storage.buffer.BufferManager` — page-granular LRU
+  buffer simulation;
+* :class:`~repro.storage.stats.CostCounter` — scoped cost counters;
+* :class:`~repro.storage.index.SparseIndex` /
+  :class:`~repro.storage.index.HashIndex` — the paper's non-dense index
+  and its dense counterpart;
+* :class:`~repro.storage.catalog.Catalog` — named-BAT registry with
+  persistence.
+"""
+
+from .bat import BAT
+from .buffer import BufferManager, get_buffer_manager, set_buffer_manager
+from .catalog import Catalog
+from .index import HashIndex, SparseIndex
+from .statistics import (
+    ColumnStatistics,
+    EquiDepthHistogram,
+    StatisticsRegistry,
+    ZoneMap,
+    analyze_column,
+)
+from .stats import CostCounter
+from . import kernel, stats
+
+__all__ = [
+    "BAT",
+    "BufferManager",
+    "Catalog",
+    "ColumnStatistics",
+    "CostCounter",
+    "EquiDepthHistogram",
+    "HashIndex",
+    "SparseIndex",
+    "StatisticsRegistry",
+    "ZoneMap",
+    "analyze_column",
+    "get_buffer_manager",
+    "set_buffer_manager",
+    "kernel",
+    "stats",
+]

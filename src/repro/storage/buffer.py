@@ -1,0 +1,181 @@
+"""A simulated, page-granular buffer manager.
+
+The reproduction measures "amount of data processed" the way a database
+would: in *pages*.  Every BAT (see :mod:`repro.storage.bat`) is backed
+by a logical segment of fixed-size pages (``page_tuples`` tuples per
+page).  Kernel operations route their access patterns through the
+buffer manager, which keeps an LRU pool of ``capacity_pages`` frames
+and charges :mod:`repro.storage.stats` counters:
+
+* a page request that misses the pool charges one ``page_read``;
+* a page request that hits charges one ``buffer_hit``;
+* sequential scans request the page range covering the scanned tuples;
+* random (positional) accesses request the single page containing the
+  tuple.
+
+This is a *simulation*: no bytes are moved, only accounting happens.
+It is deliberately simple — single replacement policy (LRU), no
+dirty-page writeback model beyond an explicit :meth:`BufferManager.write`
+— because the paper's experiments only need a deterministic, monotone
+proxy for I/O volume.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import BufferError_
+from . import stats
+
+#: default number of tuples that fit on one simulated page
+DEFAULT_PAGE_TUPLES = 256
+#: default pool capacity, in pages
+DEFAULT_CAPACITY_PAGES = 4096
+
+
+class BufferManager:
+    """LRU pool of simulated page frames.
+
+    Parameters
+    ----------
+    capacity_pages:
+        Number of page frames in the pool.  Requests beyond capacity
+        evict the least recently used frame.
+    page_tuples:
+        Tuples per page; converts tuple positions to page numbers.
+    """
+
+    def __init__(
+        self,
+        capacity_pages: int = DEFAULT_CAPACITY_PAGES,
+        page_tuples: int = DEFAULT_PAGE_TUPLES,
+    ) -> None:
+        if capacity_pages <= 0:
+            raise BufferError_(f"capacity_pages must be positive, got {capacity_pages}")
+        if page_tuples <= 0:
+            raise BufferError_(f"page_tuples must be positive, got {page_tuples}")
+        self.capacity_pages = capacity_pages
+        self.page_tuples = page_tuples
+        # maps (segment_id, page_no) -> None; OrderedDict gives LRU order
+        self._pool: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- page-level interface ---------------------------------------------
+
+    def request(self, segment_id: int, page_no: int) -> bool:
+        """Request one page; return ``True`` on a buffer hit.
+
+        Charges either a ``buffer_hit`` or a ``page_read`` on every
+        active :class:`~repro.storage.stats.CostCounter`.
+        """
+        self.requests += 1
+        key = (segment_id, page_no)
+        if key in self._pool:
+            self._pool.move_to_end(key)
+            self.hits += 1
+            stats.charge_buffer_hits(1)
+            return True
+        self.misses += 1
+        stats.charge_page_reads(1)
+        self._pool[key] = None
+        if len(self._pool) > self.capacity_pages:
+            self._pool.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    # -- tuple-level helpers ------------------------------------------------
+
+    def page_of(self, tuple_pos: int) -> int:
+        """Page number containing tuple position ``tuple_pos``."""
+        return tuple_pos // self.page_tuples
+
+    def pages_for(self, n_tuples: int) -> int:
+        """Number of pages covering ``n_tuples`` consecutive tuples."""
+        if n_tuples <= 0:
+            return 0
+        return (n_tuples + self.page_tuples - 1) // self.page_tuples
+
+    def scan(self, segment_id: int, n_tuples: int, start_tuple: int = 0) -> int:
+        """Sequentially request the pages holding ``n_tuples`` tuples
+        starting at ``start_tuple``; return the number of misses."""
+        if n_tuples <= 0:
+            return 0
+        first = self.page_of(start_tuple)
+        last = self.page_of(start_tuple + n_tuples - 1)
+        misses = 0
+        for page_no in range(first, last + 1):
+            if not self.request(segment_id, page_no):
+                misses += 1
+        stats.charge_tuples_read(n_tuples)
+        return misses
+
+    def random_read(self, segment_id: int, tuple_pos: int) -> bool:
+        """Positionally access one tuple; return ``True`` on a hit."""
+        hit = self.request(segment_id, self.page_of(tuple_pos))
+        stats.charge_tuples_read(1)
+        return hit
+
+    def write(self, segment_id: int, n_tuples: int, start_tuple: int = 0) -> None:
+        """Charge the page writes for persisting ``n_tuples`` tuples."""
+        pages = self.pages_for(n_tuples)
+        stats.charge_page_writes(pages)
+        stats.charge_tuples_written(n_tuples)
+        # written pages are hot afterwards
+        first = self.page_of(start_tuple)
+        for page_no in range(first, first + pages):
+            key = (segment_id, page_no)
+            self._pool[key] = None
+            self._pool.move_to_end(key)
+            if len(self._pool) > self.capacity_pages:
+                self._pool.popitem(last=False)
+                self.evictions += 1
+
+    # -- management ----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Empty the pool (e.g. between benchmark repetitions)."""
+        self._pool.clear()
+
+    def evict_segment(self, segment_id: int) -> None:
+        """Drop all frames belonging to one segment (BAT dropped)."""
+        doomed = [key for key in self._pool if key[0] == segment_id]
+        for key in doomed:
+            del self._pool[key]
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of frames currently occupied."""
+        return len(self._pool)
+
+    def hit_rate(self) -> float:
+        """Fraction of requests served from the pool (0.0 if none yet)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BufferManager(capacity_pages={self.capacity_pages}, "
+            f"page_tuples={self.page_tuples}, resident={self.resident_pages}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_default_buffer = BufferManager()
+
+
+def get_buffer_manager() -> BufferManager:
+    """Return the process-wide buffer manager used by kernel operations."""
+    return _default_buffer
+
+
+def set_buffer_manager(manager: BufferManager) -> BufferManager:
+    """Install ``manager`` as the process-wide buffer manager and
+    return the previous one (so callers can restore it)."""
+    global _default_buffer
+    previous = _default_buffer
+    _default_buffer = manager
+    return previous

@@ -1,0 +1,130 @@
+"""A named-BAT catalog with optional on-disk persistence.
+
+The catalog plays the role of MonetDB's BBP (BAT buffer pool
+directory): it maps names to BATs, tracks which are persistent, and can
+save/load the whole set as ``.npz`` files in a directory.  Saving and
+loading charge simulated page I/O so that cold-start costs show up in
+experiments that want them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import CatalogError
+from .bat import BAT
+from .buffer import get_buffer_manager
+from . import stats
+
+
+class Catalog:
+    """In-memory registry of named BATs."""
+
+    def __init__(self) -> None:
+        self._bats: dict[str, BAT] = {}
+
+    def register(self, name: str, bat: BAT, replace: bool = False) -> BAT:
+        """Register ``bat`` under ``name``; refuses to overwrite unless
+        ``replace`` is given."""
+        if not replace and name in self._bats:
+            raise CatalogError(f"BAT name already registered: {name!r}")
+        bat.name = name
+        self._bats[name] = bat
+        return bat
+
+    def get(self, name: str) -> BAT:
+        """Look up a BAT by name."""
+        try:
+            return self._bats[name]
+        except KeyError:
+            raise CatalogError(f"no BAT named {name!r} in catalog") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bats
+
+    def drop(self, name: str) -> None:
+        """Remove a BAT and evict its pages from the buffer pool."""
+        bat = self.get(name)
+        del self._bats[name]
+        get_buffer_manager().evict_segment(bat.segment_id)
+
+    def names(self) -> list[str]:
+        """Sorted list of registered names."""
+        return sorted(self._bats)
+
+    def __len__(self) -> int:
+        return len(self._bats)
+
+    def total_tuples(self) -> int:
+        """Sum of cardinalities over all registered BATs."""
+        return sum(len(bat) for bat in self._bats.values())
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Persist every registered BAT under ``directory``.
+
+        Each BAT becomes ``<name>.npz`` (head omitted when dense) plus a
+        ``catalog.json`` manifest with the property flags.  Charges
+        simulated page writes for the saved tuples.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {}
+        manager = get_buffer_manager()
+        for name, bat in self._bats.items():
+            arrays = {"tail": bat.tail}
+            if not bat.is_dense_head:
+                arrays["head"] = bat.head_array()
+            np.savez(directory / f"{name}.npz", **arrays)
+            manifest[name] = {
+                "hseqbase": bat.hseqbase,
+                "dense_head": bat.is_dense_head,
+                "tail_sorted": bat.tail_sorted,
+                "tail_sorted_desc": bat.tail_sorted_desc,
+                "head_key": bat.head_key,
+                "tail_key": bat.tail_key,
+            }
+            manager.write(bat.segment_id, len(bat))
+        with open(directory / "catalog.json", "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "Catalog":
+        """Load a catalog previously written by :meth:`save`.
+
+        All loaded BATs are marked persistent; loading charges a
+        simulated scan of each BAT (cold read).
+        """
+        directory = Path(directory)
+        manifest_path = directory / "catalog.json"
+        if not manifest_path.exists():
+            raise CatalogError(f"no catalog manifest in {directory}")
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        catalog = cls()
+        for name, props in manifest.items():
+            path = directory / f"{name}.npz"
+            if not path.exists():
+                raise CatalogError(f"catalog manifest references missing file {path.name}")
+            with np.load(path, allow_pickle=False) as data:
+                tail = data["tail"]
+                head = data["head"] if "head" in data.files else None
+            bat = BAT(
+                tail,
+                head=head,
+                hseqbase=props["hseqbase"] if head is None else 0,
+                name=name,
+                tail_sorted=props["tail_sorted"],
+                tail_sorted_desc=props["tail_sorted_desc"],
+                head_key=props["head_key"] if head is not None else None,
+                tail_key=props["tail_key"],
+                persistent=True,
+            )
+            stats.charge_tuples_read(len(bat))
+            get_buffer_manager().scan(bat.segment_id, len(bat))
+            catalog._bats[name] = bat
+        return catalog

@@ -1,0 +1,101 @@
+"""Monotone aggregation functions for multi-source (fuzzy) queries.
+
+Fagin's algorithms combine per-source grades with a *monotone*
+aggregation function t: increasing any grade never decreases the
+aggregate.  Monotonicity is what makes upper/lower bound
+administration sound.  :class:`WeightedSum` implements the
+user-weighted query terms of Fagin & Maarek [FM] cited by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import TopNError
+
+
+@dataclass(frozen=True)
+class AggregateFunction:
+    """A named monotone aggregation over an m-vector of grades."""
+
+    name: str
+
+    def combine(self, grades: Sequence[float]) -> float:
+        raise NotImplementedError
+
+    def validate_arity(self, m: int) -> None:
+        """Hook for aggregates that require a fixed arity."""
+
+
+class Sum(AggregateFunction):
+    """Sum of grades — the standard IR score accumulation."""
+
+    def __init__(self) -> None:
+        super().__init__("sum")
+
+    def combine(self, grades):
+        return float(sum(grades))
+
+
+class Avg(AggregateFunction):
+    """Arithmetic mean (monotone; order-equivalent to sum)."""
+
+    def __init__(self) -> None:
+        super().__init__("avg")
+
+    def combine(self, grades):
+        return float(sum(grades)) / len(grades) if grades else 0.0
+
+
+class Min(AggregateFunction):
+    """Fuzzy conjunction (Fagin's running example)."""
+
+    def __init__(self) -> None:
+        super().__init__("min")
+
+    def combine(self, grades):
+        return float(min(grades)) if grades else 0.0
+
+
+class Max(AggregateFunction):
+    """Fuzzy disjunction."""
+
+    def __init__(self) -> None:
+        super().__init__("max")
+
+    def combine(self, grades):
+        return float(max(grades)) if grades else 0.0
+
+
+class WeightedSum(AggregateFunction):
+    """User-weighted sum of grades ([FM]: "Allowing users to weight
+    search terms").  Weights must be non-negative (monotonicity)."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weights = tuple(float(w) for w in weights)
+        if not weights:
+            raise TopNError("WeightedSum needs at least one weight")
+        if any(w < 0 for w in weights):
+            raise TopNError(f"weights must be non-negative, got {weights}")
+        super().__init__("wsum")
+        object.__setattr__(self, "weights", weights)
+
+    def combine(self, grades):
+        if len(grades) != len(self.weights):
+            raise TopNError(
+                f"WeightedSum arity mismatch: {len(grades)} grades, {len(self.weights)} weights"
+            )
+        return float(sum(w * g for w, g in zip(self.weights, grades)))
+
+    def validate_arity(self, m: int) -> None:
+        if m != len(self.weights):
+            raise TopNError(
+                f"WeightedSum has {len(self.weights)} weights but the query has {m} sources"
+            )
+
+
+SUM = Sum()
+AVG = Avg()
+MIN = Min()
+MAX = Max()

@@ -1,0 +1,101 @@
+"""No-Random-Access (NRA) algorithm.
+
+For subsystems that only support sorted access (streams, remote
+engines), NRA maintains for every seen object a *lower bound* (seen
+grades, unseen grades floored at 0) and an *upper bound* (unseen
+grades capped at the source's current bottom grade).  It stops when
+the N-th best lower bound is at least the upper bound of every other
+object — including the "virtual" object never seen anywhere, whose
+upper bound is the aggregate of the current bottoms.
+
+NRA guarantees the correct top-N *membership*; reported scores are the
+lower bounds at termination (exact when the object was seen
+everywhere).  This is the fullest form of the "upper and lower bound
+administration" the paper cites from Fagin's work.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import TopNError
+from .aggregates import AggregateFunction, SUM
+from .result import RankedItem, TopNResult
+
+
+def nra_topn(sources: list, n: int, agg: AggregateFunction = SUM,
+             check_every: int = 16, max_depth: int | None = None) -> TopNResult:
+    """Top-N by sorted access only (NRA).
+
+    ``check_every`` controls how often the (relatively expensive) stop
+    condition is evaluated; ``max_depth`` optionally caps sorted-access
+    depth (the result is then best-effort, still safe in membership if
+    the stop condition was met earlier).
+    """
+    if not sources:
+        raise TopNError("nra_topn needs at least one source")
+    if n <= 0:
+        return TopNResult([], max(n, 0), strategy="fagin-nra", safe=True)
+    agg.validate_arity(len(sources))
+
+    m = len(sources)
+    grades: dict[int, list[float | None]] = {}
+    bottoms = [math.inf] * m  # current last sorted-access grade per source
+    depth = 0
+    stopped = False
+    while not stopped:
+        if max_depth is not None and depth >= max_depth:
+            break
+        active = False
+        for i, source in enumerate(sources):
+            if source.exhausted(depth):
+                bottoms[i] = 0.0
+                continue
+            active = True
+            obj, grade = source.sorted_access(depth)
+            bottoms[i] = grade
+            grades.setdefault(obj, [None] * m)[i] = grade
+        depth += 1
+        if not active:
+            break
+        if depth % check_every == 0:
+            stopped = _stop_condition_met(grades, bottoms, n, agg)
+    # final check (also covers exhausted inputs)
+    effective_bottoms = [0.0 if b is math.inf else b for b in bottoms]
+
+    scored = []
+    for obj, seen in grades.items():
+        lower = agg.combine([0.0 if g is None else g for g in seen])
+        scored.append((lower, obj))
+    scored.sort(key=lambda pair: (-pair[0], pair[1]))
+    items = [RankedItem(obj, lower) for lower, obj in scored[:n]]
+    return TopNResult(
+        items, n, strategy="fagin-nra", safe=True,
+        stats={
+            "depth": depth,
+            "objects_seen": len(grades),
+            "bottom_aggregate": agg.combine(effective_bottoms),
+        },
+    )
+
+
+def _stop_condition_met(grades, bottoms, n, agg) -> bool:
+    """True when the N-th best lower bound dominates every other
+    object's upper bound (and the virtual unseen object's)."""
+    effective_bottoms = [0.0 if b is math.inf else b for b in bottoms]
+    bounds = []
+    for obj, seen in grades.items():
+        lower = agg.combine([0.0 if g is None else g for g in seen])
+        upper = agg.combine([
+            effective_bottoms[i] if g is None else g for i, g in enumerate(seen)
+        ])
+        bounds.append((lower, upper, obj))
+    if len(bounds) < n:
+        return False
+    bounds.sort(key=lambda triple: (-triple[0], triple[2]))
+    top, rest = bounds[:n], bounds[n:]
+    nth_lower = top[-1][0]
+    # the virtual never-seen object
+    virtual_upper = agg.combine(effective_bottoms)
+    max_rest_upper = max((upper for _, upper, _ in rest), default=-math.inf)
+    return nth_lower >= max(max_rest_upper, virtual_upper)

@@ -1,0 +1,134 @@
+"""Donjerkovic–Ramakrishnan probabilistic top-N optimization.
+
+[DR99]: turn ``ORDER BY score DESC STOP AFTER N`` into an ordinary
+*selection* ``score >= cutoff`` by choosing the cutoff from a histogram
+of the score distribution, such that the expected number of qualifying
+tuples slightly exceeds N.  The selection uses a cheap access path
+(here: binary search on a score-sorted BAT, or the paper's non-dense
+index); only the few survivors are sorted.  If the histogram guessed
+too high and fewer than N qualify, the query *restarts* with a lower
+cutoff.  Exact answers with high probability of a single pass — the
+cutoff only trades cost against restart risk, never correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TopNError
+from ..storage import kernel, stats
+from ..storage.bat import BAT
+from ..storage.index import SparseIndex
+from .result import TopNResult
+
+
+class ScoreHistogram:
+    """Equi-depth histogram of a score column.
+
+    Built offline (like any optimizer statistic); ``cutoff_for(n)``
+    returns a score below which fewer than ~``n`` tuples are expected
+    to lie above."""
+
+    def __init__(self, scores: np.ndarray, n_buckets: int = 64) -> None:
+        scores = np.asarray(scores, dtype=np.float64)
+        if len(scores) == 0:
+            raise TopNError("cannot build a histogram over no scores")
+        if n_buckets < 2:
+            raise TopNError(f"need at least 2 buckets, got {n_buckets}")
+        self.total = len(scores)
+        quantiles = np.linspace(0.0, 1.0, min(n_buckets, self.total) + 1)
+        self.boundaries = np.quantile(scores, quantiles)
+        # counts above each boundary (exact on the build sample)
+        self.above = np.array([
+            (scores >= b).sum() for b in self.boundaries
+        ])
+
+    def cutoff_for(self, n: int, slack: float = 1.2) -> float:
+        """Highest boundary expected to leave at least ``n * slack``
+        tuples above it (falls back to the minimum score)."""
+        if n <= 0:
+            raise TopNError(f"n must be positive, got {n}")
+        target = n * slack
+        # boundaries ascend; iterate from the top down
+        for i in range(len(self.boundaries) - 1, -1, -1):
+            if self.above[i] >= target:
+                return float(self.boundaries[i])
+        return float(self.boundaries[0])
+
+    def next_lower_cutoff(self, cutoff: float) -> float:
+        """The next boundary strictly below ``cutoff`` (restart step)."""
+        lower = self.boundaries[self.boundaries < cutoff]
+        if len(lower) == 0:
+            return float("-inf")
+        return float(lower[-1])
+
+
+def probabilistic_topn(
+    scores_sorted: BAT,
+    n: int,
+    histogram: ScoreHistogram,
+    slack: float = 1.2,
+    max_restarts: int = 32,
+) -> TopNResult:
+    """Exact top-N via histogram cutoff + indexed selection + restarts.
+
+    ``scores_sorted`` must be an ascending tail-sorted BAT of
+    ``(obj, score)`` (the access path that makes the cutoff selection
+    cheap — a clustered score index).  Returns the exact top-N; the
+    number of restarts taken is in ``stats``.
+    """
+    if not scores_sorted.tail_sorted:
+        raise TopNError("probabilistic_topn needs an ascending score-sorted BAT "
+                        "(the selection's cheap access path)")
+    total = len(scores_sorted)
+    cutoff = histogram.cutoff_for(n, slack=slack)
+    restarts = 0
+    while True:
+        candidates = kernel.select_range(scores_sorted, lo=cutoff, hi=None)
+        if len(candidates) >= min(n, total) or cutoff == float("-inf"):
+            break
+        if restarts >= max_restarts:
+            cutoff = float("-inf")
+            continue
+        restarts += 1
+        stats.charge_extra("probabilistic_restarts")
+        cutoff = histogram.next_lower_cutoff(cutoff)
+    top = kernel.topn_tail(candidates, n, descending=True)
+    return TopNResult.from_bat(
+        top, n, strategy="probabilistic", safe=True,
+        stats={
+            "cutoff": cutoff,
+            "candidates": len(candidates),
+            "restarts": restarts,
+            "fraction_scanned": len(candidates) / total if total else 0.0,
+        },
+    )
+
+
+def probabilistic_topn_indexed(
+    index: SparseIndex,
+    n: int,
+    histogram: ScoreHistogram,
+    slack: float = 1.2,
+    max_restarts: int = 32,
+) -> TopNResult:
+    """Variant running the cutoff selection through the paper's
+    non-dense index (Step 1's access path for the large fragment)."""
+    total = len(index.base)
+    cutoff = histogram.cutoff_for(n, slack=slack)
+    restarts = 0
+    while True:
+        candidates = index.lookup_range(lo=cutoff, hi=None)
+        if len(candidates) >= min(n, total) or cutoff == float("-inf"):
+            break
+        if restarts >= max_restarts:
+            cutoff = float("-inf")
+            continue
+        restarts += 1
+        stats.charge_extra("probabilistic_restarts")
+        cutoff = histogram.next_lower_cutoff(cutoff)
+    top = kernel.topn_tail(candidates, n, descending=True)
+    return TopNResult.from_bat(
+        top, n, strategy="probabilistic-indexed", safe=True,
+        stats={"cutoff": cutoff, "candidates": len(candidates), "restarts": restarts},
+    )

@@ -1,0 +1,103 @@
+"""Unsafe term-pruning heuristics (Brown 1995 / INQUERY style).
+
+The IR-side unsafe techniques the paper cites: process query terms in
+decreasing order of "interest" (score upper bound — rare terms first),
+under a postings budget.
+
+* ``quit``: once the budget is exhausted, stop entirely — remaining
+  terms contribute nothing;
+* ``continue``: after the budget point, keep reading the remaining
+  (frequent, long) posting lists but only update the accumulators of
+  documents already seen — no new candidates are admitted.  Slower
+  than quit but much closer to the exact ranking.
+
+Both are *unsafe*: they can miss documents and mis-score survivors;
+experiment E12 quantifies the quality/speed trade-off against the safe
+techniques.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TopNError
+from ..ir.invindex import InvertedIndex
+from ..ir.ranking import ScoringModel
+from ..storage import kernel, stats
+from ..storage.bat import BAT
+from .result import TopNResult
+
+_STRATEGIES = ("quit", "continue")
+
+
+def quit_continue_topn(
+    index: InvertedIndex,
+    tids: list[int],
+    model: ScoringModel,
+    n: int,
+    budget_fraction: float = 0.25,
+    strategy: str = "continue",
+) -> TopNResult:
+    """Unsafe top-N with a postings budget.
+
+    ``budget_fraction`` is the fraction of the query's total posting
+    volume processed *fully* (with accumulator creation); term order is
+    by descending score upper bound, so the budget is spent on the most
+    interesting terms first.
+    """
+    if strategy not in _STRATEGIES:
+        raise TopNError(f"unknown strategy {strategy!r}; have {_STRATEGIES}")
+    if not 0.0 < budget_fraction <= 1.0:
+        raise TopNError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
+
+    # order terms by interest: highest upper bound first
+    ordered = sorted(
+        tids,
+        key=lambda tid: -model.upper_bound(index, index.term_stats(tid)),
+    )
+    total_postings = sum(index.posting_length(tid) for tid in tids)
+    budget = budget_fraction * total_postings
+
+    accumulator = np.zeros(index.n_docs, dtype=np.float64)
+    admitted = np.zeros(index.n_docs, dtype=bool)
+    postings_full = 0
+    postings_continued = 0
+    terms_full = 0
+    quit_reached = False
+    for tid in ordered:
+        plen = index.posting_length(tid)
+        if not quit_reached and postings_full + plen > budget and terms_full > 0:
+            quit_reached = True
+        if quit_reached and strategy == "quit":
+            break
+        doc_ids, tfs = index.postings(tid)
+        if len(doc_ids) == 0:
+            continue
+        partials = model.partial_scores(index, tid, doc_ids, tfs)
+        if not quit_reached:
+            np.add.at(accumulator, doc_ids, partials)
+            admitted[doc_ids] = True
+            postings_full += plen
+            terms_full += 1
+        else:
+            # continue phase: update existing accumulators only
+            mask = admitted[doc_ids]
+            np.add.at(accumulator, doc_ids[mask], partials[mask])
+            postings_continued += plen
+            stats.charge_comparisons(len(doc_ids))
+
+    candidates = np.nonzero(admitted)[0]
+    stats.charge_tuples_written(len(candidates))
+    scores = BAT(accumulator[candidates], head=candidates.astype(np.int64), head_key=True)
+    top = kernel.topn_tail(scores, n, descending=True)
+    return TopNResult.from_bat(
+        top, n, strategy=f"brown-{strategy}", safe=False,
+        stats={
+            "terms_total": len(tids),
+            "terms_full": terms_full,
+            "postings_total": total_postings,
+            "postings_full": postings_full,
+            "postings_continued": postings_continued,
+            "candidates": len(candidates),
+        },
+    )

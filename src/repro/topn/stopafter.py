@@ -1,0 +1,113 @@
+"""Carey–Kossmann STOP AFTER operators ("Reducing the Braking Distance
+of an SQL Query Engine", VLDB'98).
+
+The relational side of top-N: a ``STOP AFTER N`` operator truncates a
+tuple stream.  The "braking distance" is how many tuples still flow
+through the plan before the stop takes effect.  Policies:
+
+* ``classic_topn`` — the unoptimized plan: full sort, then slice;
+* ``sort_stop`` — STOP folded into the sort: a partial (top-N) sort;
+* ``scan_stop`` — STOP over an already score-ordered input: read just
+  the prefix;
+* ``stop_after_filter`` — STOP placement around a filter:
+  *conservative* keeps the stop above the filter (always exact, no
+  restart), *aggressive* pushes a stop *below* the filter using an
+  inflated K and restarts with a doubled K when the filter eats too
+  much — Carey–Kossmann's restart policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TopNError
+from ..storage import kernel, stats
+from ..storage.bat import BAT
+from .result import TopNResult
+
+
+def classic_topn(scores: BAT, n: int) -> TopNResult:
+    """Full sort + slice: the plan without a STOP AFTER operator."""
+    ordered = kernel.sort_tail(scores, descending=True)
+    top = kernel.slice_pairs(ordered, 0, n)
+    return TopNResult.from_bat(top, n, strategy="classic-sort", safe=True,
+                               stats={"tuples_flowing": len(scores)})
+
+
+def sort_stop(scores: BAT, n: int) -> TopNResult:
+    """STOP folded into the sort: partial top-N selection."""
+    top = kernel.topn_tail(scores, n, descending=True)
+    return TopNResult.from_bat(top, n, strategy="sort-stop", safe=True,
+                               stats={"tuples_flowing": len(scores)})
+
+
+def scan_stop(scores: BAT, n: int) -> TopNResult:
+    """STOP over a score-ordered input: take the prefix.
+
+    Exact only when the input is descending-sorted on score; raises
+    otherwise rather than silently returning garbage."""
+    if not scores.tail_sorted_desc:
+        raise TopNError("scan_stop requires a descending score-sorted input")
+    top = kernel.slice_pairs(scores, 0, n)
+    return TopNResult.from_bat(top, n, strategy="scan-stop", safe=True,
+                               stats={"tuples_flowing": min(n, len(scores))})
+
+
+def stop_after_filter(
+    scores: BAT,
+    attributes: BAT,
+    n: int,
+    attr_lo,
+    attr_hi,
+    policy: str = "conservative",
+    inflation: float = 2.0,
+) -> TopNResult:
+    """Top-N of ``scores`` restricted to objects whose attribute lies
+    in ``[attr_lo, attr_hi]``.
+
+    Both BATs must be aligned over the same dense object ids.  The
+    *conservative* policy filters everything and then sort-stops; the
+    *aggressive* policy partial-sorts only ``K = ceil(n * inflation)``
+    best scores, filters those, and restarts with K doubled whenever
+    fewer than ``n`` survive (restarts counted in ``stats``).
+    """
+    if policy not in ("conservative", "aggressive"):
+        raise TopNError(f"unknown policy {policy!r}")
+    if len(scores) != len(attributes):
+        raise TopNError("scores and attributes must be aligned")
+    if inflation < 1.0:
+        raise TopNError(f"inflation must be >= 1.0, got {inflation}")
+
+    if policy == "conservative":
+        mask = (attributes.tail >= attr_lo) & (attributes.tail <= attr_hi)
+        kernel.scan_cost(attributes)
+        stats.charge_comparisons(2 * len(attributes))
+        surviving = kernel.select_mask(scores, mask, _precharged=True)
+        kernel.scan_cost(scores)
+        top = kernel.topn_tail(surviving, n, descending=True)
+        return TopNResult.from_bat(
+            top, n, strategy="stop-conservative", safe=True,
+            stats={"tuples_flowing": len(scores) + len(surviving), "restarts": 0},
+        )
+
+    # aggressive: stop below the filter, restart on underflow
+    k = max(int(np.ceil(n * inflation)), n)
+    restarts = 0
+    tuples_flowing = 0
+    while True:
+        prefix = kernel.topn_tail(scores, k, descending=True)
+        tuples_flowing += len(prefix)
+        attr_values = kernel.fetch_values(attributes, prefix.head_array())
+        stats.charge_comparisons(2 * len(attr_values))
+        mask = (attr_values >= attr_lo) & (attr_values <= attr_hi)
+        surviving = kernel.select_mask(prefix, mask, _precharged=True)
+        if len(surviving) >= n or k >= len(scores):
+            top = kernel.slice_pairs(surviving, 0, n)
+            return TopNResult.from_bat(
+                top, n, strategy="stop-aggressive", safe=True,
+                stats={"tuples_flowing": tuples_flowing, "restarts": restarts,
+                       "final_k": k},
+            )
+        restarts += 1
+        stats.charge_extra("stop_after_restarts")
+        k = min(k * 2, len(scores))

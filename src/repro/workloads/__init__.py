@@ -1,0 +1,16 @@
+"""Workload generation: synthetic Zipf collections with planted topics,
+topical queries with derived relevance judgments, and FT-like presets."""
+
+from .queries import Query, QuerySet, generate_queries
+from .synthetic import SyntheticCollection, SyntheticSpec, term_string
+from . import trec
+
+__all__ = [
+    "Query",
+    "QuerySet",
+    "SyntheticCollection",
+    "SyntheticSpec",
+    "generate_queries",
+    "term_string",
+    "trec",
+]

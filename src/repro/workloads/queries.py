@@ -1,0 +1,99 @@
+"""Query and relevance-judgment generation for synthetic collections.
+
+Queries are topical: a query picks a planted topic and samples some of
+that topic's terms, biased toward the *rarer* (higher-rank) ones — the
+"most interesting" terms in the paper's vocabulary.  The documents
+generated from the same topic form the relevance judgments (qrels), so
+precision/recall of any retrieval strategy can be measured without
+human assessments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..ir.documents import Collection
+
+
+@dataclass(frozen=True)
+class Query:
+    """One query: term ids (deduplicated), its topic, and an id."""
+
+    query_id: int
+    term_ids: tuple[int, ...]
+    topic: int
+
+    def __len__(self) -> int:
+        return len(self.term_ids)
+
+    def text(self, collection: Collection) -> str:
+        return " ".join(collection.term_strings[t] for t in self.term_ids)
+
+
+@dataclass
+class QuerySet:
+    """Queries plus binary relevance judgments (query id → doc ids)."""
+
+    queries: list[Query]
+    qrels: dict[int, frozenset[int]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def relevant(self, query_id: int) -> frozenset[int]:
+        return self.qrels.get(query_id, frozenset())
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+def generate_queries(
+    collection: Collection,
+    n_queries: int = 50,
+    terms_range: tuple[int, int] = (2, 8),
+    rare_bias: float = 1.5,
+    seed: int = 0,
+) -> QuerySet:
+    """Generate topical queries with qrels for a synthetic collection.
+
+    Parameters
+    ----------
+    terms_range:
+        Inclusive (min, max) number of distinct query terms.
+    rare_bias:
+        Exponent biasing term choice toward rarer terms within the
+        topic (0 = uniform; larger = rarer).
+    """
+    topic_terms = collection.extras.get("topic_terms")
+    if topic_terms is None:
+        raise WorkloadError(
+            "collection has no planted topics; generate it with SyntheticCollection"
+        )
+    lo, hi = terms_range
+    if not 1 <= lo <= hi:
+        raise WorkloadError(f"invalid terms_range {terms_range}")
+    rng = np.random.default_rng(seed)
+    n_topics = len(topic_terms)
+
+    # relevance: documents generated from the query's topic
+    docs_by_topic: dict[int, list[int]] = {}
+    for doc in collection.documents:
+        docs_by_topic.setdefault(doc.topic, []).append(doc.doc_id)
+
+    queries = []
+    qrels = {}
+    for query_id in range(n_queries):
+        topic = int(rng.integers(0, n_topics))
+        candidates = np.asarray(topic_terms[topic])
+        # bias toward rarer terms: weight ∝ (term rank)^rare_bias
+        weights = np.power(candidates.astype(np.float64) + 1.0, rare_bias)
+        weights /= weights.sum()
+        k = int(rng.integers(lo, hi + 1))
+        k = min(k, len(candidates))
+        picked = rng.choice(candidates, size=k, replace=False, p=weights)
+        queries.append(Query(query_id, tuple(int(t) for t in sorted(picked)), topic))
+        qrels[query_id] = frozenset(docs_by_topic.get(topic, ()))
+    return QuerySet(queries, qrels)

@@ -1,0 +1,175 @@
+"""Synthetic Zipf text collections with planted topics.
+
+This is the substitution for the TREC FT collection (see DESIGN.md):
+the paper's fragmentation argument depends only on (a) term frequencies
+being Zipf distributed and (b) queries touching topical, mostly
+mid-to-rare terms whose postings are small, while frequent terms own
+most of the postings volume.  The generator plants exactly that
+structure, with ground-truth topics from which relevance judgments are
+derived.
+
+Generation model
+----------------
+* a vocabulary of ``vocabulary_size`` terms; term id equals global
+  frequency rank (id 0 = most frequent); global probabilities follow a
+  Zipf-Mandelbrot law ``p(r) ∝ 1 / (r + q)^s``;
+* ``n_topics`` topics, each owning ``terms_per_topic`` *topical terms*
+  drawn from the mid-to-rare rank band (frequent function-word-like
+  terms are never topical, matching natural language);
+* each document draws a topic and a log-normal length; each token comes
+  from the topic's term distribution with probability ``topic_mix``,
+  otherwise from the global Zipf distribution.
+
+Everything is driven by one integer seed; generation is vectorized (a
+few numpy draws for the whole corpus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+_SYLLABLES = (
+    "ba be bi bo bu da de di do du fa fe fi fo fu ga ge gi go gu "
+    "ka ke ki ko ku la le li lo lu ma me mi mo mu na ne ni no nu "
+    "pa pe pi po pu ra re ri ro ru sa se si so su ta te ti to tu "
+    "va ve vi vo vu za ze zi zo zu"
+).split()
+
+
+def term_string(rank: int) -> str:
+    """Deterministic pronounceable surface form for a term rank."""
+    parts = []
+    value = rank
+    while True:
+        parts.append(_SYLLABLES[value % len(_SYLLABLES)])
+        value //= len(_SYLLABLES)
+        if value == 0:
+            break
+    return "".join(reversed(parts))
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of a synthetic collection."""
+
+    n_docs: int = 2000
+    vocabulary_size: int = 20_000
+    zipf_exponent: float = 1.1
+    zipf_shift: float = 2.7
+    n_topics: int = 40
+    terms_per_topic: int = 60
+    topic_mix: float = 0.55
+    #: Zipf exponent of the within-topic term distribution; topical
+    #: terms that are globally rarer are also rarer within their topic,
+    #: so every topic has both common and "interesting" rare terms
+    topic_zipf: float = 1.0
+    doc_length_mean: float = 160.0
+    doc_length_sigma: float = 0.45
+    min_doc_length: int = 10
+    #: topical terms are drawn from ranks in this fractional band
+    topical_band: tuple[float, float] = (0.05, 0.85)
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.n_docs <= 0 or self.vocabulary_size <= 0:
+            raise WorkloadError("n_docs and vocabulary_size must be positive")
+        if not 0.0 <= self.topic_mix <= 1.0:
+            raise WorkloadError(f"topic_mix must be in [0, 1], got {self.topic_mix}")
+        if self.n_topics <= 0 or self.terms_per_topic <= 0:
+            raise WorkloadError("n_topics and terms_per_topic must be positive")
+        lo, hi = self.topical_band
+        if not 0.0 <= lo < hi <= 1.0:
+            raise WorkloadError(f"invalid topical_band {self.topical_band}")
+        band_size = int((hi - lo) * self.vocabulary_size)
+        if self.terms_per_topic > band_size:
+            raise WorkloadError(
+                f"terms_per_topic={self.terms_per_topic} exceeds the topical band "
+                f"({band_size} terms)"
+            )
+
+
+class SyntheticCollection:
+    """Factory namespace for synthetic collections."""
+
+    @staticmethod
+    def generate(spec: SyntheticSpec | None = None, **overrides) -> "Collection":
+        """Generate a collection; keyword overrides update the spec.
+
+        ``SyntheticCollection.generate(n_docs=500, seed=3)`` is the
+        short form used throughout examples and tests.
+        """
+        from ..ir.documents import Collection, Document  # local import avoids cycles
+
+        if spec is None:
+            spec = SyntheticSpec(**overrides)
+        elif overrides:
+            spec = SyntheticSpec(**{**spec.__dict__, **overrides})
+        spec.validate()
+        rng = np.random.default_rng(spec.seed)
+
+        vocab = spec.vocabulary_size
+        ranks = np.arange(vocab, dtype=np.float64)
+        global_probs = 1.0 / np.power(ranks + 1.0 + spec.zipf_shift, spec.zipf_exponent)
+        global_probs /= global_probs.sum()
+
+        # plant topics in the mid-to-rare band; within a topic, terms
+        # are Zipf distributed too, ordered by global rank so globally
+        # rare terms are also the topic's rare ("interesting") ones
+        band_lo = int(spec.topical_band[0] * vocab)
+        band_hi = int(spec.topical_band[1] * vocab)
+        topic_terms = np.stack([
+            np.sort(rng.choice(np.arange(band_lo, band_hi),
+                               size=spec.terms_per_topic, replace=False))
+            for _ in range(spec.n_topics)
+        ])
+        topic_probs = 1.0 / np.power(
+            np.arange(1, spec.terms_per_topic + 1, dtype=np.float64), spec.topic_zipf
+        )
+        topic_probs /= topic_probs.sum()
+
+        # document skeletons
+        lengths = np.maximum(
+            rng.lognormal(np.log(spec.doc_length_mean), spec.doc_length_sigma, spec.n_docs)
+            .astype(np.int64),
+            spec.min_doc_length,
+        )
+        topics = rng.integers(0, spec.n_topics, size=spec.n_docs)
+        topical_counts = rng.binomial(lengths, spec.topic_mix)
+        global_counts = lengths - topical_counts
+
+        # one bulk draw for all global tokens, split per document
+        all_global = rng.choice(vocab, size=int(global_counts.sum()), p=global_probs)
+        global_splits = np.cumsum(global_counts)[:-1]
+        global_parts = np.split(all_global, global_splits)
+
+        # one bulk draw per topic for its topical tokens
+        doc_topical_parts: list[np.ndarray | None] = [None] * spec.n_docs
+        for topic in range(spec.n_topics):
+            members = np.nonzero(topics == topic)[0]
+            if len(members) == 0:
+                continue
+            counts = topical_counts[members]
+            draws = rng.choice(topic_terms[topic], size=int(counts.sum()),
+                               replace=True, p=topic_probs)
+            splits = np.cumsum(counts)[:-1]
+            for doc_index, part in zip(members, np.split(draws, splits)):
+                doc_topical_parts[doc_index] = part
+
+        documents = []
+        for doc_id in range(spec.n_docs):
+            topical = doc_topical_parts[doc_id]
+            if topical is None:
+                topical = np.empty(0, dtype=np.int64)
+            token_ids = np.concatenate([global_parts[doc_id], topical]).astype(np.int64)
+            rng.shuffle(token_ids)
+            documents.append(Document(doc_id, token_ids, topic=int(topics[doc_id])))
+
+        term_strings = [term_string(rank) for rank in range(vocab)]
+        collection = Collection(documents, term_strings, name=f"synthetic-{spec.seed}")
+        collection.extras["spec"] = spec
+        collection.extras["topic_terms"] = topic_terms
+        return collection

@@ -1,0 +1,70 @@
+"""Preset workloads modelled on the paper's experimental setting.
+
+The author's experiments ran on the Financial Times (FT) collection of
+TREC.  ``ft_like`` builds a scaled synthetic stand-in with FT-like
+shape parameters (long-tailed Zipf vocabulary, news-article lengths);
+``tiny`` and ``small`` are fast presets for tests and CI.
+"""
+
+from __future__ import annotations
+
+from ..ir.documents import Collection
+from .queries import QuerySet, generate_queries
+from .synthetic import SyntheticCollection, SyntheticSpec
+
+
+def tiny(seed: int = 0) -> SyntheticSpec:
+    """A few hundred documents; for unit tests."""
+    return SyntheticSpec(
+        n_docs=300,
+        vocabulary_size=4000,
+        zipf_exponent=1.35,
+        n_topics=10,
+        terms_per_topic=40,
+        topic_mix=0.45,
+        topic_zipf=1.5,
+        doc_length_mean=80.0,
+        seed=seed,
+    )
+
+
+def small(seed: int = 0) -> SyntheticSpec:
+    """A few thousand documents; for integration tests and quick runs."""
+    return SyntheticSpec(
+        n_docs=3000,
+        vocabulary_size=30_000,
+        zipf_exponent=1.5,
+        n_topics=45,
+        terms_per_topic=100,
+        topic_mix=0.35,
+        topic_zipf=1.5,
+        doc_length_mean=120.0,
+        seed=seed,
+    )
+
+
+def ft_like(scale: float = 1.0, seed: int = 0) -> SyntheticSpec:
+    """FT-shaped preset: ``scale=1.0`` is ~20k documents (a laptop-scale
+    stand-in for FT's ~210k; the paper's ratios, not its absolute
+    sizes, are the reproduction target)."""
+    n_docs = max(int(20_000 * scale), 100)
+    return SyntheticSpec(
+        n_docs=n_docs,
+        vocabulary_size=max(int(60_000 * scale ** 0.5), 3000),
+        zipf_exponent=1.5,
+        n_topics=max(int(120 * scale ** 0.5), 8),
+        terms_per_topic=100,
+        topic_mix=0.35,
+        topic_zipf=1.5,
+        doc_length_mean=220.0,
+        doc_length_sigma=0.5,
+        seed=seed,
+    )
+
+
+def build(spec: SyntheticSpec, n_queries: int = 50,
+          query_seed: int = 1) -> tuple[Collection, QuerySet]:
+    """Generate a (collection, query set) pair from a preset spec."""
+    collection = SyntheticCollection.generate(spec)
+    queries = generate_queries(collection, n_queries=n_queries, seed=query_seed)
+    return collection, queries

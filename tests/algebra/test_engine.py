@@ -1,0 +1,257 @@
+"""End-to-end tests for expression evaluation (parse -> flatten -> run)."""
+
+import pytest
+
+from repro.algebra import (
+    Apply,
+    CollectionValue,
+    FLOAT,
+    INT,
+    ListType,
+    Literal,
+    TupleType,
+    Var,
+    evaluate,
+    explain,
+    infer_type,
+    make_bag,
+    make_list,
+    make_set,
+    parse,
+)
+from repro.errors import AlgebraTypeError, EvaluationError, ParseError
+from repro.storage import CostCounter
+
+
+def run(text, env=None):
+    return evaluate(parse(text), env)
+
+
+class TestPaperExample1:
+    """The worked example from Section 3, Step 2 of the paper."""
+
+    def test_select_on_list(self):
+        # select([1, 2, 3, 4, 4, 5], 2, 4) == [2, 3, 4, 4]
+        result = run("select([1, 2, 3, 4, 4, 5], 2, 4)")
+        assert result.to_python() == [2, 3, 4, 4]
+        assert result.stype == ListType(INT)
+
+    def test_projecttobag(self):
+        result = run("projecttobag([1, 2, 3, 4, 4, 5])")
+        assert result.stype.extension_name == "BAG"
+        assert sorted(result.to_python()) == [1, 2, 3, 4, 4, 5]
+
+    def test_nested_expression(self):
+        # select(projecttobag([...]), 2, 4) -- the "bad" plan
+        result = run("select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)")
+        assert result.stype.extension_name == "BAG"
+        assert sorted(result.to_python()) == [2, 3, 4, 4]
+
+    def test_rewritten_equivalent(self):
+        # projecttobag(select([...], 2, 4)) -- the "good" plan
+        bad = run("select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)")
+        good = run("projecttobag(select([1, 2, 3, 4, 4, 5], 2, 4))")
+        assert bad.equals(good)
+
+
+class TestListOperators:
+    def test_sort(self):
+        assert run("sort([3, 1, 2])").to_python() == [1, 2, 3]
+
+    def test_sort_desc(self):
+        assert run("sort([3, 1, 2], 1)").to_python() == [3, 2, 1]
+
+    def test_topn(self):
+        assert run("topn([5, 9, 1, 7], 2)").to_python() == [9, 7]
+
+    def test_topn_ascending(self):
+        assert run("topn([5, 9, 1, 7], 2, 0)").to_python() == [1, 5]
+
+    def test_slice(self):
+        assert run("slice([10, 20, 30, 40], 1, 2)").to_python() == [20, 30]
+
+    def test_concat(self):
+        assert run("concat([1, 2], [3])").to_python() == [1, 2, 3]
+
+    def test_aggregates(self):
+        assert run("count([1, 2, 3])").to_python() == 3
+        assert run("sum([1.5, 2.5])").to_python() == 4.0
+        assert run("max([3, 9, 1])").to_python() == 9
+        assert run("min([3, 9, 1])").to_python() == 1
+
+    def test_aggregate_empty_max_raises(self):
+        with pytest.raises(EvaluationError):
+            run("max(xs)", {"xs": make_list([], element_type=INT)})
+
+    def test_projecttoset(self):
+        result = run("projecttoset([3, 1, 3])")
+        assert result.to_python() == {1, 3}
+
+    def test_select_on_strings(self):
+        assert run("select(['b', 'a', 'c'], 'a', 'b')").to_python() == ["b", "a"]
+
+
+class TestBagSetOperators:
+    def test_bag_select(self):
+        result = run("select(xs, 2, 3)", {"xs": make_bag([1, 2, 3, 2])})
+        assert result.equals(make_bag([2, 3, 2]))
+
+    def test_bag_sort_gives_list(self):
+        result = run("sort(xs)", {"xs": make_bag([3, 1])})
+        assert result.stype.extension_name == "LIST"
+        assert result.to_python() == [1, 3]
+
+    def test_bag_topn(self):
+        result = run("topn(xs, 2)", {"xs": make_bag([5, 1, 9])})
+        assert result.to_python() == [9, 5]
+
+    def test_bag_union(self):
+        result = run("union(xs, ys)", {"xs": make_bag([1, 2]), "ys": make_bag([2])})
+        assert result.equals(make_bag([1, 2, 2]))
+
+    def test_set_ops(self):
+        env = {"a": make_set([1, 2, 3]), "b": make_set([2, 3, 4])}
+        assert run("union(a, b)", env).to_python() == {1, 2, 3, 4}
+        assert run("intersect(a, b)", env).to_python() == {2, 3}
+        assert run("difference(a, b)", env).to_python() == {1}
+
+    def test_set_select_keeps_set(self):
+        result = run("select(a, 2, 9)", {"a": make_set([1, 2, 3])})
+        assert result.stype.extension_name == "SET"
+        assert result.to_python() == {2, 3}
+
+    def test_bag_slice_is_undefined(self):
+        from repro.errors import AlgebraError
+
+        with pytest.raises(AlgebraError):
+            run("slice(xs, 0, 1)", {"xs": make_bag([1])})
+
+
+class TestTupleCollections:
+    def docs(self, struct=ListType):
+        element = TupleType.of(doc=INT, score=FLOAT)
+        rows = [
+            {"doc": 1, "score": 0.3},
+            {"doc": 2, "score": 0.9},
+            {"doc": 3, "score": 0.5},
+        ]
+        return CollectionValue.from_rows(struct(element), rows)
+
+    def test_topn_by_field(self):
+        result = run("topn(docs, 'score', 2)", {"docs": self.docs()})
+        assert [row["doc"] for row in result.to_python()] == [2, 3]
+
+    def test_select_by_field(self):
+        result = run("select(docs, 'score', 0.4, 1.0)", {"docs": self.docs()})
+        assert [row["doc"] for row in result.to_python()] == [2, 3]
+
+    def test_sort_by_field(self):
+        result = run("sort(docs, 'score', 1)", {"docs": self.docs()})
+        assert [row["doc"] for row in result.to_python()] == [2, 3, 1]
+
+    def test_project(self):
+        result = run("project(docs, 'doc')", {"docs": self.docs()})
+        assert result.to_python() == [1, 2, 3]
+        assert result.stype == ListType(INT)
+
+    def test_aggregate_by_field(self):
+        assert run("max(docs, 'score')", {"docs": self.docs()}).to_python() == 0.9
+        assert run("sum(docs, 'score')", {"docs": self.docs()}).to_python() == pytest.approx(1.7)
+
+    def test_field_required_for_tuples(self):
+        with pytest.raises(AlgebraTypeError):
+            run("topn(docs, 2)", {"docs": self.docs()})
+
+    def test_unknown_field(self):
+        with pytest.raises(AlgebraTypeError):
+            run("topn(docs, 'nope', 2)", {"docs": self.docs()})
+
+
+class TestTyping:
+    def test_infer_type(self):
+        assert infer_type(parse("topn([1, 2], 1)")) == ListType(INT)
+        assert infer_type(parse("sum([1.0])")) == FLOAT
+
+    def test_unbound_variable(self):
+        with pytest.raises(AlgebraTypeError):
+            evaluate(parse("select(xs, 1, 2)"))
+
+    def test_unknown_operator(self):
+        from repro.errors import UnknownOperatorError
+
+        with pytest.raises(UnknownOperatorError):
+            run("frobnicate([1])")
+
+    def test_select_on_scalar_is_error(self):
+        with pytest.raises(AlgebraTypeError):
+            run("select(1, 2, 3)")
+
+    def test_field_on_atoms_is_error(self):
+        with pytest.raises(AlgebraTypeError):
+            run("select([1, 2], 'field', 1, 2)")
+
+
+class TestParser:
+    def test_whitespace_insensitive(self):
+        assert run(" select( [1,2,3] , 2 , 3 ) ").to_python() == [2, 3]
+
+    def test_floats_and_negatives(self):
+        assert run("select([-2.5, 0.5, 3.5], -3.0, 1.0)").to_python() == [-2.5, 0.5]
+
+    def test_bag_literal(self):
+        result = run("count({1, 1, 2})")
+        assert result.to_python() == 3  # bag keeps duplicates
+
+    def test_empty_list_literal(self):
+        assert run("count([])").to_python() == 0
+
+    def test_string_atoms(self):
+        assert run('count(["a", "b"])').to_python() == 2
+
+    def test_parse_errors(self):
+        for bad in ["select(", "select)", "[1, ", "select([1], 2, 3) extra", "@!", "[[1]]"]:
+            with pytest.raises(ParseError):
+                parse(bad)
+
+    def test_str_roundtrip(self):
+        expr = parse("select(projecttobag(xs), 2, 4)")
+        assert str(expr) == "select(projecttobag(xs), 2, 4)"
+
+
+class TestExplainAndCosts:
+    def test_explain_shows_plan(self):
+        plan_text = explain(parse("select(projecttobag(xs), 2, 4)"), {"xs": make_list([1, 2, 3])})
+        assert "range_select" in plan_text
+        assert "convert->BAG" in plan_text
+
+    def test_order_aware_select_is_cheaper(self):
+        """A select on a sorted LIST (binary search) must beat the same
+        select on an unsorted LIST of equal size (scan)."""
+        sorted_xs = make_list(list(range(50_000)))
+        shuffled = list(range(50_000))
+        shuffled[0], shuffled[-1] = shuffled[-1], shuffled[0]
+        unsorted_xs = make_list(shuffled)
+        expr = parse("select(xs, 100, 120)")
+        with CostCounter.activate() as fast:
+            evaluate(expr, {"xs": sorted_xs})
+        with CostCounter.activate() as slow:
+            evaluate(expr, {"xs": unsorted_xs})
+        assert fast.tuples_read < slow.tuples_read / 100
+
+    def test_topn_on_sorted_list_is_prefix(self):
+        """topn on a descending-sorted LIST should cost a slice, not a
+        partition of the whole input."""
+        xs = make_list(list(range(10_000, 0, -1)))
+        with CostCounter.activate() as cost:
+            result = evaluate(parse("topn(xs, 5)"), {"xs": xs})
+        assert result.to_python() == [10_000, 9_999, 9_998, 9_997, 9_996]
+        assert cost.comparisons < 100
+
+    def test_evaluate_with_expression_api(self):
+        expr = Apply("topn", Apply("select", Var("xs"), 10, 99), 3)
+        result = evaluate(expr, {"xs": make_list([5, 50, 500, 40, 30])})
+        assert result.to_python() == [50, 40, 30]
+
+    def test_literal_expression_node(self):
+        expr = Apply("count", Literal(make_list([1, 2, 3])))
+        assert evaluate(expr).to_python() == 3

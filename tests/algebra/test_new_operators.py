@@ -1,0 +1,136 @@
+"""Tests for the avg / reverse / contains / getat operators."""
+
+import pytest
+
+from repro.algebra import evaluate, make_bag, make_list, make_set, parse
+from repro.errors import AlgebraError, AlgebraTypeError, EvaluationError
+from repro.optimizer import DEFAULT_INTER_OBJECT_RULES, Optimizer, RuleContext, rewrite_fixpoint
+from repro.storage import CostCounter
+
+
+def run(text, env=None):
+    return evaluate(parse(text), env)
+
+
+class TestAvg:
+    def test_basic(self):
+        assert run("avg([1.0, 2.0, 3.0])").to_python() == 2.0
+
+    def test_on_bag_and_set(self):
+        assert run("avg(xs)", {"xs": make_bag([2, 4])}).to_python() == 3.0
+        assert run("avg(xs)", {"xs": make_set([2, 4])}).to_python() == 3.0
+
+    def test_by_field(self):
+        from repro.algebra import CollectionValue, FLOAT, INT, ListType, TupleType
+
+        docs = CollectionValue.from_rows(
+            ListType(TupleType.of(d=INT, s=FLOAT)),
+            [{"d": 1, "s": 2.0}, {"d": 2, "s": 4.0}],
+        )
+        assert run("avg(docs, 's')", {"docs": docs}).to_python() == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            run("avg(xs)", {"xs": make_list([], element_type=None) if False else make_list([])})
+
+    def test_strings_rejected(self):
+        with pytest.raises(AlgebraTypeError):
+            run("avg(['a'])")
+
+    def test_avg_through_bag_conversion(self):
+        out, trace = rewrite_fixpoint(
+            parse("avg(projecttobag(xs))"), DEFAULT_INTER_OBJECT_RULES,
+            RuleContext(env_types={"xs": make_list([1.0]).stype}),
+        )
+        assert str(out) == "avg(xs)"
+
+    def test_avg_not_through_set_conversion(self):
+        out, trace = rewrite_fixpoint(
+            parse("avg(projecttoset(xs))"), DEFAULT_INTER_OBJECT_RULES,
+            RuleContext(env_types={"xs": make_list([1.0]).stype}),
+        )
+        assert trace == []  # dedup changes the mean
+
+
+class TestReverse:
+    def test_basic(self):
+        assert run("reverse([1, 2, 3])").to_python() == [3, 2, 1]
+
+    def test_involution(self):
+        assert run("reverse(reverse([3, 1, 2]))").to_python() == [3, 1, 2]
+
+    def test_flips_sortedness(self):
+        out = run("reverse(xs)", {"xs": make_list([1, 2, 3])})
+        assert out.bat.tail_sorted_desc and not out.bat.tail_sorted
+
+    def test_reverse_enables_prefix_topn(self):
+        """reverse of an ascending list is descending: topn afterwards
+        is a prefix read."""
+        env = {"xs": make_list(list(range(10_000)))}
+        with CostCounter.activate() as cost:
+            out = run("topn(reverse(xs), 3)", env)
+        assert out.to_python() == [9999, 9998, 9997]
+        # reverse costs a full pass, but topn afterwards reads 3 tuples
+        assert cost.tuples_read <= 10_000 + 3
+
+    def test_bag_reverse_undefined(self):
+        with pytest.raises(AlgebraError):
+            run("reverse(xs)", {"xs": make_bag([1])})
+
+
+class TestContains:
+    def test_hit_and_miss(self):
+        assert run("contains([1, 2, 3], 2)").to_python() == 1
+        assert run("contains([1, 2, 3], 9)").to_python() == 0
+
+    def test_on_all_structures(self):
+        for maker in (make_list, make_bag, make_set):
+            assert run("contains(xs, 5)", {"xs": maker([1, 5])}).to_python() == 1
+
+    def test_strings(self):
+        assert run("contains(['a', 'b'], 'b')").to_python() == 1
+
+    def test_binary_search_on_sorted(self):
+        env = {"xs": make_list(list(range(100_000)))}
+        with CostCounter.activate() as cost:
+            run("contains(xs, 54321)", env)
+        assert cost.tuples_read < 100
+
+    def test_membership_pushdown_rule(self):
+        env_types = {"xs": make_list([1, 2]).stype}
+        for conversion in ("projecttobag", "projecttoset"):
+            out, trace = rewrite_fixpoint(
+                parse(f"contains({conversion}(xs), 2)"), DEFAULT_INTER_OBJECT_RULES,
+                RuleContext(env_types=env_types),
+            )
+            assert str(out) == "contains(xs, 2)"
+            assert trace[0].rule == "membership-through-conversion"
+
+    def test_pushdown_preserves_semantics(self):
+        optimizer = Optimizer()
+        env = {"xs": make_list([4, 4, 9])}
+        for needle, expected in ((4, 1), (5, 0)):
+            expr = parse(f"contains(projecttoset(xs), {needle})")
+            value, report = optimizer.execute(expr, env)
+            assert value.to_python() == expected
+
+    def test_arity_validation(self):
+        with pytest.raises(AlgebraTypeError):
+            run("contains([1, 2])")
+
+
+class TestGetAt:
+    def test_basic(self):
+        assert run("getat([10, 20, 30], 1)").to_python() == 20
+
+    def test_out_of_range(self):
+        with pytest.raises(EvaluationError):
+            run("getat([1], 5)")
+
+    def test_only_on_list(self):
+        with pytest.raises(AlgebraError):
+            run("getat(xs, 0)", {"xs": make_bag([1])})
+
+    def test_composes_with_sort(self):
+        # the median element
+        assert run("getat(sort([5, 1, 9]), 1)").to_python() == 5

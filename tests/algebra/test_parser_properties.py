@@ -1,0 +1,87 @@
+"""Property-based tests for the textual algebra parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import parse
+from repro.algebra.expr import Apply, ScalarLiteral, Var
+from repro.errors import ParseError
+
+identifiers = st.from_regex(r"[a-z_][a-z_0-9]{0,8}", fullmatch=True)
+numbers = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-100, max_value=100, allow_nan=False).map(
+        lambda f: round(f, 3)
+    ),
+)
+
+
+@st.composite
+def expr_texts(draw, depth=0):
+    """Random well-formed expression text plus its expected structure."""
+    if depth >= 3 or draw(st.booleans()):
+        name = draw(identifiers)
+        return name, ("var", name)
+    op = draw(identifiers)
+    n_args = draw(st.integers(1, 3))
+    parts, shapes = [], []
+    for _ in range(n_args):
+        if draw(st.booleans()):
+            scalar = draw(numbers)
+            parts.append(repr(scalar) if not isinstance(scalar, float) else f"{scalar}")
+            shapes.append(("scalar", scalar))
+        else:
+            text, shape = draw(expr_texts(depth=depth + 1))
+            parts.append(text)
+            shapes.append(shape)
+    return f"{op}({', '.join(parts)})", ("apply", op, tuple(shapes))
+
+
+def check_shape(expr, shape):
+    kind = shape[0]
+    if kind == "var":
+        assert isinstance(expr, Var) and expr.name == shape[1]
+    elif kind == "scalar":
+        assert isinstance(expr, ScalarLiteral)
+        assert expr.value == pytest.approx(shape[1])
+    else:
+        assert isinstance(expr, Apply) and expr.op == shape[1]
+        assert len(expr.args) == len(shape[2])
+        for child, child_shape in zip(expr.args, shape[2]):
+            check_shape(child, child_shape)
+
+
+@given(expr_texts())
+@settings(max_examples=150, deadline=None)
+def test_parse_recovers_structure(case):
+    text, shape = case
+    check_shape(parse(text), shape)
+
+
+@given(expr_texts())
+@settings(max_examples=100, deadline=None)
+def test_str_parse_roundtrip(case):
+    """Printing and reparsing is a fixpoint."""
+    text, _ = case
+    expr = parse(text)
+    assert parse(str(expr)) == expr
+
+
+@given(expr_texts())
+@settings(max_examples=60, deadline=None)
+def test_whitespace_insensitivity(case):
+    text, _ = case
+    spaced = text.replace(",", " , ").replace("(", " ( ").replace(")", " ) ")
+    assert parse(spaced) == parse(text)
+
+
+@given(st.text(alphabet="()[]{},. \"'abc123", max_size=25))
+@settings(max_examples=200, deadline=None)
+def test_garbage_never_crashes_differently(text):
+    """Arbitrary input either parses or raises ParseError — never any
+    other exception type."""
+    try:
+        parse(text)
+    except ParseError:
+        pass

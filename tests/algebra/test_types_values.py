@@ -1,0 +1,221 @@
+"""Unit tests for the structure type system and values."""
+
+import pytest
+
+from repro.algebra import (
+    AtomicType,
+    BagType,
+    CollectionValue,
+    FLOAT,
+    INT,
+    ListType,
+    STR,
+    SetType,
+    TupleType,
+    make_bag,
+    make_list,
+    make_set,
+)
+from repro.algebra.values import AtomValue, ELEM, TupleValue
+from repro.errors import AlgebraTypeError
+
+
+class TestTypes:
+    def test_atomic_kinds(self):
+        assert INT.kind == "int" and FLOAT.kind == "float" and STR.kind == "str"
+        with pytest.raises(AlgebraTypeError):
+            AtomicType("bool")
+
+    def test_numeric(self):
+        assert INT.numeric and FLOAT.numeric and not STR.numeric
+
+    def test_orderedness(self):
+        assert ListType(INT).ordered
+        assert not BagType(INT).ordered
+        assert not SetType(INT).ordered
+
+    def test_duplicates(self):
+        assert ListType(INT).allows_duplicates
+        assert BagType(INT).allows_duplicates
+        assert not SetType(INT).allows_duplicates
+
+    def test_extension_names(self):
+        assert ListType(INT).extension_name == "LIST"
+        assert BagType(INT).extension_name == "BAG"
+        assert SetType(INT).extension_name == "SET"
+        assert INT.extension_name == "ATOMIC"
+
+    def test_element(self):
+        assert ListType(FLOAT).element() == FLOAT
+        with pytest.raises(AlgebraTypeError):
+            INT.element()
+
+    def test_structural_equality(self):
+        assert ListType(INT) == ListType(INT)
+        assert ListType(INT) != BagType(INT)
+        assert ListType(INT) != ListType(FLOAT)
+
+    def test_nested_type_str(self):
+        assert str(ListType(BagType(INT))) == "LIST<BAG<int>>"
+
+    def test_tuple_type(self):
+        ttype = TupleType.of(doc=INT, score=FLOAT)
+        assert ttype.field("doc") == INT
+        assert ttype.field("score") == FLOAT
+        assert ttype.field_names() == ("doc", "score")
+        with pytest.raises(AlgebraTypeError):
+            ttype.field("nope")
+
+    def test_tuple_type_order_insensitive(self):
+        assert TupleType.of(a=INT, b=STR) == TupleType.of(b=STR, a=INT)
+
+
+class TestAtomValue:
+    def test_inference(self):
+        assert AtomValue(3).stype == INT
+        assert AtomValue(3.5).stype == FLOAT
+        assert AtomValue("x").stype == STR
+        assert AtomValue(True).stype == INT
+
+    def test_coercion(self):
+        assert AtomValue(3, FLOAT).value == 3.0
+        assert isinstance(AtomValue(3, FLOAT).value, float)
+
+    def test_equality(self):
+        assert AtomValue(3).equals(AtomValue(3))
+        assert not AtomValue(3).equals(AtomValue(3.0))  # different types
+        assert not AtomValue(3).equals(AtomValue(4))
+
+    def test_unsupported(self):
+        with pytest.raises(AlgebraTypeError):
+            AtomValue(object())
+
+
+class TestCollections:
+    def test_make_list_preserves_order(self):
+        value = make_list([3, 1, 2])
+        assert value.to_python() == [3, 1, 2]
+        assert value.stype == ListType(INT)
+
+    def test_make_list_records_sortedness(self):
+        assert make_list([1, 2, 3]).bat.tail_sorted
+        assert not make_list([3, 1]).bat.tail_sorted
+
+    def test_make_bag(self):
+        value = make_bag([1.5, 1.5])
+        assert value.stype == BagType(FLOAT)
+        assert value.count == 2
+
+    def test_make_set_dedups(self):
+        value = make_set([3, 1, 3, 2])
+        assert value.to_python() == {1, 2, 3}
+        assert value.count == 3
+
+    def test_empty_defaults_to_int(self):
+        assert make_list([]).stype == ListType(INT)
+
+    def test_strings(self):
+        value = make_list(["b", "a"])
+        assert value.to_python() == ["b", "a"]
+        assert value.stype == ListType(STR)
+
+    def test_explicit_element_type(self):
+        value = make_list([1, 2], element_type=FLOAT)
+        assert value.stype == ListType(FLOAT)
+        assert value.to_python() == [1.0, 2.0]
+
+    def test_list_equality_order_sensitive(self):
+        assert make_list([1, 2]).equals(make_list([1, 2]))
+        assert not make_list([1, 2]).equals(make_list([2, 1]))
+
+    def test_bag_equality_multiset(self):
+        assert make_bag([1, 2, 2]).equals(make_bag([2, 1, 2]))
+        assert not make_bag([1, 2]).equals(make_bag([1, 2, 2]))
+
+    def test_set_equality(self):
+        assert make_set([1, 2]).equals(make_set([2, 1, 1]))
+
+    def test_cross_structure_inequality(self):
+        assert not make_list([1]).equals(make_bag([1]))
+
+    def test_atomic_column_name_enforced(self):
+        from repro.storage import BAT
+
+        with pytest.raises(AlgebraTypeError):
+            CollectionValue(ListType(INT), {"wrong": BAT([1])})
+
+    def test_ragged_columns_rejected(self):
+        from repro.storage import BAT
+
+        element = TupleType.of(a=INT, b=INT)
+        with pytest.raises(AlgebraTypeError):
+            CollectionValue(ListType(element), {"a": BAT([1]), "b": BAT([1, 2])})
+
+    def test_nested_collections_rejected(self):
+        from repro.storage import BAT
+
+        with pytest.raises(AlgebraTypeError):
+            CollectionValue(ListType(ListType(INT)), {ELEM: BAT([1])})
+
+    def test_bat_accessor_tuple_elements_rejected(self):
+        element = TupleType.of(doc=INT, score=FLOAT)
+        rows = [{"doc": 1, "score": 0.5}]
+        value = CollectionValue.from_rows(ListType(element), rows)
+        with pytest.raises(AlgebraTypeError):
+            value.bat
+
+
+class TestTupleCollections:
+    def make_docs(self):
+        element = TupleType.of(doc=INT, score=FLOAT)
+        rows = [
+            {"doc": 7, "score": 0.9},
+            {"doc": 3, "score": 0.5},
+        ]
+        return CollectionValue.from_rows(ListType(element), rows)
+
+    def test_from_rows(self):
+        docs = self.make_docs()
+        assert docs.count == 2
+        assert list(docs.iter_elements()) == [
+            {"doc": 7, "score": 0.9},
+            {"doc": 3, "score": 0.5},
+        ]
+
+    def test_column_access(self):
+        docs = self.make_docs()
+        assert list(docs.column("doc").tail) == [7, 3]
+        with pytest.raises(AlgebraTypeError):
+            docs.column("nope")
+
+    def test_missing_field_rejected(self):
+        element = TupleType.of(doc=INT, score=FLOAT)
+        with pytest.raises(KeyError):
+            CollectionValue.from_rows(ListType(element), [{"doc": 1}])
+
+    def test_bag_of_tuples_equality(self):
+        element = TupleType.of(a=INT)
+        rows = [{"a": 1}, {"a": 2}]
+        forward = CollectionValue.from_rows(BagType(element), rows)
+        backward = CollectionValue.from_rows(BagType(element), list(reversed(rows)))
+        assert forward.equals(backward)
+
+
+class TestTupleValue:
+    def test_fields(self):
+        record = TupleValue({"n": AtomValue(3), "name": AtomValue("x")})
+        assert record.field("n").value == 3
+        assert record.stype == TupleType.of(n=INT, name=STR)
+        with pytest.raises(AlgebraTypeError):
+            record.field("missing")
+
+    def test_equality(self):
+        a = TupleValue({"n": AtomValue(3)})
+        b = TupleValue({"n": AtomValue(3)})
+        c = TupleValue({"n": AtomValue(4)})
+        assert a.equals(b)
+        assert not a.equals(c)
+
+    def test_to_python(self):
+        record = TupleValue({"xs": make_list([1, 2]), "n": AtomValue(5)})
+        assert record.to_python() == {"xs": [1, 2], "n": 5}

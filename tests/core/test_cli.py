@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+SCALE = ["--scale", "0.006", "--seed", "3"]
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_stats(self):
+        code, text = run_cli(SCALE + ["stats"])
+        assert code == 0
+        assert "n_docs" in text
+        assert "small_volume_share" in text
+
+    def test_zipf(self):
+        code, text = run_cli(SCALE + ["zipf"])
+        assert code == 0
+        assert "zipf exponent" in text
+        assert "95% of volume" in text
+
+    def test_search_known_terms(self):
+        # find a real term first via the workload generator
+        from repro.workloads import SyntheticCollection, generate_queries, trec
+
+        collection = SyntheticCollection.generate(trec.ft_like(scale=0.006, seed=3))
+        query = generate_queries(collection, n_queries=1, seed=4).queries[0]
+        terms = [collection.term_strings[t] for t in query.term_ids]
+        code, text = run_cli(SCALE + ["search", *terms, "--n", "5",
+                                      "--strategy", "indexed"])
+        assert code == 0
+        assert "strategy=indexed" in text
+        assert "doc" in text
+
+    def test_search_unknown_terms(self):
+        code, text = run_cli(SCALE + ["search", "zzzznotaterm"])
+        assert code == 1
+        assert "no results" in text
+
+    def test_experiment_e3(self):
+        code, text = run_cli(SCALE + ["experiment", "e3", "--queries", "8"])
+        assert code == 0
+        assert "data touched reduction" in text
+        assert "average-precision drop" in text
+
+    def test_example1(self):
+        code, text = run_cli(["example1"])
+        assert code == 0
+        assert "projecttobag(select(" in text
+        assert "[2, 3, 4, 4]" in text
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["frobnicate"])
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "example1"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "projecttobag(select(" in proc.stdout

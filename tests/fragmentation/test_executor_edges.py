@@ -1,0 +1,100 @@
+"""Edge-case tests for the fragmented executor and quality check."""
+
+import numpy as np
+import pytest
+
+from repro.fragmentation import (
+    FragmentedExecutor,
+    QualityCheck,
+    Strategy,
+    fragment_by_volume,
+)
+from repro.ir import BM25, Collection, Document, InvertedIndex
+
+
+def build_world(n_docs=60, seed=5):
+    """A small hand-rolled collection with one very frequent term (0)
+    and several rare ones, so the fragment boundary is predictable."""
+    rng = np.random.default_rng(seed)
+    docs = []
+    for i in range(n_docs):
+        tokens = [0] * 5  # term 0 in every document
+        tokens += rng.integers(1, 30, size=10).tolist()
+        docs.append(Document(i, np.asarray(tokens, dtype=np.int64)))
+    collection = Collection(docs, [f"t{j}" for j in range(30)], name="hand")
+    index = InvertedIndex.build(collection)
+    fragmented = fragment_by_volume(index, volume_cut=0.5)
+    return index, fragmented
+
+
+class TestExecutorEdges:
+    def test_frequent_term_is_in_large_fragment(self):
+        index, fragmented = build_world()
+        assert not fragmented.in_small[0]
+
+    def test_unsafe_returns_empty_for_large_only_query(self):
+        index, fragmented = build_world()
+        executor = FragmentedExecutor(fragmented, BM25())
+        result = executor.query([0], 5, Strategy.UNSAFE_SMALL)
+        assert len(result) == 0
+        assert result.stats["terms_skipped"] == 1
+
+    def test_switch_recovers_large_only_query(self):
+        index, fragmented = build_world()
+        executor = FragmentedExecutor(fragmented, BM25())
+        exact = executor.query([0], 5, Strategy.UNFRAGMENTED)
+        switch = executor.query([0], 5, Strategy.SAFE_SWITCH)
+        assert switch.stats["switched"]
+        assert switch.same_ranking(exact)
+
+    def test_indexed_builds_lazily_once(self):
+        index, fragmented = build_world()
+        executor = FragmentedExecutor(fragmented, BM25())
+        assert not fragmented.large.has_index
+        executor.query([0], 5, Strategy.INDEXED)
+        assert fragmented.large.has_index
+        first_index = fragmented.large._sparse_index
+        executor.query([0], 5, Strategy.INDEXED)
+        assert fragmented.large._sparse_index is first_index
+
+    def test_query_with_zero_df_term(self):
+        index, fragmented = build_world()
+        executor = FragmentedExecutor(fragmented, BM25())
+        # term 29 may be unused; an unused term must simply contribute 0
+        result = executor.query([29, 5], 5, Strategy.UNFRAGMENTED)
+        assert result.safe
+
+    def test_small_only_query_never_switches(self):
+        index, fragmented = build_world()
+        executor = FragmentedExecutor(fragmented, BM25())
+        small_terms = [t for t in range(1, 30) if fragmented.in_small[t]][:3]
+        result = executor.query(small_terms, 5, Strategy.SAFE_SWITCH)
+        assert not result.stats["switched"]
+
+    def test_all_strategies_handle_empty_query(self):
+        index, fragmented = build_world()
+        executor = FragmentedExecutor(fragmented, BM25())
+        for strategy in Strategy:
+            assert len(executor.query([], 5, strategy)) == 0
+
+
+class TestQualityCheckEdges:
+    def test_missing_mass_is_sum_of_bounds(self):
+        index, fragmented = build_world()
+        model = BM25()
+        check = QualityCheck()
+        decision = check.decide(index, model, [0], nth_score=100.0, found=50, n=5)
+        expected = model.upper_bound(index, index.term_stats(0))
+        assert decision.missing_mass == pytest.approx(expected)
+
+    def test_zero_nth_score_guard(self):
+        index, fragmented = build_world()
+        decision = QualityCheck().decide(index, BM25(), [0], nth_score=0.0,
+                                         found=50, n=5)
+        assert decision.switch  # any mass dominates a zero threshold
+
+    def test_decision_bool(self):
+        index, fragmented = build_world()
+        decision = QualityCheck().decide(index, BM25(), [], nth_score=1.0,
+                                         found=50, n=5)
+        assert not bool(decision)

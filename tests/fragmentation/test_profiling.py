@@ -1,0 +1,131 @@
+"""Tests for learned (profiled) fragmentation of feature spaces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopNError, WorkloadError
+from repro.fragmentation import ProfiledFragments, profile_hits, profiled_topn
+from repro.mm import query_near_cluster, texture_features
+from repro.storage import CostCounter
+
+
+@pytest.fixture(scope="module")
+def space():
+    # clustered space: some clusters are dense (their members answer
+    # many queries), so profiling finds a skewed hit distribution
+    return texture_features(800, dim=6, n_clusters=6, spread=0.08, seed=131)
+
+
+@pytest.fixture(scope="module")
+def hits(space):
+    return profile_hits(space, n_queries=150, k=30, seed=1)
+
+
+@pytest.fixture(scope="module")
+def fragments(space, hits):
+    return ProfiledFragments(space, hits, hot_fraction=0.25, n_groups=24, seed=2)
+
+
+class TestProfiling:
+    def test_hits_cover_objects(self, space, hits):
+        assert len(hits) == space.n_objects
+        assert hits.sum() == 150 * 30  # every query contributes exactly k
+
+    def test_hit_distribution_is_skewed(self, fragments):
+        """The learned distribution concentrates: the hot 25% of
+        objects capture well over 25% of the hits."""
+        assert fragments.hit_skew() > 0.4
+
+    def test_deterministic(self, space):
+        a = profile_hits(space, n_queries=20, k=10, seed=9)
+        b = profile_hits(space, n_queries=20, k=10, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_validation(self, space):
+        with pytest.raises(WorkloadError):
+            profile_hits(space, n_queries=0)
+        with pytest.raises(WorkloadError):
+            profile_hits(space, k=0)
+
+
+class TestFragments:
+    def test_partition(self, space, fragments):
+        union = np.sort(np.concatenate([fragments.hot_ids, fragments.cold_ids]))
+        assert np.array_equal(union, np.arange(space.n_objects))
+
+    def test_hot_share(self, fragments):
+        assert fragments.hot_share() == pytest.approx(0.25, abs=0.01)
+
+    def test_groups_cover_cold(self, fragments):
+        grouped = np.sort(np.concatenate([g.members for g in fragments.groups]))
+        assert np.array_equal(grouped, fragments.cold_ids)
+
+    def test_radii_are_valid_bounds(self, space, fragments):
+        for group in fragments.groups:
+            vectors = space.vectors[group.members]
+            distances = np.sqrt(((vectors - group.centroid) ** 2).sum(axis=1))
+            assert distances.max() <= group.radius + 1e-9
+
+    def test_validation(self, space, hits):
+        with pytest.raises(WorkloadError):
+            ProfiledFragments(space, hits, hot_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            ProfiledFragments(space, hits[:-1])
+
+
+class TestProfiledTopN:
+    def queries(self, space, count=10):
+        return [query_near_cluster(space, cluster=i % 6, seed=100 + i)
+                for i in range(count)]
+
+    def test_safe_mode_is_exact(self, space, fragments):
+        for query in self.queries(space):
+            exact = profiled_topn(fragments, query, 10, mode="full")
+            safe = profiled_topn(fragments, query, 10, mode="safe")
+            assert safe.same_ranking(exact)
+            assert safe.safe
+
+    def test_safe_mode_prunes(self, space, fragments):
+        total_scored = 0
+        total_pruned = 0
+        for query in self.queries(space):
+            result = profiled_topn(fragments, query, 10, mode="safe")
+            total_scored += result.stats["objects_scored"]
+            total_pruned += result.stats["groups_pruned"]
+        # safe mode must do less work than scoring everything, and the
+        # group bounds must actually fire
+        assert total_scored < 10 * space.n_objects
+        assert total_pruned > 0
+
+    def test_unsafe_mode_cheaper_but_lossy_overall(self, space, fragments):
+        exact_sets = []
+        unsafe_sets = []
+        scored = 0
+        for query in self.queries(space, count=20):
+            exact = profiled_topn(fragments, query, 10, mode="full")
+            unsafe = profiled_topn(fragments, query, 10, mode="unsafe")
+            assert not unsafe.safe
+            scored += unsafe.stats["objects_scored"]
+            exact_sets.append(set(exact.doc_ids))
+            unsafe_sets.append(set(unsafe.doc_ids))
+        overlaps = [len(a & b) / max(len(a), 1) for a, b in zip(exact_sets, unsafe_sets)]
+        assert scored == 20 * len(fragments.hot_ids)
+        # quality is data-dependent ("not independent from the data
+        # set"): good on hot clusters, lossy overall
+        assert 0.1 < np.mean(overlaps) <= 1.0
+
+    def test_cost_ordering(self, space, fragments):
+        query = self.queries(space, count=1)[0]
+        with CostCounter.activate() as unsafe_cost:
+            profiled_topn(fragments, query, 10, mode="unsafe")
+        with CostCounter.activate() as safe_cost:
+            profiled_topn(fragments, query, 10, mode="safe")
+        with CostCounter.activate() as full_cost:
+            profiled_topn(fragments, query, 10, mode="full")
+        assert unsafe_cost.tuples_read <= safe_cost.tuples_read <= full_cost.tuples_read
+
+    def test_validation(self, space, fragments):
+        with pytest.raises(TopNError):
+            profiled_topn(fragments, np.zeros(space.dim), 5, mode="warp")
+        with pytest.raises(TopNError):
+            profiled_topn(fragments, np.zeros(space.dim + 1), 5)

@@ -1,0 +1,84 @@
+"""Integration: ranked retrieval results post-processed in the algebra."""
+
+import pytest
+
+from repro.algebra import evaluate, parse
+from repro.core import MMDatabase, RANKING_TYPE, ranking_to_value, value_to_ranking
+from repro.errors import AlgebraTypeError
+from repro.optimizer import Optimizer
+from repro.storage import CostCounter
+from repro.topn import RankedItem, TopNResult
+from repro.workloads import SyntheticCollection, generate_queries, trec
+
+
+@pytest.fixture(scope="module")
+def ranked():
+    collection = SyntheticCollection.generate(trec.tiny(seed=81))
+    db = MMDatabase.from_collection(collection)
+    queries = generate_queries(collection, n_queries=1, seed=2)
+    result = db.search(list(queries.queries[0].term_ids), n=50, strategy="naive")
+    return ranking_to_value(result.result)
+
+
+class TestBridge:
+    def test_lift_type(self, ranked):
+        assert ranked.stype == RANKING_TYPE
+        assert ranked.count <= 50
+
+    def test_score_column_marked_sorted(self, ranked):
+        assert ranked.column("score").tail_sorted_desc
+
+    def test_roundtrip(self, ranked):
+        result = value_to_ranking(ranked)
+        again = ranking_to_value(result)
+        assert again.equals(ranked)
+
+    def test_roundtrip_empty(self):
+        empty = TopNResult([], 5, "x", True)
+        assert value_to_ranking(ranking_to_value(empty)).doc_ids == []
+
+    def test_wrong_type_rejected(self):
+        from repro.algebra import make_list
+
+        with pytest.raises(AlgebraTypeError):
+            value_to_ranking(make_list([1, 2]))
+
+    def test_unsorted_value_rejected(self, ranked):
+        reordered = evaluate(parse("sort(r, 'score')"), {"r": ranked})  # ascending
+        if reordered.count > 1:
+            with pytest.raises(AlgebraTypeError):
+                value_to_ranking(reordered)
+
+
+class TestAlgebraPostProcessing:
+    def test_score_cutoff_in_algebra(self, ranked):
+        scores = [row["score"] for row in ranked.iter_elements()]
+        cutoff = scores[len(scores) // 2]
+        out = evaluate(parse(f"select(r, 'score', {cutoff}, 1000000.0)"), {"r": ranked})
+        assert all(row["score"] >= cutoff for row in out.iter_elements())
+        # still a valid ranking
+        assert value_to_ranking(out).doc_ids[0] == value_to_ranking(ranked).doc_ids[0]
+
+    def test_recut_topn(self, ranked):
+        out = evaluate(parse("topn(r, 'score', 5)"), {"r": ranked})
+        assert value_to_ranking(out).doc_ids == value_to_ranking(ranked).doc_ids[:5]
+
+    def test_project_docs(self, ranked):
+        out = evaluate(parse("project(r, 'doc')"), {"r": ranked})
+        assert out.to_python() == value_to_ranking(ranked).doc_ids
+
+    def test_optimizer_over_ranked_values(self, ranked):
+        """A re-cut phrased as sort+slice gets rewritten to the special
+        top-N operator and yields the same ranking."""
+        optimizer = Optimizer()
+        expr = parse("slice(sort(r, 'score', 1), 0, 5)")
+        value, report = optimizer.execute(expr, {"r": ranked})
+        assert str(report.optimized) == "topn(r, 'score', 5, 1)"
+        assert value_to_ranking(value).doc_ids == value_to_ranking(ranked).doc_ids[:5]
+
+    def test_prefix_topn_is_cheap(self, ranked):
+        """The ranking's score column is desc-sorted, so an algebra
+        top-N over it is a prefix read."""
+        with CostCounter.activate() as cost:
+            evaluate(parse("topn(r, 'score', 3)"), {"r": ranked})
+        assert cost.tuples_read <= 3 * 3  # prefix rows times columns

@@ -1,0 +1,146 @@
+"""Integration tests: whole-system flows across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import MMDatabase, QuerySession
+from repro.fragmentation import Strategy
+from repro.ir import BM25, InvertedIndex, LanguageModel, TfIdf
+from repro.mm import PostingsSource
+from repro.storage import BAT, Catalog, CostCounter
+from repro.topn import SUM, naive_topn, nra_topn, threshold_topn
+from repro.workloads import SyntheticCollection, generate_queries, trec
+
+
+@pytest.fixture(scope="module")
+def world():
+    collection = SyntheticCollection.generate(trec.tiny(seed=71))
+    db = MMDatabase.from_collection(collection)
+    db.fragment()
+    queries = generate_queries(collection, n_queries=10, rare_bias=3.0, seed=3)
+    return db, queries
+
+
+class TestCrossSubstrateConsistency:
+    """The same query answered through different subsystems must agree."""
+
+    def test_ta_over_postings_equals_naive(self, world):
+        db, queries = world
+        for query in queries.queries[:5]:
+            tids = list(query.term_ids)
+            naive = naive_topn(db.index, tids, db.model, 10)
+            sources = [PostingsSource(db.index, tid, db.model) for tid in tids]
+            ta = threshold_topn(sources, 10, SUM)
+            # compare positive-score prefixes (zero-score candidates tie
+            # arbitrarily between the two representations)
+            naive_positive = [d for d, s in zip(naive.doc_ids, naive.scores) if s > 1e-12]
+            ta_positive = [d for d, s in zip(ta.doc_ids, ta.scores) if s > 1e-12]
+            assert ta_positive == naive_positive
+
+    def test_nra_over_postings_agrees_on_membership(self, world):
+        db, queries = world
+        query = queries.queries[0]
+        tids = list(query.term_ids)
+        naive = naive_topn(db.index, tids, db.model, 5)
+        sources = [PostingsSource(db.index, tid, db.model) for tid in tids]
+        nra = nra_topn(sources, 5, SUM, check_every=4)
+        naive_positive = {d for d, s in zip(naive.doc_ids, naive.scores) if s > 1e-12}
+        assert naive_positive <= set(nra.doc_ids) | naive_positive
+
+    def test_all_strategies_agree_on_safe_answers(self, world):
+        db, queries = world
+        for query in queries.queries[:5]:
+            tids = list(query.term_ids)
+            exact = db.search(tids, n=10, strategy=Strategy.UNFRAGMENTED)
+            switch = db.search(tids, n=10, strategy=Strategy.SAFE_SWITCH)
+            indexed = db.search(tids, n=10, strategy=Strategy.INDEXED)
+            assert switch.doc_ids == indexed.doc_ids
+            # when the quality check switched, answers equal the exact ones
+            if switch.result.stats["switched"] or not switch.result.stats["terms_large"]:
+                assert switch.doc_ids == exact.doc_ids
+
+    @pytest.mark.parametrize("model_cls", [TfIdf, BM25, LanguageModel])
+    def test_models_work_through_all_paths(self, world, model_cls):
+        db, queries = world
+        model = model_cls()
+        tids = list(queries.queries[1].term_ids)
+        naive = naive_topn(db.index, tids, model, 5)
+        sources = [PostingsSource(db.index, tid, model) for tid in tids]
+        ta = threshold_topn(sources, 5, SUM)
+        naive_positive = [d for d, s in zip(naive.doc_ids, naive.scores) if s > 1e-12]
+        ta_positive = [d for d, s in zip(ta.doc_ids, ta.scores) if s > 1e-12]
+        assert ta_positive == naive_positive
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        def build_and_search():
+            collection = SyntheticCollection.generate(trec.tiny(seed=99))
+            db = MMDatabase.from_collection(collection)
+            db.fragment()
+            queries = generate_queries(collection, n_queries=3, seed=5)
+            return [
+                db.search(list(q.term_ids), n=10, strategy="indexed").doc_ids
+                for q in queries
+            ]
+
+        assert build_and_search() == build_and_search()
+
+    def test_cost_accounting_deterministic(self, world):
+        db, queries = world
+        tids = list(queries.queries[2].term_ids)
+        db.search(tids, n=10, strategy="unfragmented")  # warm any lazies
+        with CostCounter.activate() as first:
+            db.search(tids, n=10, strategy="unfragmented")
+        with CostCounter.activate() as second:
+            db.search(tids, n=10, strategy="unfragmented")
+        assert first.tuples_read == second.tuples_read
+        assert first.comparisons == second.comparisons
+
+
+class TestPersistenceRoundTrip:
+    def test_index_bats_survive_catalog(self, tmp_path, world):
+        """The inverted index's BATs round-trip through the catalog and
+        produce identical search results."""
+        db, queries = world
+        index = db.index
+        catalog = Catalog()
+        catalog.register("postings_terms", index.postings_terms)
+        catalog.register("postings_docs", index.postings_docs)
+        catalog.register("postings_tf", index.postings_tf)
+        catalog.register("doc_lengths", index.doc_lengths)
+        catalog.save(tmp_path / "db")
+
+        loaded = Catalog.load(tmp_path / "db")
+        rebuilt = InvertedIndex(
+            loaded.get("postings_terms"),
+            loaded.get("postings_docs"),
+            loaded.get("postings_tf"),
+            index.offsets,
+            loaded.get("doc_lengths"),
+            index.vocabulary,
+        )
+        tids = list(queries.queries[0].term_ids)
+        original = naive_topn(index, tids, db.model, 10)
+        reloaded = naive_topn(rebuilt, tids, db.model, 10)
+        assert original.same_ranking(reloaded)
+
+
+class TestSessionQualitySanity:
+    def test_retrieval_beats_random(self, world):
+        """BM25 over the synthetic topical collection must rank topic
+        documents far better than chance (validates the whole stack:
+        generator -> index -> model -> topn)."""
+        db, queries = world
+        session = QuerySession(db)
+        report = session.run(queries, n=20, strategy="unfragmented")
+        # random precision ~ (topic size / collection) ~ 10%
+        assert report.mean_precision_at_n > 0.3
+
+    def test_unsafe_quality_between_zero_and_exact(self, world):
+        db, queries = world
+        session = QuerySession(db)
+        reference = session.reference_rankings(queries, n=20)
+        unsafe = session.run(queries, n=20, strategy="unsafe-small",
+                             reference_rankings=reference)
+        assert 0.0 < unsafe.mean_overlap_vs_reference < 1.0

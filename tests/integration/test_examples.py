@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example must run and print its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "fragmented:" in out
+        for strategy in ("unfragmented", "unsafe-small", "safe-switch", "indexed"):
+            assert strategy in out
+
+    def test_image_search(self):
+        out = run_example("image_search.py")
+        assert "FA" in out and "TA" in out and "NRA" in out
+        assert "combined text+color query" in out
+
+    def test_optimizer_playground(self):
+        out = run_example("optimizer_playground.py")
+        assert "projecttobag(select(" in out
+        assert "[2, 3, 4, 4]" in out
+        assert "measured tuples" in out
+
+    def test_relational_topn(self):
+        out = run_example("relational_topn.py")
+        assert "sort-stop" in out
+        assert "answers exact" in out
+
+    def test_trec_fragmentation_small_scale(self):
+        out = run_example("trec_fragmentation.py", "0.02", timeout=300)
+        assert "paper claims vs this run" in out
+        assert "data processed reduction" in out

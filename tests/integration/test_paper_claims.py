@@ -1,0 +1,137 @@
+"""Fast in-suite checks of the paper's headline claims.
+
+The benchmark harness regenerates the full experiment tables; these
+tests assert the same *shapes* at unit-test scale so `pytest tests/`
+alone already certifies the reproduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra import evaluate, parse
+from repro.core import MMDatabase, QuerySession
+from repro.ir import InvertedIndex, fit_zipf, vocabulary_share_for_volume
+from repro.optimizer import Optimizer
+from repro.storage import CostCounter
+from repro.workloads import SyntheticCollection, generate_queries, trec
+
+
+@pytest.fixture(scope="module")
+def world():
+    collection = SyntheticCollection.generate(trec.small(seed=201))
+    db = MMDatabase.from_collection(collection)
+    db.fragment(volume_cut=0.95)
+    queries = generate_queries(collection, n_queries=20, terms_range=(3, 8),
+                               rare_bias=3.0, seed=8)
+    return db, queries
+
+
+class TestSection3Step1:
+    """The fragmentation claims."""
+
+    def test_zipf_premise(self, world):
+        db, _ = world
+        cf = db.index.vocabulary.cf_array()
+        fit = fit_zipf(cf[cf > 0], min_frequency=3)
+        assert fit.r_squared > 0.85  # "text data is Zipf distributed"
+        share = vocabulary_share_for_volume(cf[cf > 0].astype(float), 0.95)
+        assert share < 0.5  # a minority of terms owns 95% of the volume
+
+    def test_small_fragment_shape(self, world):
+        db, _ = world
+        # "approximately 5% of the unfragmented size"
+        assert db.fragmented.small_volume_share() == pytest.approx(0.05, abs=0.01)
+        # "containing the ... most interesting terms" (the vocabulary bulk)
+        assert db.fragmented.small_vocabulary_share() > 0.75
+
+    def test_unsafe_speedup_and_quality_drop(self, world):
+        db, queries = world
+        session = QuerySession(db)
+        reference = session.reference_rankings(queries, n=20)
+        exact = session.run(queries, n=20, strategy="unfragmented",
+                            reference_rankings=reference)
+        unsafe = session.run(queries, n=20, strategy="unsafe-small",
+                             reference_rankings=reference)
+        # ">= 60%" speedup in modeled time (shape: at least half)
+        assert 1 - unsafe.modeled_seconds / exact.modeled_seconds > 0.5
+        # "answer quality dropped more than 30%" (shape: a clear drop)
+        drop = 1 - unsafe.mean_average_precision / exact.mean_average_precision
+        assert drop > 0.15
+
+    def test_switch_restores_quality_and_costs(self, world):
+        db, queries = world
+        session = QuerySession(db)
+        reference = session.reference_rankings(queries, n=20)
+        unsafe = session.run(queries, n=20, strategy="unsafe-small",
+                             reference_rankings=reference)
+        switch = session.run(queries, n=20, strategy="safe-switch",
+                             reference_rankings=reference)
+        assert switch.mean_overlap_vs_reference > unsafe.mean_overlap_vs_reference
+        assert switch.tuples_read > unsafe.tuples_read  # "lowered the speed"
+
+    def test_nondense_index_decreases_execution_time(self, world):
+        db, queries = world
+        session = QuerySession(db)
+        switch = session.run(queries, n=20, strategy="safe-switch")
+        indexed = session.run(queries, n=20, strategy="indexed")
+        assert indexed.modeled_seconds < switch.modeled_seconds / 2
+
+
+class TestSection3Step2:
+    """Example 1 and the inter-object layer."""
+
+    def test_example_1_verbatim(self):
+        expr = parse("select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)")
+        value, report = Optimizer().execute(expr)
+        # the rewritten shape: conversion on the outside, select inside
+        assert str(report.optimized).startswith("projecttobag(select(")
+        assert "push-select-through-conversion" in report.rules_fired()
+        assert sorted(value.to_python()) == [2, 3, 4, 4]
+
+    def test_rewrite_is_more_efficient(self):
+        from repro.algebra import make_list
+
+        env = {"xs": make_list(list(range(30_000)))}
+        bad = parse("select(projecttobag(xs), 100, 200)")
+        good = parse("projecttobag(select(xs, 100, 200))")
+        with CostCounter.activate() as bad_cost:
+            evaluate(bad, env)
+        with CostCounter.activate() as good_cost:
+            evaluate(good, env)
+        # "can be executed more efficient ... even more efficiently when
+        # the system is aware of the ordering"
+        assert good_cost.tuples_read < bad_cost.tuples_read / 50
+
+
+class TestSection3Step3:
+    """The centralized cost model."""
+
+    def test_cost_model_orders_the_example(self):
+        from repro.algebra import make_list
+        from repro.optimizer import CostModel
+
+        env = {"xs": make_list(list(range(10_000)))}
+        model = CostModel()
+        bad = model.estimate_expr(parse("select(projecttobag(xs), 1, 2)"), env)
+        good = model.estimate_expr(parse("projecttobag(select(xs, 1, 2))"), env)
+        assert good.cost < bad.cost
+
+
+class TestSection2:
+    """Safe vs unsafe and bound administration."""
+
+    def test_safe_technique_is_exact_with_smaller_speedup(self, world):
+        from repro.mm import PostingsSource
+        from repro.topn import SUM, naive_topn, threshold_topn
+
+        db, queries = world
+        query = max(queries.queries, key=lambda q: len(q.term_ids))
+        tids = list(query.term_ids)
+        naive = naive_topn(db.index, tids, db.model, 20)
+        sources = [PostingsSource(db.index, t, db.model) for t in tids]
+        with CostCounter.activate() as cost:
+            safe = threshold_topn(sources, 20, SUM)
+        naive_positive = [d for d, s in zip(naive.doc_ids, naive.scores) if s > 1e-12]
+        safe_positive = [d for d, s in zip(safe.doc_ids, safe.scores) if s > 1e-12]
+        assert safe_positive == naive_positive  # safe: quality maintained
+        assert cost.sorted_accesses <= sum(db.index.posting_length(t) for t in tids)

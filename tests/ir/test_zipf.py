@@ -1,0 +1,93 @@
+"""Unit tests for Zipf analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ir import fit_zipf, rank_frequency_table, vocabulary_share_for_volume, volume_share_of_top_terms
+
+
+def zipf_freqs(n=5000, exponent=1.1, scale=1e6):
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return scale / ranks ** exponent
+
+
+class TestFitZipf:
+    def test_recovers_exponent(self):
+        fit = fit_zipf(zipf_freqs(exponent=1.1))
+        assert fit.exponent == pytest.approx(1.1, abs=0.02)
+        assert fit.r_squared > 0.999
+
+    def test_recovers_other_exponent(self):
+        fit = fit_zipf(zipf_freqs(exponent=0.8))
+        assert fit.exponent == pytest.approx(0.8, abs=0.02)
+
+    def test_order_invariant(self):
+        freqs = zipf_freqs(100)
+        shuffled = freqs.copy()
+        np.random.default_rng(0).shuffle(shuffled)
+        assert fit_zipf(freqs).exponent == pytest.approx(fit_zipf(shuffled).exponent)
+
+    def test_min_frequency_drops_tail(self):
+        freqs = np.concatenate([zipf_freqs(100, scale=1000), np.ones(50) * 0.5])
+        fit = fit_zipf(freqs, min_frequency=1)
+        assert fit.n_terms == 100
+
+    def test_too_few_terms(self):
+        with pytest.raises(WorkloadError):
+            fit_zipf(np.array([5.0, 3.0]))
+
+    def test_predicted_cf(self):
+        fit = fit_zipf(zipf_freqs())
+        assert fit.predicted_cf(1) == pytest.approx(1e6, rel=0.05)
+
+
+class TestVolumeShares:
+    def test_top_terms_dominate(self):
+        freqs = zipf_freqs()
+        share = volume_share_of_top_terms(freqs, 0.05)
+        assert share > 0.5  # 5% of terms carry most of the volume
+
+    def test_extremes(self):
+        freqs = zipf_freqs(100)
+        assert volume_share_of_top_terms(freqs, 0.0) == 0.0
+        assert volume_share_of_top_terms(freqs, 1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            volume_share_of_top_terms(zipf_freqs(10), 1.5)
+        with pytest.raises(WorkloadError):
+            vocabulary_share_for_volume(zipf_freqs(10), -0.1)
+
+    def test_empty_volume(self):
+        assert volume_share_of_top_terms(np.zeros(5), 0.5) == 0.0
+
+    def test_vocabulary_share_inverse(self):
+        freqs = zipf_freqs()
+        vocab_share = vocabulary_share_for_volume(freqs, 0.95)
+        # with exponent ~1.1, far less than half the vocabulary carries 95%
+        assert vocab_share < 0.5
+        achieved = volume_share_of_top_terms(freqs, vocab_share)
+        assert achieved >= 0.95 - 1e-9
+
+    def test_uniform_distribution(self):
+        freqs = np.ones(100)
+        assert vocabulary_share_for_volume(freqs, 0.5) == pytest.approx(0.5)
+        assert volume_share_of_top_terms(freqs, 0.3) == pytest.approx(0.3)
+
+
+class TestRankFrequencyTable:
+    def test_monotone(self):
+        table = rank_frequency_table(zipf_freqs(), n_points=10)
+        ranks = [r for r, _ in table]
+        freqs = [f for _, f in table]
+        assert ranks == sorted(ranks)
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_empty(self):
+        assert rank_frequency_table(np.zeros(3)) == []
+
+    def test_includes_endpoints(self):
+        table = rank_frequency_table(zipf_freqs(1000), n_points=5)
+        assert table[0][0] == 1
+        assert table[-1][0] == 1000

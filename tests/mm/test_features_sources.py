@@ -1,0 +1,198 @@
+"""Unit tests for the MM feature substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SourceExhaustedError, TopNError, WorkloadError
+from repro.ir import BM25, InvertedIndex
+from repro.mm import (
+    ArraySource,
+    PostingsSource,
+    color_histograms,
+    cosine_similarity,
+    distance_to_similarity,
+    feature_source,
+    histogram_intersection,
+    keyword_scores,
+    l1_distances,
+    l2_distances,
+    query_near_cluster,
+    similarity_scores,
+    texture_features,
+)
+from repro.storage import CostCounter
+from repro.workloads import SyntheticCollection, trec
+
+
+class TestFeatures:
+    def test_color_histograms_are_simplex(self):
+        space = color_histograms(100, bins=8, seed=1)
+        assert space.vectors.shape == (100, 8)
+        assert np.allclose(space.vectors.sum(axis=1), 1.0)
+        assert (space.vectors >= 0).all()
+
+    def test_texture_in_unit_cube(self):
+        space = texture_features(50, dim=4, seed=2)
+        assert space.vectors.min() >= 0.0 and space.vectors.max() <= 1.0
+
+    def test_keyword_scores_sparse(self):
+        space = keyword_scores(1000, sparsity=0.9, seed=3)
+        assert (space.vectors < 0.05).mean() > 0.7
+
+    def test_clusters_are_coherent(self):
+        space = texture_features(200, dim=6, n_clusters=4, spread=0.02, seed=4)
+        # objects in the same cluster are closer than across clusters
+        same = l2_distances(space.vectors[space.cluster_of == 0],
+                            space.vectors[space.cluster_of == 0][0])
+        other = l2_distances(space.vectors[space.cluster_of == 1],
+                             space.vectors[space.cluster_of == 0][0])
+        assert same.mean() < other.mean()
+
+    def test_query_near_cluster(self):
+        space = texture_features(200, n_clusters=4, seed=5)
+        query = query_near_cluster(space, cluster=2, seed=5)
+        assert query.shape == (space.dim,)
+
+    def test_query_needs_clusters(self):
+        space = keyword_scores(10)
+        with pytest.raises(WorkloadError):
+            query_near_cluster(space, 0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            color_histograms(0)
+        with pytest.raises(WorkloadError):
+            texture_features(10, dim=0)
+        with pytest.raises(WorkloadError):
+            keyword_scores(10, sparsity=1.0)
+
+
+class TestDistances:
+    def test_l1_l2_zero_for_self(self):
+        vectors = np.array([[1.0, 2.0]])
+        assert l1_distances(vectors, np.array([1.0, 2.0]))[0] == 0.0
+        assert l2_distances(vectors, np.array([1.0, 2.0]))[0] == 0.0
+
+    def test_histogram_intersection_self_is_one(self):
+        histogram = np.array([[0.25, 0.75]])
+        assert histogram_intersection(histogram, histogram[0])[0] == pytest.approx(1.0)
+
+    def test_cosine_bounds(self):
+        vectors = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        sims = cosine_similarity(vectors, np.array([1.0, 0.0]))
+        assert sims[0] == pytest.approx(1.0)
+        assert sims[1] == pytest.approx(0.0)
+        assert 0 < sims[2] < 1
+
+    def test_distance_to_similarity_monotone(self):
+        distances = np.array([0.0, 1.0, 2.0])
+        sims = distance_to_similarity(distances)
+        assert sims[0] == 1.0
+        assert sims[0] > sims[1] > sims[2]
+        assert (sims > 0).all()
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(WorkloadError):
+            distance_to_similarity(np.array([-1.0]))
+
+    def test_similarity_scores_dispatch(self):
+        vectors = np.random.default_rng(0).random((10, 4))
+        for measure in ("l1", "l2", "histogram", "cosine"):
+            scores = similarity_scores(vectors, vectors[0], measure)
+            assert len(scores) == 10
+            assert np.argmax(scores) == 0  # self is most similar
+
+    def test_unknown_measure(self):
+        with pytest.raises(WorkloadError):
+            similarity_scores(np.ones((2, 2)), np.ones(2), "nope")
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(WorkloadError):
+            similarity_scores(np.ones((2, 3)), np.ones(2))
+
+
+class TestArraySource:
+    def test_sorted_access_descending(self):
+        source = ArraySource(np.array([0.2, 0.9, 0.5]))
+        assert source.sorted_access(0) == (1, 0.9)
+        assert source.sorted_access(1) == (2, 0.5)
+        assert source.sorted_access(2) == (0, 0.2)
+
+    def test_tie_break_by_id(self):
+        source = ArraySource(np.array([0.5, 0.5]))
+        assert source.sorted_access(0)[0] == 0
+
+    def test_random_access(self):
+        source = ArraySource(np.array([0.2, 0.9]))
+        assert source.random_access(1) == 0.9
+
+    def test_access_charges(self):
+        source = ArraySource(np.array([0.2, 0.9]))
+        with CostCounter.activate() as cost:
+            source.sorted_access(0)
+            source.random_access(0)
+        assert cost.sorted_accesses == 1
+        assert cost.random_accesses == 1
+
+    def test_exhaustion(self):
+        source = ArraySource(np.array([0.5]))
+        assert not source.exhausted(0)
+        assert source.exhausted(1)
+        with pytest.raises(SourceExhaustedError):
+            source.sorted_access(1)
+
+    def test_negative_scores_rejected(self):
+        with pytest.raises(TopNError):
+            ArraySource(np.array([-0.1]))
+
+    def test_bad_random_access(self):
+        with pytest.raises(TopNError):
+            ArraySource(np.array([0.1])).random_access(5)
+
+    def test_feature_source(self):
+        space = texture_features(30, seed=6)
+        source = feature_source(space, space.vectors[3], measure="l2")
+        best_obj, best_score = source.sorted_access(0)
+        assert best_obj == 3  # self-similarity wins
+        assert best_score == pytest.approx(1.0)
+
+
+class TestPostingsSource:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        collection = SyntheticCollection.generate(trec.tiny(seed=11))
+        index = InvertedIndex.build(collection)
+        model = BM25()
+        # pick a term with a decent posting list
+        df = index.vocabulary.df_array()
+        tid = int(np.argsort(df)[-50])
+        return index, model, tid
+
+    def test_sorted_access_descending(self, setup):
+        index, model, tid = setup
+        source = PostingsSource(index, tid, model)
+        grades = [source.sorted_access(r)[1] for r in range(min(10, source.posting_length))]
+        assert grades == sorted(grades, reverse=True)
+
+    def test_random_access_matches_sorted(self, setup):
+        index, model, tid = setup
+        source = PostingsSource(index, tid, model)
+        obj, grade = source.sorted_access(0)
+        assert source.random_access(obj) == pytest.approx(grade)
+
+    def test_absent_object_grades_zero(self, setup):
+        index, model, tid = setup
+        source = PostingsSource(index, tid, model)
+        docs, _ = index.postings(tid)
+        absent = next(d for d in range(index.n_docs) if d not in set(docs.tolist()))
+        assert source.random_access(absent) == 0.0
+
+    def test_exhausted_after_postings(self, setup):
+        index, model, tid = setup
+        source = PostingsSource(index, tid, model)
+        assert source.exhausted(source.posting_length)
+        assert not source.exhausted(source.posting_length - 1)
+
+    def test_n_objects_is_collection_size(self, setup):
+        index, model, tid = setup
+        assert PostingsSource(index, tid, model).n_objects == index.n_docs

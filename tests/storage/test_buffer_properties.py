@@ -1,0 +1,84 @@
+"""Property-based tests: the buffer manager against a reference model."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BufferManager
+
+
+class ReferenceLRU:
+    """An obviously-correct LRU cache model."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: OrderedDict = OrderedDict()
+
+    def request(self, key) -> bool:
+        if key in self.entries:
+            self.entries.move_to_end(key)
+            return True
+        self.entries[key] = None
+        if len(self.entries) > self.capacity:
+            self.entries.popitem(last=False)
+        return False
+
+
+requests = st.lists(
+    st.tuples(st.integers(1, 3), st.integers(0, 10)),  # (segment, page)
+    min_size=0,
+    max_size=200,
+)
+
+
+@given(st.integers(1, 8), requests)
+@settings(max_examples=100, deadline=None)
+def test_buffer_matches_reference_lru(capacity, sequence):
+    buffer = BufferManager(capacity_pages=capacity, page_tuples=10)
+    model = ReferenceLRU(capacity)
+    for segment, page in sequence:
+        assert buffer.request(segment, page) == model.request((segment, page))
+    assert buffer.resident_pages == len(model.entries)
+
+
+@given(st.integers(1, 8), requests, st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_evict_segment_matches_reference(capacity, sequence, victim):
+    buffer = BufferManager(capacity_pages=capacity, page_tuples=10)
+    model = ReferenceLRU(capacity)
+    for segment, page in sequence:
+        buffer.request(segment, page)
+        model.request((segment, page))
+    buffer.evict_segment(victim)
+    for key in [k for k in model.entries if k[0] == victim]:
+        del model.entries[key]
+    # all remaining pages still hit; evicted ones miss
+    for (segment, page) in set(sequence):
+        expected = (segment, page) in model.entries
+        assert buffer.request(segment, page) == expected
+        model.request((segment, page))
+
+
+@given(st.integers(1, 64), st.integers(0, 500), st.integers(0, 100))
+@settings(max_examples=80, deadline=None)
+def test_scan_miss_count_bounded_by_pages(page_tuples, n_tuples, start):
+    buffer = BufferManager(capacity_pages=4096, page_tuples=page_tuples)
+    misses = buffer.scan(1, n_tuples, start_tuple=start)
+    assert misses == buffer.pages_for(n_tuples + (start % page_tuples)) or (
+        misses <= buffer.pages_for(n_tuples) + 1
+    )
+    # a repeated scan of the same range is fully warm
+    assert buffer.scan(1, n_tuples, start_tuple=start) == 0
+
+
+@given(requests)
+@settings(max_examples=60, deadline=None)
+def test_counters_are_consistent(sequence):
+    buffer = BufferManager(capacity_pages=4, page_tuples=10)
+    for segment, page in sequence:
+        buffer.request(segment, page)
+    assert buffer.hits + buffer.misses == buffer.requests == len(sequence)
+    assert 0.0 <= buffer.hit_rate() <= 1.0
+    assert buffer.resident_pages <= buffer.capacity_pages

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for kernel invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BAT, kernel
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+float_lists = st.lists(floats, min_size=0, max_size=200)
+int_lists = st.lists(st.integers(min_value=-1000, max_value=1000), min_size=0, max_size=200)
+
+
+@given(int_lists, st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_select_range_matches_python_filter(values, a, b):
+    lo, hi = min(a, b), max(a, b)
+    bat = BAT(np.asarray(values, dtype=np.int64))
+    out = kernel.select_range(bat, lo, hi)
+    expected = [(i, v) for i, v in enumerate(values) if lo <= v <= hi]
+    assert out.to_list() == expected
+
+
+@given(int_lists, st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_select_sorted_equals_select_unsorted(values, a, b):
+    """Sorted fast path and scan path must agree on sorted input."""
+    lo, hi = min(a, b), max(a, b)
+    tail = np.sort(np.asarray(values, dtype=np.int64))
+    sorted_bat = BAT(tail, tail_sorted=True)
+    scan_bat = BAT(tail)  # same data, no sortedness declared
+    fast = kernel.select_range(sorted_bat, lo, hi)
+    slow = kernel.select_range(scan_bat, lo, hi)
+    assert fast.same_content(slow)
+
+
+@given(float_lists)
+def test_sort_tail_is_sorted_permutation(values):
+    bat = BAT(np.asarray(values, dtype=np.float64))
+    out = kernel.sort_tail(bat)
+    tails = [t for _, t in out.to_list()]
+    assert tails == sorted(values)
+    # heads form a permutation of the input positions
+    assert sorted(h for h, _ in out.to_list()) == list(range(len(values)))
+    assert out.verify_properties()
+
+
+@given(float_lists, st.integers(min_value=0, max_value=50))
+def test_topn_agrees_with_sorted_prefix(values, n):
+    bat = BAT(np.asarray(values, dtype=np.float64))
+    top = kernel.topn_tail(bat, n)
+    expected_scores = sorted(values, reverse=True)[:n]
+    assert [t for _, t in top.to_list()] == expected_scores
+    assert top.verify_properties()
+
+
+@given(float_lists, st.integers(min_value=1, max_value=50))
+def test_topn_is_prefix_of_full_ranking(values, n):
+    """Top-N must equal the first N of the full descending sort with the
+    same deterministic (head oid) tie-break."""
+    bat = BAT(np.asarray(values, dtype=np.float64))
+    top = kernel.topn_tail(bat, n)
+    full = kernel.topn_tail(bat, len(values))
+    assert top.to_list() == full.to_list()[:n]
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 30), floats), min_size=0, max_size=100),
+)
+def test_group_sum_matches_python(pairs):
+    bat = BAT.from_pairs(pairs) if pairs else BAT.from_pairs([])
+    out = kernel.group_sum(bat)
+    expected = {}
+    for head, value in pairs:
+        expected[head] = expected.get(head, 0.0) + value
+    got = {h: t for h, t in out.to_list()}
+    assert set(got) == set(expected)
+    for key, value in expected.items():
+        assert abs(got[key] - value) < 1e-6 * max(1.0, abs(value))
+
+
+@given(int_lists)
+def test_unique_tail_is_sorted_set(values):
+    out = kernel.unique_tail(BAT(np.asarray(values, dtype=np.int64)))
+    assert [t for _, t in out.to_list()] == sorted(set(values))
+
+
+@given(
+    st.lists(st.integers(0, 20), min_size=0, max_size=50),
+    st.lists(st.integers(0, 20), min_size=0, max_size=50),
+)
+def test_hashjoin_matches_nested_loop(left_keys, right_keys):
+    left = BAT(np.asarray(left_keys, dtype=np.int64))
+    right = BAT(
+        np.asarray(right_keys, dtype=np.int64) * 10,
+        head=np.asarray(right_keys, dtype=np.int64),
+    )
+    out = kernel.hashjoin(left, right)
+    expected = sorted(
+        (i, rk * 10)
+        for i, lk in enumerate(left_keys)
+        for rk in right_keys
+        if lk == rk
+    )
+    assert sorted(out.to_list()) == expected
+
+
+@given(float_lists)
+@settings(max_examples=30)
+def test_reverse_involution(values):
+    int_values = np.arange(len(values), dtype=np.int64)
+    bat = BAT(int_values, head=np.asarray(range(len(values)), dtype=np.int64))
+    assert kernel.reverse(kernel.reverse(bat)).same_content(bat)
+
+
+@given(float_lists, st.integers(0, 20), st.integers(0, 20))
+def test_slice_matches_python_slice(values, offset, count):
+    bat = BAT(np.asarray(values, dtype=np.float64))
+    out = kernel.slice_pairs(bat, offset, count)
+    expected = list(enumerate(values))[offset : offset + count]
+    assert out.to_list() == [(h, v) for h, v in expected]

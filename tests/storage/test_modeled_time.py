@@ -1,0 +1,48 @@
+"""Tests for the modeled-time cost conversion."""
+
+import pytest
+
+from repro.storage import BAT, CostCounter, kernel
+from repro.storage.buffer import get_buffer_manager
+
+
+class TestModeledSeconds:
+    def test_zero_counters(self):
+        assert CostCounter().modeled_seconds() == 0.0
+
+    def test_pages_dominate(self):
+        io_bound = CostCounter(page_reads=100)
+        cpu_bound = CostCounter(comparisons=100)
+        assert io_bound.modeled_seconds() > cpu_bound.modeled_seconds() * 100
+
+    def test_components_additive(self):
+        combined = CostCounter(page_reads=2, page_writes=3,
+                               tuples_read=10, comparisons=20)
+        parts = (
+            CostCounter(page_reads=2).modeled_seconds()
+            + CostCounter(page_writes=3).modeled_seconds()
+            + CostCounter(tuples_read=10).modeled_seconds()
+            + CostCounter(comparisons=20).modeled_seconds()
+        )
+        assert combined.modeled_seconds() == pytest.approx(parts)
+
+    def test_custom_constants(self):
+        counter = CostCounter(page_reads=10)
+        assert counter.modeled_seconds(page_read_ms=1.0) == pytest.approx(0.01)
+        assert counter.modeled_seconds(page_read_ms=10.0) == pytest.approx(0.1)
+
+    def test_monotone_in_counters(self):
+        small = CostCounter(page_reads=1, tuples_read=10)
+        large = CostCounter(page_reads=2, tuples_read=20)
+        assert large.modeled_seconds() > small.modeled_seconds()
+
+    def test_end_to_end_scan_has_modeled_time(self):
+        get_buffer_manager().flush()
+        bat = BAT(list(range(10_000)), persistent=True)
+        with CostCounter.activate() as cost:
+            kernel.select_range(bat, 10, 20)
+        assert cost.modeled_seconds() > 0
+        # a warm rescan is cheaper in modeled time (buffer hits)
+        with CostCounter.activate() as warm:
+            kernel.select_range(bat, 10, 20)
+        assert warm.modeled_seconds() < cost.modeled_seconds()

@@ -1,0 +1,85 @@
+"""Tests for the Combined Algorithm (CA)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopNError
+from repro.mm import ArraySource
+from repro.storage import CostCounter
+from repro.topn import MIN, SUM, combined_topn, naive_topn_sources, threshold_topn
+
+
+def make_sources(matrix):
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return [ArraySource(matrix[:, j], name=f"s{j}") for j in range(matrix.shape[1])]
+
+
+class TestCA:
+    @pytest.mark.parametrize("h", [1, 2, 4, 16])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_membership_exact(self, h, seed):
+        matrix = np.random.default_rng(seed).random((300, 3))
+        ca = combined_topn(make_sources(matrix), 10, SUM, h=h, check_every=4)
+        naive = naive_topn_sources(make_sources(matrix), 10, SUM)
+        assert ca.same_set(naive)
+
+    def test_min_aggregate(self):
+        matrix = np.random.default_rng(3).random((200, 2))
+        ca = combined_topn(make_sources(matrix), 5, MIN, h=2, check_every=2)
+        naive = naive_topn_sources(make_sources(matrix), 5, MIN)
+        assert ca.same_set(naive)
+
+    def test_fewer_random_accesses_than_ta(self):
+        """CA's reason to exist: at high random-access cost it spends
+        far fewer random accesses than TA."""
+        matrix = np.random.default_rng(4).random((2000, 3))
+        with CostCounter.activate() as ta_cost:
+            threshold_topn(make_sources(matrix), 10, SUM)
+        with CostCounter.activate() as ca_cost:
+            combined_topn(make_sources(matrix), 10, SUM, h=8, check_every=8)
+        assert ca_cost.random_accesses < ta_cost.random_accesses / 2
+
+    def test_h_trades_random_for_sorted(self):
+        matrix = np.random.default_rng(5).random((2000, 3))
+        costs = {}
+        for h in (1, 16):
+            with CostCounter.activate() as cost:
+                combined_topn(make_sources(matrix), 10, SUM, h=h, check_every=8)
+            costs[h] = cost
+        assert costs[16].random_accesses <= costs[1].random_accesses
+        assert costs[16].sorted_accesses >= costs[1].sorted_accesses
+
+    def test_scores_are_lower_bounds(self):
+        matrix = np.random.default_rng(6).random((300, 3))
+        ca = combined_topn(make_sources(matrix), 10, SUM, h=4, check_every=4)
+        exact = {item.obj_id: item.score
+                 for item in naive_topn_sources(make_sources(matrix), 300, SUM)}
+        for item in ca:
+            assert item.score <= exact[item.obj_id] + 1e-9
+
+    def test_max_depth_cap(self):
+        matrix = np.random.default_rng(7).random((1000, 2))
+        with CostCounter.activate() as cost:
+            combined_topn(make_sources(matrix), 5, SUM, max_depth=40)
+        assert cost.sorted_accesses <= 2 * 40
+
+    def test_validation(self):
+        with pytest.raises(TopNError):
+            combined_topn([], 5)
+        with pytest.raises(TopNError):
+            combined_topn(make_sources(np.ones((2, 1))), 5, h=0)
+
+    def test_n_zero(self):
+        assert len(combined_topn(make_sources(np.ones((5, 2))), 0)) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(10, 60), st.integers(1, 3), st.integers(1, 8),
+       st.integers(1, 8), st.integers(0, 10_000))
+def test_ca_membership_property(n_objects, m, n, h, seed):
+    matrix = np.random.default_rng(seed).random((n_objects, m))
+    ca = combined_topn(make_sources(matrix), n, SUM, h=h, check_every=2)
+    naive = naive_topn_sources(make_sources(matrix), n, SUM)
+    assert ca.same_set(naive)

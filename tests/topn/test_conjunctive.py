@@ -1,0 +1,96 @@
+"""Tests for conjunctive (Boolean AND + ranked) top-N."""
+
+import numpy as np
+import pytest
+
+from repro.core import MMDatabase
+from repro.errors import ReproError
+from repro.ir import BM25, Collection, Document, InvertedIndex
+from repro.storage import CostCounter
+from repro.topn import conjunctive_topn, naive_topn
+from repro.workloads import SyntheticCollection, generate_queries, trec
+
+
+def tiny_index():
+    docs = [
+        Document(0, np.array([0, 1, 2])),  # a b c
+        Document(1, np.array([0, 1])),  # a b
+        Document(2, np.array([0, 3])),  # a d
+        Document(3, np.array([1, 1, 1])),  # b b b
+    ]
+    return InvertedIndex.build(Collection(docs, ["a", "b", "c", "d"], name="tiny"))
+
+
+class TestConjunctive:
+    def test_requires_all_terms(self):
+        index = tiny_index()
+        result = conjunctive_topn(index, [0, 1], BM25(), 10)
+        assert set(result.doc_ids) == {0, 1}
+
+    def test_single_term_equals_naive(self):
+        index = tiny_index()
+        conj = conjunctive_topn(index, [1], BM25(), 10)
+        naive = naive_topn(index, [1], BM25(), 10)
+        assert conj.same_ranking(naive)
+
+    def test_empty_intersection(self):
+        index = tiny_index()
+        assert len(conjunctive_topn(index, [2, 3], BM25(), 10)) == 0
+
+    def test_empty_query(self):
+        assert len(conjunctive_topn(tiny_index(), [], BM25(), 5)) == 0
+
+    def test_scores_match_naive_on_surviving_docs(self):
+        index = tiny_index()
+        model = BM25()
+        conj = conjunctive_topn(index, [0, 1], model, 10)
+        full = {item.obj_id: item.score
+                for item in naive_topn(index, [0, 1], model, 10)}
+        for item in conj:
+            assert item.score == pytest.approx(full[item.obj_id])
+
+    def test_subset_of_disjunctive_candidates(self):
+        collection = SyntheticCollection.generate(trec.tiny(seed=61))
+        index = InvertedIndex.build(collection)
+        queries = generate_queries(collection, n_queries=10, terms_range=(2, 4), seed=3)
+        model = BM25()
+        for query in queries:
+            tids = list(query.term_ids)
+            conj = conjunctive_topn(index, tids, model, 50)
+            naive = naive_topn(index, tids, model, index.n_docs)
+            assert set(conj.doc_ids) <= set(naive.doc_ids)
+            assert conj.stats["candidates"] <= naive.stats["candidates"]
+
+    def test_rarest_first_can_stop_early(self):
+        """When the rarest terms already have an empty intersection,
+        remaining posting lists are not read."""
+        index = tiny_index()
+        with CostCounter.activate() as cost:
+            conjunctive_topn(index, [2, 3, 0], BM25(), 5)  # c ∩ d = {} — skip a
+        # postings of "a" (2 entries over 2 columns) were never read
+        assert cost.tuples_read < 2 * index.total_postings()
+
+
+class TestDatabaseMode:
+    @pytest.fixture(scope="class")
+    def db(self):
+        collection = SyntheticCollection.generate(trec.tiny(seed=62))
+        return MMDatabase.from_collection(collection)
+
+    def test_mode_all(self, db):
+        queries = generate_queries(db.collection, n_queries=5, terms_range=(2, 3), seed=4)
+        for query in queries:
+            tids = list(query.term_ids)
+            strict = db.search(tids, n=20, mode="all")
+            loose = db.search(tids, n=db.collection.n_docs, mode="any",
+                              strategy="naive")
+            assert set(strict.doc_ids) <= set(loose.doc_ids)
+
+    def test_mode_validation(self, db):
+        with pytest.raises(ReproError):
+            db.search("anything", mode="some")
+
+    def test_default_mode_is_any(self, db):
+        queries = generate_queries(db.collection, n_queries=1, seed=5)
+        tids = list(queries.queries[0].term_ids)
+        assert db.search(tids, n=5).result.strategy != "naive-and"

@@ -1,0 +1,178 @@
+"""Tests for FA / TA / NRA against the naive baseline.
+
+The safety property — exact top-N for monotone aggregates — is the
+core invariant; it is exercised with unit cases, randomized cases and
+hypothesis properties.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopNError
+from repro.mm import ArraySource
+from repro.storage import CostCounter
+from repro.topn import (
+    AVG,
+    MAX,
+    MIN,
+    SUM,
+    WeightedSum,
+    fagin_topn,
+    naive_topn_sources,
+    nra_topn,
+    threshold_topn,
+)
+
+
+def make_sources(matrix):
+    """One ArraySource per column of an (objects x sources) matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return [ArraySource(matrix[:, j], name=f"s{j}") for j in range(matrix.shape[1])]
+
+
+def random_sources(n_objects, m, seed):
+    rng = np.random.default_rng(seed)
+    return make_sources(rng.random((n_objects, m)))
+
+
+class TestFA:
+    def test_simple_exact(self):
+        sources = make_sources([[0.9, 0.1], [0.5, 0.6], [0.2, 0.9]])
+        result = fagin_topn(sources, 1, SUM)
+        naive = naive_topn_sources(make_sources([[0.9, 0.1], [0.5, 0.6], [0.2, 0.9]]), 1, SUM)
+        assert result.same_ranking(naive)
+        assert result.safe
+
+    @pytest.mark.parametrize("agg", [SUM, AVG, MIN, MAX])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exactness_random(self, agg, seed):
+        matrix = np.random.default_rng(seed).random((200, 3))
+        result = fagin_topn(make_sources(matrix), 10, agg)
+        naive = naive_topn_sources(make_sources(matrix), 10, agg)
+        assert result.same_ranking(naive)
+
+    def test_weighted_sum(self):
+        matrix = np.random.default_rng(5).random((100, 2))
+        agg = WeightedSum([3.0, 1.0])
+        result = fagin_topn(make_sources(matrix), 5, agg)
+        naive = naive_topn_sources(make_sources(matrix), 5, agg)
+        assert result.same_ranking(naive)
+
+    def test_stops_early_on_correlated_lists(self):
+        """When the lists agree, FA stops long before reading everything."""
+        base = np.sort(np.random.default_rng(7).random(5000))[::-1]
+        matrix = np.stack([base, base * 0.95], axis=1)
+        with CostCounter.activate() as cost:
+            fagin_topn(make_sources(matrix), 10, SUM)
+        assert cost.sorted_accesses < 2 * 5000 * 0.2
+
+    def test_n_zero(self):
+        assert len(fagin_topn(random_sources(10, 2, 0), 0)) == 0
+
+    def test_no_sources(self):
+        with pytest.raises(TopNError):
+            fagin_topn([], 5)
+
+    def test_n_exceeds_objects(self):
+        result = fagin_topn(random_sources(5, 2, 1), 10, SUM)
+        assert len(result) == 5
+
+
+class TestTA:
+    @pytest.mark.parametrize("agg", [SUM, AVG, MIN, MAX])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exactness_random(self, agg, seed):
+        matrix = np.random.default_rng(seed).random((200, 3))
+        result = threshold_topn(make_sources(matrix), 10, agg)
+        naive = naive_topn_sources(make_sources(matrix), 10, agg)
+        assert result.same_ranking(naive)
+
+    def test_never_deeper_than_fa(self):
+        """TA's stopping rule dominates FA's (instance optimality)."""
+        for seed in range(5):
+            matrix = np.random.default_rng(seed).random((500, 3))
+            ta = threshold_topn(make_sources(matrix), 10, SUM)
+            fa = fagin_topn(make_sources(matrix), 10, SUM)
+            assert ta.stats["depth"] <= fa.stats["depth"]
+
+    def test_sorted_accesses_sublinear(self):
+        matrix = np.random.default_rng(3).random((20_000, 2))
+        with CostCounter.activate() as cost:
+            threshold_topn(make_sources(matrix), 10, SUM)
+        assert cost.sorted_accesses < 2 * 20_000 / 4
+
+    def test_single_source_reads_n(self):
+        matrix = np.random.default_rng(4).random((1000, 1))
+        with CostCounter.activate() as cost:
+            result = threshold_topn(make_sources(matrix), 5, SUM)
+        naive = naive_topn_sources(make_sources(matrix), 5, SUM)
+        assert result.same_ranking(naive)
+        assert cost.sorted_accesses <= 6
+
+    def test_n_zero(self):
+        assert len(threshold_topn(random_sources(10, 2, 0), 0)) == 0
+
+    def test_no_sources(self):
+        with pytest.raises(TopNError):
+            threshold_topn([], 5)
+
+
+class TestNRA:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_membership_exact(self, seed):
+        matrix = np.random.default_rng(seed).random((200, 3))
+        result = nra_topn(make_sources(matrix), 10, SUM, check_every=4)
+        naive = naive_topn_sources(make_sources(matrix), 10, SUM)
+        assert result.same_set(naive)
+
+    def test_no_random_accesses(self):
+        matrix = np.random.default_rng(1).random((500, 3))
+        with CostCounter.activate() as cost:
+            nra_topn(make_sources(matrix), 10, SUM)
+        assert cost.random_accesses == 0
+
+    def test_reported_scores_are_lower_bounds(self):
+        matrix = np.random.default_rng(2).random((300, 3))
+        result = nra_topn(make_sources(matrix), 10, SUM, check_every=4)
+        exact = {item.obj_id: item.score
+                 for item in naive_topn_sources(make_sources(matrix), 300, SUM)}
+        for item in result:
+            assert item.score <= exact[item.obj_id] + 1e-9
+
+    def test_max_depth_caps_work(self):
+        matrix = np.random.default_rng(3).random((1000, 2))
+        with CostCounter.activate() as cost:
+            nra_topn(make_sources(matrix), 5, SUM, max_depth=50)
+        assert cost.sorted_accesses <= 2 * 50
+
+    def test_min_aggregate(self):
+        matrix = np.random.default_rng(4).random((200, 2))
+        result = nra_topn(make_sources(matrix), 5, MIN, check_every=4)
+        naive = naive_topn_sources(make_sources(matrix), 5, MIN)
+        assert result.same_set(naive)
+
+    def test_no_sources(self):
+        with pytest.raises(TopNError):
+            nra_topn([], 3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(10, 60),  # objects
+    st.integers(1, 4),  # sources
+    st.integers(1, 8),  # n
+    st.integers(0, 10_000),  # seed
+)
+def test_fa_ta_nra_agree_with_naive(n_objects, m, n, seed):
+    """Safety property: all safe middleware algorithms return the exact
+    top-N membership for random instances."""
+    matrix = np.random.default_rng(seed).random((n_objects, m))
+    naive = naive_topn_sources(make_sources(matrix), n, SUM)
+    fa = fagin_topn(make_sources(matrix), n, SUM)
+    ta = threshold_topn(make_sources(matrix), n, SUM)
+    nra = nra_topn(make_sources(matrix), n, SUM, check_every=2)
+    assert fa.same_ranking(naive)
+    assert ta.same_ranking(naive)
+    assert nra.same_set(naive)

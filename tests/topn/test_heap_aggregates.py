@@ -1,0 +1,133 @@
+"""Unit tests for the bounded heap, aggregates and result container."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopNError
+from repro.storage import BAT
+from repro.topn import AVG, BoundedTopN, MAX, MIN, RankedItem, SUM, TopNResult, WeightedSum
+
+
+class TestBoundedTopN:
+    def test_keeps_best(self):
+        heap = BoundedTopN(2)
+        for obj, score in [(1, 0.3), (2, 0.9), (3, 0.5), (4, 0.1)]:
+            heap.push(obj, score)
+        items = heap.items_sorted()
+        assert [(i.obj_id, i.score) for i in items] == [(2, 0.9), (3, 0.5)]
+
+    def test_threshold(self):
+        heap = BoundedTopN(2)
+        assert heap.threshold() == -math.inf
+        heap.push(1, 0.5)
+        assert heap.threshold() == -math.inf  # not yet full
+        heap.push(2, 0.9)
+        assert heap.threshold() == 0.5
+
+    def test_tie_break_prefers_smaller_id(self):
+        heap = BoundedTopN(2)
+        heap.push(5, 1.0)
+        heap.push(3, 1.0)
+        heap.push(1, 1.0)
+        assert [i.obj_id for i in heap.items_sorted()] == [1, 3]
+
+    def test_push_returns_entered(self):
+        heap = BoundedTopN(1)
+        assert heap.push(1, 0.5)
+        assert not heap.push(2, 0.4)
+        assert heap.push(3, 0.6)
+
+    def test_zero_capacity(self):
+        heap = BoundedTopN(0)
+        assert not heap.push(1, 1.0)
+        assert heap.items_sorted() == []
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(TopNError):
+            BoundedTopN(-1)
+
+    def test_contains_ids(self):
+        heap = BoundedTopN(2)
+        heap.push(7, 0.1)
+        heap.push(9, 0.2)
+        assert heap.contains_ids() == {7, 9}
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.floats(0, 1, allow_nan=False)),
+                    min_size=0, max_size=100),
+           st.integers(1, 20))
+    def test_matches_sorted_prefix(self, pairs, n):
+        # deduplicate object ids (the heap assumes each object pushed once)
+        seen = {}
+        for obj, score in pairs:
+            seen.setdefault(obj, score)
+        heap = BoundedTopN(n)
+        for obj, score in seen.items():
+            heap.push(obj, score)
+        expected = sorted(seen.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+        got = [(i.obj_id, i.score) for i in heap.items_sorted()]
+        assert got == expected
+
+
+class TestAggregates:
+    def test_values(self):
+        grades = [0.2, 0.8, 0.5]
+        assert SUM.combine(grades) == pytest.approx(1.5)
+        assert AVG.combine(grades) == pytest.approx(0.5)
+        assert MIN.combine(grades) == 0.2
+        assert MAX.combine(grades) == 0.8
+
+    def test_weighted_sum(self):
+        agg = WeightedSum([2.0, 0.0, 1.0])
+        assert agg.combine([0.5, 0.9, 0.25]) == pytest.approx(1.25)
+
+    def test_weighted_sum_validation(self):
+        with pytest.raises(TopNError):
+            WeightedSum([])
+        with pytest.raises(TopNError):
+            WeightedSum([1.0, -1.0])
+        with pytest.raises(TopNError):
+            WeightedSum([1.0]).combine([0.5, 0.5])
+        with pytest.raises(TopNError):
+            WeightedSum([1.0, 1.0]).validate_arity(3)
+
+    @given(st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=6),
+           st.integers(0, 5), st.floats(0, 1, allow_nan=False))
+    def test_monotonicity(self, grades, position, bump):
+        """Increasing any grade must not decrease any aggregate."""
+        position = position % len(grades)
+        bumped = list(grades)
+        bumped[position] = min(bumped[position] + bump, 1.0)
+        for agg in (SUM, AVG, MIN, MAX):
+            assert agg.combine(bumped) >= agg.combine(grades) - 1e-12
+
+
+class TestTopNResult:
+    def test_accessors(self):
+        result = TopNResult([RankedItem(3, 0.9), RankedItem(1, 0.5)], 2, "x", True)
+        assert result.doc_ids == [3, 1]
+        assert result.scores == [0.9, 0.5]
+        assert len(result) == 2
+
+    def test_ordering_enforced(self):
+        with pytest.raises(TopNError):
+            TopNResult([RankedItem(1, 0.1), RankedItem(2, 0.9)], 2, "x", True)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(TopNError):
+            TopNResult([RankedItem(1, 0.5), RankedItem(2, 0.4)], 1, "x", True)
+
+    def test_same_ranking_and_set(self):
+        a = TopNResult([RankedItem(1, 0.9), RankedItem(2, 0.5)], 2, "a", True)
+        b = TopNResult([RankedItem(1, 0.8), RankedItem(2, 0.4)], 2, "b", True)
+        c = TopNResult([RankedItem(2, 0.9), RankedItem(1, 0.5)], 2, "c", True)
+        assert a.same_ranking(b)
+        assert not a.same_ranking(c)
+        assert a.same_set(c)
+
+    def test_from_bat(self):
+        bat = BAT([0.9, 0.5], head=[7, 3], tail_sorted_desc=True)
+        result = TopNResult.from_bat(bat, 2, "kernel", True)
+        assert result.doc_ids == [7, 3]

@@ -1,0 +1,230 @@
+"""Tests for STOP AFTER policies, probabilistic top-N and the
+Brown-style quit/continue pruning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopNError
+from repro.ir import BM25, InvertedIndex
+from repro.storage import BAT, CostCounter, SparseIndex
+from repro.storage import kernel
+from repro.topn import (
+    ScoreHistogram,
+    classic_topn,
+    naive_topn,
+    probabilistic_topn,
+    probabilistic_topn_indexed,
+    quit_continue_topn,
+    scan_stop,
+    sort_stop,
+    stop_after_filter,
+)
+from repro.quality import overlap_at
+from repro.workloads import SyntheticCollection, generate_queries, trec
+
+
+def score_table(n=10_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return BAT(rng.random(n), persistent=True)
+
+
+class TestStopAfter:
+    def test_sort_stop_matches_classic(self):
+        scores = score_table()
+        assert sort_stop(scores, 10).same_ranking(classic_topn(scores, 10))
+
+    def test_sort_stop_cheaper_than_classic(self):
+        scores = score_table(50_000)
+        with CostCounter.activate() as stop_cost:
+            sort_stop(scores, 10)
+        with CostCounter.activate() as classic_cost:
+            classic_topn(scores, 10)
+        assert stop_cost.comparisons < classic_cost.comparisons / 3
+
+    def test_scan_stop_requires_sorted(self):
+        with pytest.raises(TopNError):
+            scan_stop(score_table(), 5)
+
+    def test_scan_stop_on_sorted(self):
+        scores = score_table(1000)
+        ordered = kernel.sort_tail(scores, descending=True)
+        result = scan_stop(ordered, 5)
+        assert result.same_ranking(sort_stop(scores, 5))
+
+    def test_scan_stop_reads_prefix_only(self):
+        ordered = kernel.sort_tail(score_table(100_000), descending=True)
+        with CostCounter.activate() as cost:
+            scan_stop(ordered, 10)
+        assert cost.tuples_read <= 10
+
+    def test_filter_conservative_exact(self):
+        scores = score_table(5000, seed=1)
+        attrs = BAT(np.random.default_rng(2).integers(0, 100, 5000))
+        result = stop_after_filter(scores, attrs, 10, 20, 60, policy="conservative")
+        mask = (attrs.tail >= 20) & (attrs.tail <= 60)
+        expected = kernel.topn_tail(kernel.select_mask(scores, mask), 10)
+        assert result.doc_ids == [h for h, _ in expected.to_list()]
+
+    def test_filter_aggressive_exact(self):
+        scores = score_table(5000, seed=1)
+        attrs = BAT(np.random.default_rng(2).integers(0, 100, 5000))
+        conservative = stop_after_filter(scores, attrs, 10, 20, 60, policy="conservative")
+        aggressive = stop_after_filter(scores, attrs, 10, 20, 60, policy="aggressive")
+        assert aggressive.same_ranking(conservative)
+
+    def test_aggressive_restarts_on_selective_filter(self):
+        scores = score_table(5000, seed=3)
+        # very selective predicate: ~1% pass
+        attrs = BAT(np.random.default_rng(4).integers(0, 100, 5000))
+        result = stop_after_filter(scores, attrs, 20, 0, 0, policy="aggressive", inflation=1.5)
+        assert result.stats["restarts"] >= 1
+        conservative = stop_after_filter(scores, attrs, 20, 0, 0, policy="conservative")
+        assert result.same_ranking(conservative)
+
+    def test_aggressive_cheaper_when_filter_loose(self):
+        scores = score_table(100_000, seed=5)
+        attrs = BAT(np.random.default_rng(6).integers(0, 100, 100_000))
+        with CostCounter.activate() as aggressive_cost:
+            stop_after_filter(scores, attrs, 10, 5, 95, policy="aggressive")
+        with CostCounter.activate() as conservative_cost:
+            stop_after_filter(scores, attrs, 10, 5, 95, policy="conservative")
+        assert aggressive_cost.tuples_read < conservative_cost.tuples_read
+
+    def test_validation(self):
+        scores, attrs = score_table(10), score_table(5)
+        with pytest.raises(TopNError):
+            stop_after_filter(scores, attrs, 1, 0, 1)
+        with pytest.raises(TopNError):
+            stop_after_filter(scores, score_table(10), 1, 0, 1, policy="nope")
+        with pytest.raises(TopNError):
+            stop_after_filter(scores, score_table(10), 1, 0, 1, inflation=0.5)
+
+
+class TestProbabilistic:
+    def make_sorted_scores(self, n=20_000, seed=0):
+        rng = np.random.default_rng(seed)
+        scores = np.sort(rng.normal(0.5, 0.2, n))
+        return BAT(scores, tail_sorted=True, persistent=True)
+
+    def test_exactness(self):
+        scores = self.make_sorted_scores()
+        histogram = ScoreHistogram(scores.tail)
+        result = probabilistic_topn(scores, 25, histogram)
+        expected = kernel.topn_tail(scores, 25, descending=True)
+        assert result.doc_ids == [h for h, _ in expected.to_list()]
+
+    def test_scans_small_fraction(self):
+        scores = self.make_sorted_scores(100_000)
+        histogram = ScoreHistogram(scores.tail, n_buckets=128)
+        with CostCounter.activate() as cost:
+            result = probabilistic_topn(scores, 10, histogram)
+        assert result.stats["fraction_scanned"] < 0.05
+        assert cost.tuples_read < 100_000 * 0.1
+
+    def test_restart_when_histogram_stale(self):
+        """A histogram built on different data must still give exact
+        answers, via restarts."""
+        scores = self.make_sorted_scores(5000, seed=1)
+        # stale statistics: histogram from a shifted distribution
+        stale = ScoreHistogram(scores.tail + 0.4)
+        result = probabilistic_topn(scores, 50, stale, slack=1.0)
+        expected = kernel.topn_tail(scores, 50, descending=True)
+        assert result.doc_ids == [h for h, _ in expected.to_list()]
+
+    def test_requires_sorted(self):
+        scores = BAT(np.random.default_rng(0).random(100))
+        with pytest.raises(TopNError):
+            probabilistic_topn(scores, 5, ScoreHistogram(scores.tail))
+
+    def test_histogram_validation(self):
+        with pytest.raises(TopNError):
+            ScoreHistogram(np.array([]))
+        with pytest.raises(TopNError):
+            ScoreHistogram(np.array([1.0, 2.0]), n_buckets=1)
+        with pytest.raises(TopNError):
+            ScoreHistogram(np.array([1.0, 2.0])).cutoff_for(0)
+
+    def test_cutoff_monotone_in_n(self):
+        scores = np.random.default_rng(2).random(10_000)
+        histogram = ScoreHistogram(scores)
+        assert histogram.cutoff_for(10) >= histogram.cutoff_for(1000)
+
+    def test_indexed_variant(self):
+        scores = self.make_sorted_scores(50_000)
+        index = SparseIndex(scores)
+        histogram = ScoreHistogram(scores.tail)
+        result = probabilistic_topn_indexed(index, 10, histogram)
+        expected = kernel.topn_tail(scores, 10, descending=True)
+        assert result.doc_ids == [h for h, _ in expected.to_list()]
+
+    def test_n_larger_than_table(self):
+        scores = BAT(np.sort(np.random.default_rng(3).random(20)), tail_sorted=True)
+        histogram = ScoreHistogram(scores.tail)
+        result = probabilistic_topn(scores, 50, histogram)
+        assert len(result) == 20
+
+
+class TestQuitContinue:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        collection = SyntheticCollection.generate(trec.tiny(seed=21))
+        index = InvertedIndex.build(collection)
+        queries = generate_queries(collection, n_queries=10, terms_range=(4, 8), seed=2)
+        return index, BM25(), queries
+
+    def test_marked_unsafe(self, setup):
+        index, model, queries = setup
+        query = queries.queries[0]
+        result = quit_continue_topn(index, list(query.term_ids), model, 10)
+        assert not result.safe
+
+    def test_quit_reads_less_than_naive(self, setup):
+        index, model, queries = setup
+        query = max(queries.queries, key=lambda q: len(q.term_ids))
+        with CostCounter.activate() as pruned_cost:
+            quit_continue_topn(index, list(query.term_ids), model, 10,
+                               budget_fraction=0.3, strategy="quit")
+        with CostCounter.activate() as naive_cost:
+            naive_topn(index, list(query.term_ids), model, 10)
+        assert pruned_cost.tuples_read < naive_cost.tuples_read
+
+    def test_full_budget_matches_naive(self, setup):
+        index, model, queries = setup
+        for query in queries.queries[:3]:
+            pruned = quit_continue_topn(index, list(query.term_ids), model, 10,
+                                        budget_fraction=1.0, strategy="quit")
+            exact = naive_topn(index, list(query.term_ids), model, 10)
+            assert pruned.same_ranking(exact)
+
+    def test_continue_quality_at_least_quit(self, setup):
+        """Averaged over queries, continue's overlap with the exact
+        top-N is at least quit's (it refines survivor scores)."""
+        index, model, queries = setup
+        quit_overlap, continue_overlap = [], []
+        for query in queries.queries:
+            tids = list(query.term_ids)
+            exact = naive_topn(index, tids, model, 10)
+            quit_result = quit_continue_topn(index, tids, model, 10,
+                                             budget_fraction=0.3, strategy="quit")
+            continue_result = quit_continue_topn(index, tids, model, 10,
+                                                 budget_fraction=0.3, strategy="continue")
+            quit_overlap.append(overlap_at(quit_result.doc_ids, exact.doc_ids, 10))
+            continue_overlap.append(overlap_at(continue_result.doc_ids, exact.doc_ids, 10))
+        assert sum(continue_overlap) >= sum(quit_overlap) - 1e-9
+
+    def test_validation(self, setup):
+        index, model, queries = setup
+        tids = list(queries.queries[0].term_ids)
+        with pytest.raises(TopNError):
+            quit_continue_topn(index, tids, model, 5, strategy="nope")
+        with pytest.raises(TopNError):
+            quit_continue_topn(index, tids, model, 5, budget_fraction=0.0)
+
+    def test_stats_accounting(self, setup):
+        index, model, queries = setup
+        query = max(queries.queries, key=lambda q: len(q.term_ids))
+        result = quit_continue_topn(index, list(query.term_ids), model, 10,
+                                    budget_fraction=0.3, strategy="continue")
+        s = result.stats
+        assert s["terms_full"] <= s["terms_total"]
+        assert s["postings_full"] + s["postings_continued"] <= s["postings_total"]
