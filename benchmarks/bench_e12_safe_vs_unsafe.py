@@ -12,11 +12,9 @@ answer, and its safety class.  Expected shape: the unsafe family is
 fastest but lossy; the safe family is exact with smaller speedups.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import QuerySession
-from repro.ir import BM25
 from repro.mm import PostingsSource
 from repro.quality import mean_over_queries, overlap_at
 from repro.storage import CostCounter

@@ -12,7 +12,6 @@ way it is:
   budget.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import MMDatabase, QuerySession

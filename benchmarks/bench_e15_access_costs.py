@@ -10,7 +10,6 @@ is impossible, CA tracks the best of both — the adaptivity an
 integrated MM optimizer (Step 3) must model.
 """
 
-import numpy as np
 import pytest
 
 from repro.mm import feature_source, query_near_cluster, texture_features

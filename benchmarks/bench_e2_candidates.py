@@ -9,7 +9,6 @@ by query length.
 """
 
 import numpy as np
-import pytest
 
 from conftest import record_table
 

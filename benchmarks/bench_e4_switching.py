@@ -7,8 +7,6 @@ Reproduced rows: SAFE_SWITCH quality (≈ unfragmented) and cost
 (between UNSAFE and UNFRAGMENTED), switch rate over the query set.
 """
 
-import pytest
-
 from repro.core import QuerySession
 
 from conftest import record_table

@@ -12,7 +12,6 @@ multimedia feature workload.  Expected shape: all safe algorithms read
 a small, slowly growing fraction; TA ≤ FA in depth.
 """
 
-import numpy as np
 import pytest
 
 from repro.mm import color_histograms, feature_source, query_near_cluster, texture_features

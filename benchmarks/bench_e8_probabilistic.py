@@ -12,7 +12,7 @@ sort-stop plan.
 import numpy as np
 import pytest
 
-from repro.storage import BAT, CostCounter, kernel
+from repro.storage import BAT, CostCounter
 from repro.topn import ScoreHistogram, probabilistic_topn, sort_stop
 
 from conftest import BENCH_SCALE, record_table

@@ -24,7 +24,7 @@ import numpy as np
 from ..errors import EvaluationError
 from ..storage import kernel
 from ..storage.bat import BAT
-from .types import ListType, SetType, StructureType, INT, FLOAT
+from .types import SetType, StructureType, INT, FLOAT
 from .values import AtomValue, CollectionValue, ELEM, StructureValue, TupleValue
 
 

@@ -56,7 +56,8 @@ class AtomicType(StructureType):
 
     def __post_init__(self) -> None:
         if self.kind not in ATOM_KINDS:
-            raise AlgebraTypeError(f"unknown atomic kind {self.kind!r}; expected one of {ATOM_KINDS}")
+            raise AlgebraTypeError(
+                f"unknown atomic kind {self.kind!r}; expected one of {ATOM_KINDS}")
 
     extension_name = "ATOMIC"
 

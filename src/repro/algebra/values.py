@@ -70,7 +70,8 @@ class AtomValue(StructureValue):
         self.stype = stype
 
     def equals(self, other: StructureValue) -> bool:
-        return isinstance(other, AtomValue) and self.stype == other.stype and self.value == other.value
+        return (isinstance(other, AtomValue) and self.stype == other.stype
+                and self.value == other.value)
 
     def to_python(self):
         return self.value
@@ -113,7 +114,8 @@ class CollectionValue(StructureValue):
             expected = set(element.field_names())
             if set(columns) != expected:
                 raise AlgebraTypeError(
-                    f"tuple-element collection columns {sorted(columns)} != fields {sorted(expected)}"
+                    f"tuple-element collection columns {sorted(columns)} "
+                    f"!= fields {sorted(expected)}"
                 )
         else:
             raise AlgebraTypeError(f"unsupported element type {element} (no nested collections)")
@@ -211,7 +213,8 @@ class CollectionValue(StructureValue):
             return set(elements)
         return elements
 
-    def replace_columns(self, columns: Mapping[str, BAT], stype: StructureType | None = None) -> "CollectionValue":
+    def replace_columns(self, columns: Mapping[str, BAT],
+                        stype: StructureType | None = None) -> "CollectionValue":
         """A new value with the same (or given) type over new columns."""
         return CollectionValue(stype or self.stype, columns)
 
@@ -228,7 +231,8 @@ class CollectionValue(StructureValue):
         if isinstance(self.stype, SetType):
             return set(mine) == set(theirs)
         # BAG: multiset equality
-        key = (lambda e: tuple(sorted(e.items()))) if mine and isinstance(mine[0], dict) else (lambda e: e)
+        key = ((lambda e: tuple(sorted(e.items())))
+               if mine and isinstance(mine[0], dict) else (lambda e: e))
         return Counter(map(key, mine)) == Counter(map(key, theirs))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

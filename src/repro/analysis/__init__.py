@@ -1,0 +1,111 @@
+"""Static analysis of algebra plans: the plan verifier.
+
+The correctness tooling around the optimizer (see ``docs/API.md``,
+"Plan verification"):
+
+* :mod:`~repro.analysis.codes` — the stable ``MOA001``... diagnostic
+  code registry;
+* :mod:`~repro.analysis.diagnostics` — ``Diagnostic`` records with
+  expr-path locations and text/JSON report rendering;
+* :mod:`~repro.analysis.properties` — static ordering / duplicate /
+  cardinality property inference over ``Expr`` trees;
+* :mod:`~repro.analysis.analyzers` — the analyzer suite (type
+  soundness, ordering, safe-vs-unsafe cut-off classification,
+  cardinality, fragment coverage) plus per-rewrite step checks;
+* :mod:`~repro.analysis.soundness` — the differential rewrite-rule
+  soundness harness and the verified safety-label cache;
+* :mod:`~repro.analysis.lint` — ``repro lint`` entry points and the
+  seeded unsafe ``stop_after`` pushdown exemplar.
+"""
+
+from .analyzers import (
+    DEFAULT_ANALYZERS,
+    AnalysisContext,
+    Analyzer,
+    CardinalityAnalyzer,
+    CutoffClassification,
+    CutoffSafetyAnalyzer,
+    FragmentCoverageAnalyzer,
+    FragmentDeclaration,
+    OrderingAnalyzer,
+    TypeSoundnessAnalyzer,
+    analyze_expr,
+    check_rewrite_step,
+    classify_cutoffs,
+)
+from .codes import CODES, SEVERITIES, DiagnosticCode, all_codes, code_info
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    format_path,
+    make_diagnostic,
+    severity_rank,
+    subexpr_at,
+)
+from .lint import (
+    DEMO_EXPRESSION,
+    UnsafeStopAfterPushdown,
+    demo_unsafe_rewrite,
+    lint_expr,
+    lint_file,
+    lint_text,
+)
+from .properties import (
+    ORDER_SENSITIVE_OPS,
+    PlanProperties,
+    infer_properties,
+    properties_of,
+)
+from .soundness import (
+    RuleVerdict,
+    SoundnessHarness,
+    apply_rule_somewhere,
+    clear_verified_cache,
+    default_corpus,
+    ensure_verified,
+    verified_verdict,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "Analyzer",
+    "CODES",
+    "CardinalityAnalyzer",
+    "CutoffClassification",
+    "CutoffSafetyAnalyzer",
+    "DEFAULT_ANALYZERS",
+    "DEMO_EXPRESSION",
+    "Diagnostic",
+    "DiagnosticCode",
+    "DiagnosticReport",
+    "FragmentCoverageAnalyzer",
+    "FragmentDeclaration",
+    "ORDER_SENSITIVE_OPS",
+    "OrderingAnalyzer",
+    "PlanProperties",
+    "RuleVerdict",
+    "SEVERITIES",
+    "SoundnessHarness",
+    "TypeSoundnessAnalyzer",
+    "UnsafeStopAfterPushdown",
+    "all_codes",
+    "analyze_expr",
+    "apply_rule_somewhere",
+    "check_rewrite_step",
+    "classify_cutoffs",
+    "clear_verified_cache",
+    "code_info",
+    "default_corpus",
+    "demo_unsafe_rewrite",
+    "ensure_verified",
+    "format_path",
+    "infer_properties",
+    "lint_expr",
+    "lint_file",
+    "lint_text",
+    "make_diagnostic",
+    "properties_of",
+    "severity_rank",
+    "subexpr_at",
+    "verified_verdict",
+]

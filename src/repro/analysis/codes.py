@@ -1,0 +1,147 @@
+"""The single registry of plan-verifier diagnostic codes.
+
+Every diagnostic the static analyzers can emit carries a *stable* code
+from this table (``MOA001``...).  Codes are grouped by hundreds:
+
+* ``MOA0xx`` — type soundness (ill-typed plans never reach execution);
+* ``MOA1xx`` — ordering and duplicate semantics;
+* ``MOA2xx`` — safe vs unsafe top-N / ``stop_after`` classification;
+* ``MOA3xx`` — cardinality monotonicity;
+* ``MOA4xx`` — fragment coverage of fragmented scans;
+* ``MOA5xx`` — rewrite-framework health (budget exhaustion etc.).
+
+Tests assert that the table has no duplicate codes and that every code
+emitted anywhere in the analysis package is registered here, so the
+codes stay stable and documented across releases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: severity levels, weakest first (index = rank)
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class DiagnosticCode:
+    """One registered diagnostic code."""
+
+    code: str
+    title: str
+    default_severity: str
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.default_severity not in SEVERITIES:
+            raise ValueError(
+                f"{self.code}: unknown severity {self.default_severity!r}; "
+                f"expected one of {SEVERITIES}"
+            )
+
+
+def _build_table(*codes: DiagnosticCode) -> dict[str, DiagnosticCode]:
+    table: dict[str, DiagnosticCode] = {}
+    for entry in codes:
+        if entry.code in table:
+            raise ValueError(f"duplicate diagnostic code {entry.code}")
+        table[entry.code] = entry
+    return table
+
+
+#: the full registry, keyed by code
+CODES: dict[str, DiagnosticCode] = _build_table(
+    # -- type soundness ----------------------------------------------------
+    DiagnosticCode(
+        "MOA001", "ill-typed expression", "error",
+        "The expression fails static typing: an operator is applied to a "
+        "structure it is not defined on, or its scalar parameters do not "
+        "match the element type.  Such a plan can never execute.",
+    ),
+    DiagnosticCode(
+        "MOA002", "unbound variable", "error",
+        "The expression references a variable that is not bound in the "
+        "analysis environment.",
+    ),
+    DiagnosticCode(
+        "MOA003", "unknown operator", "error",
+        "No registered extension provides the named operator for the "
+        "receiver's structure type (e.g. `slice` dispatched on a BAG, "
+        "which has no element order to slice).",
+    ),
+    # -- ordering / duplicate semantics ------------------------------------
+    DiagnosticCode(
+        "MOA101", "order-sensitive operator over unordered input", "error",
+        "An operator whose result depends on element order (`slice`, "
+        "`getat`, `concat`, `reverse`, prefix cut-offs) consumes a BAG or "
+        "SET, for which \"the ordering ... formally does not exist\" "
+        "(paper, Example 1).  The result would be nondeterministic.",
+    ),
+    DiagnosticCode(
+        "MOA102", "rewrite dropped a required ordering", "error",
+        "A rewrite step replaced an expression whose output ordering was "
+        "statically known with one whose ordering is unknown, while the "
+        "result type still promises a LIST.  Downstream order-sensitive "
+        "consumers would silently read garbage.",
+    ),
+    DiagnosticCode(
+        "MOA103", "rewrite changed duplicate semantics", "warning",
+        "A rewrite step changed whether the result is provably "
+        "duplicate-free; duplicate-sensitive aggregates (count, sum, avg) "
+        "above it may change value.",
+    ),
+    # -- safe vs unsafe top-N ----------------------------------------------
+    DiagnosticCode(
+        "MOA201", "unsafe cut-off: prefix not licensed by an ordering", "error",
+        "A stop_after-style prefix cut (slice at offset 0, or an explicit "
+        "stop_after) consumes an input that is not statically ordered, so "
+        "the cut keeps *arbitrary* elements rather than the best ones — "
+        "the paper's unsafe top-N flavor applied where only the safe one "
+        "is licensed.",
+    ),
+    DiagnosticCode(
+        "MOA202", "rewrite rule without a verified-safe label", "warning",
+        "A plan was produced by a rewrite rule whose soundness-harness "
+        "verdict is missing, failed, or whose declared safety label is "
+        "`unsafe`: the plan may be an approximation of the original.",
+    ),
+    DiagnosticCode(
+        "MOA203", "cut-off exceeds the input cardinality bound", "info",
+        "A top-N or slice count is at least as large as the statically "
+        "known input cardinality: the cut-off is a no-op and the operator "
+        "can be removed.",
+    ),
+    # -- cardinality monotonicity ------------------------------------------
+    DiagnosticCode(
+        "MOA301", "cardinality bound grew across a rewrite", "warning",
+        "A rewrite step increased the static upper bound on result "
+        "cardinality.  Rewrites of filters, cut-offs and conversions must "
+        "be cardinality-monotone; a growing bound indicates a rule that "
+        "dropped a restriction.",
+    ),
+    # -- fragment coverage --------------------------------------------------
+    DiagnosticCode(
+        "MOA401", "fragmented scan does not cover all fragments", "warning",
+        "The plan reads a strict subset of the declared fragments of a "
+        "fragmented collection without a quality-check guard: results are "
+        "the paper's *unsafe* fragment-restricted approximation.",
+    ),
+    # -- rewrite-framework health -------------------------------------------
+    DiagnosticCode(
+        "MOA501", "rewrite budget exhausted before fixpoint", "warning",
+        "rewrite_fixpoint ran out of its application budget: the rule set "
+        "is non-confluent or cyclic on this expression, and the returned "
+        "plan is whatever state the rewriter stopped in.",
+    ),
+)
+
+
+def code_info(code: str) -> DiagnosticCode:
+    """Look up a registered code; raises ``KeyError`` for unknown codes
+    so emitting an unregistered diagnostic fails loudly in tests."""
+    return CODES[code]
+
+
+def all_codes() -> tuple[str, ...]:
+    """All registered codes, sorted."""
+    return tuple(sorted(CODES))

@@ -1,0 +1,175 @@
+"""Structured diagnostics emitted by the plan verifier.
+
+A :class:`Diagnostic` pins one finding to an *expression path* — the
+tuple of child indexes walked from the root (``()`` is the root itself,
+``(0, 1)`` is the second child of the first child).  Paths are stable
+under printing, so a diagnostic can be traced back into any rendering
+of the plan.  A :class:`DiagnosticReport` bundles the findings of one
+lint run and renders them as text or JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .codes import SEVERITIES, code_info
+
+#: path type alias: child indexes from the root
+ExprPath = tuple[int, ...]
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity (higher = worse)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(f"unknown severity {severity!r}; expected one of {SEVERITIES}") from None
+
+
+def format_path(path: ExprPath) -> str:
+    """Render a path as ``$`` (root) or ``$.0.1``."""
+    return "$" + "".join(f".{index}" for index in path)
+
+
+def subexpr_at(expr, path: ExprPath):
+    """The sub-expression a path points to (inverse of path recording)."""
+    node = expr
+    for index in path:
+        node = node.children()[index]
+    return node
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code, severity, message and location."""
+
+    code: str
+    severity: str
+    message: str
+    path: ExprPath = ()
+    #: source rendering of the offending (sub-)expression
+    expr: str = ""
+    #: name of the rewrite rule involved, for step diagnostics
+    rule: str | None = None
+
+    def __post_init__(self) -> None:
+        code_info(self.code)  # KeyError on unregistered codes
+        severity_rank(self.severity)  # ValueError on unknown severities
+
+    @property
+    def location(self) -> str:
+        return format_path(self.path)
+
+    def to_dict(self) -> dict:
+        out = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "path": list(self.path),
+            "location": self.location,
+            "expr": self.expr,
+        }
+        if self.rule is not None:
+            out["rule"] = self.rule
+        return out
+
+    def render(self) -> str:
+        rule = f" [rule {self.rule}]" if self.rule else ""
+        expr = f": {self.expr}" if self.expr else ""
+        return f"{self.severity:<7} {self.code} at {self.location}{rule} — {self.message}{expr}"
+
+
+def make_diagnostic(
+    code: str,
+    message: str,
+    path: ExprPath = (),
+    expr="",
+    rule: str | None = None,
+    severity: str | None = None,
+) -> Diagnostic:
+    """Build a diagnostic, defaulting severity from the code registry."""
+    info = code_info(code)
+    return Diagnostic(
+        code=code,
+        severity=severity or info.default_severity,
+        message=message,
+        path=tuple(path),
+        expr=str(expr),
+        rule=rule,
+    )
+
+
+@dataclass
+class DiagnosticReport:
+    """All findings of one lint run over one expression/plan."""
+
+    source: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def at_least(self, severity: str) -> list[Diagnostic]:
+        """Findings at or above a severity."""
+        floor = severity_rank(severity)
+        return [d for d in self.diagnostics if severity_rank(d.severity) >= floor]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.at_least("error")
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def max_severity(self) -> str | None:
+        if not self.diagnostics:
+            return None
+        return max(self.diagnostics, key=lambda d: severity_rank(d.severity)).severity
+
+    def codes(self) -> list[str]:
+        return [d.code for d in self.diagnostics]
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_text(self) -> str:
+        """Human-readable multi-line report."""
+        header = f"lint {self.source}" if self.source else "lint"
+        if not self.diagnostics:
+            return f"{header}: clean (no diagnostics)"
+        lines = [f"{header}: {self._summary()}"]
+        for diagnostic in sorted(
+            self.diagnostics, key=lambda d: (-severity_rank(d.severity), d.code, d.path)
+        ):
+            lines.append("  " + diagnostic.render())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "summary": self._summary(),
+            "max_severity": self.max_severity,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def _summary(self) -> str:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.severity] += 1
+        parts = [f"{n} {severity}(s)" for severity, n in reversed(counts.items())
+                 if n] or ["clean"]
+        return ", ".join(parts)

@@ -1,0 +1,160 @@
+"""Plan linting: the high-level entry points behind ``repro lint``.
+
+:func:`lint_expr` runs the analyzer suite over one expression and
+returns a :class:`~repro.analysis.diagnostics.DiagnosticReport`;
+:func:`lint_text` parses first; :func:`lint_file` lints every
+expression in a plan file (one expression per line, ``#`` comments).
+
+The module also ships the *seeded unsafe rewrite* the acceptance
+criteria call for: :class:`UnsafeStopAfterPushdown` pushes a
+``stop_after``-style prefix cut below a ``topn`` over an unordered BAG
+— the canonical unsound "optimization" the paper warns about.
+:func:`demo_unsafe_rewrite` applies it and shows the verifier flagging
+the result with stable MOA codes, plus the soundness harness failing
+the rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra.expr import Apply, Expr
+from ..algebra.parser import parse
+from ..algebra.types import BagType
+from ..optimizer.rules import RewriteRule, RuleContext
+from .analyzers import AnalysisContext, analyze_expr, check_rewrite_step
+from .diagnostics import DiagnosticReport
+from .soundness import SoundnessHarness, apply_rule_somewhere
+
+
+def lint_expr(
+    expr: Expr,
+    env_types=None,
+    registry=None,
+    fragments=None,
+    source: str = "",
+    analyzers=None,
+) -> DiagnosticReport:
+    """Run the full analyzer suite over one expression."""
+    context = AnalysisContext(env_types=env_types or {}, fragments=fragments or {})
+    if registry is not None:
+        context.registry = registry
+    report = DiagnosticReport(source=source or str(expr))
+    report.extend(analyze_expr(expr, context, analyzers))
+    return report
+
+
+def lint_text(text: str, env_types=None, registry=None, source: str = "") -> DiagnosticReport:
+    """Parse and lint one textual expression."""
+    expr = parse(text)
+    return lint_expr(expr, env_types=env_types, registry=registry,
+                     source=source or text.strip())
+
+
+def lint_file(path, env_types=None, registry=None) -> list[DiagnosticReport]:
+    """Lint every expression in a plan file.
+
+    Plan files hold one expression per line; blank lines and ``#``
+    comments are skipped.  Each expression yields its own report whose
+    ``source`` is ``<path>:<lineno>``.
+    """
+    reports = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            reports.append(lint_text(line, env_types=env_types, registry=registry,
+                                     source=f"{path}:{lineno}"))
+    return reports
+
+
+# -- the seeded unsafe rewrite ------------------------------------------------
+
+
+class UnsafeStopAfterPushdown(RewriteRule):
+    """The deliberately unsound cut-off pushdown (negative exemplar).
+
+    Rewrites ``topn(x, n)`` over a BAG into ``slice(x, 0, n)`` — "just
+    stop after the first n" — which is only licensed when ``x`` is
+    ordered descending by the ranking key.  Over an unordered BAG the
+    prefix keeps *arbitrary* elements, and ``slice`` is not even
+    defined on BAGs; the verifier flags both (MOA201, MOA003/MOA101)
+    and the soundness harness fails the rule differentially.
+    """
+
+    name = "unsafe-stopafter-pushdown"
+    layer = "inter-object"
+    safety = "unsafe"
+
+    def apply(self, expr: Apply, context: RuleContext):
+        if expr.op != "topn":
+            return None
+        try:
+            values, scalars = expr.split_args(context.env_types, context.registry)
+        except Exception:
+            return None
+        if len(values) != 1 or not isinstance(context.type_of(values[0]), BagType):
+            return None
+        n = scalars[0] if scalars else None
+        if n is None:
+            return None
+        return Apply("slice", values[0], 0, n)
+
+
+#: the expression the demo seeds the unsafe rewrite into: a top-3 over
+#: an (unordered) BAG produced by the paper's Example-1 conversion
+DEMO_EXPRESSION = "topn(projecttobag([5, 1, 4, 4, 3, 2]), 3)"
+
+
+@dataclass
+class UnsafeDemo:
+    """Everything ``repro lint --demo-unsafe`` reports."""
+
+    before: Expr
+    after: Expr
+    report: DiagnosticReport
+    verdict: object  # RuleVerdict
+
+    def render_text(self) -> str:
+        lines = [
+            "seeded unsafe rewrite: " + UnsafeStopAfterPushdown.name,
+            f"  before: {self.before}",
+            f"  after : {self.after}   (stop_after pushed below the BAG's topn)",
+            "",
+            self.report.render_text(),
+            "",
+            "soundness harness verdict:",
+            "  " + self.verdict.describe(),
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": UnsafeStopAfterPushdown.name,
+            "before": str(self.before),
+            "after": str(self.after),
+            "report": self.report.to_dict(),
+            "verdict": {
+                "rule": self.verdict.rule,
+                "declared_safety": self.verdict.declared_safety,
+                "passed": self.verdict.passed,
+                "exercised": self.verdict.exercised,
+                "failures": list(self.verdict.failures),
+            },
+        }
+
+
+def demo_unsafe_rewrite(expression: str = DEMO_EXPRESSION) -> UnsafeDemo:
+    """Apply the seeded unsafe stop_after pushdown and lint the result."""
+    rule = UnsafeStopAfterPushdown()
+    before = parse(expression)
+    context = RuleContext()
+    after = apply_rule_somewhere(before, rule, context)
+    if after is None:
+        raise ValueError(f"the seeded unsafe rule does not fire on {expression!r}")
+    report = DiagnosticReport(source=f"{before}  =>  {after}")
+    report.extend(analyze_expr(after, AnalysisContext()))
+    report.extend(check_rewrite_step(before, after, AnalysisContext(), rule=rule))
+    verdict = SoundnessHarness().verify_rule(rule)
+    return UnsafeDemo(before=before, after=after, report=report, verdict=verdict)

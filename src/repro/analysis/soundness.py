@@ -1,0 +1,339 @@
+"""The rewrite-rule soundness harness: differential rule testing.
+
+Every :class:`~repro.optimizer.rules.RewriteRule` declares a safety
+label (``rule.safety``, default ``"safe"``).  The harness *verifies*
+the label by differential testing: it generates a corpus of well-typed
+expressions over small environments, applies the rule wherever it
+fires, evaluates the original and rewritten expressions through
+:mod:`repro.algebra.engine`, and asserts
+
+* **safe** rules produce structurally equal results (LIST order, BAG
+  multiset, SET set equality — via ``StructureValue.equals``);
+* **unsafe** rules (the paper's cut-off family) preserve the result
+  *type* and *cardinality* and are measured for element overlap — the
+  top-N-prefix agreement contract: an unsafe rule may return different
+  elements, never a different shape.
+
+A rule that is never exercised by the corpus fails verification too —
+an unexercised safety label is no label at all.  Verified verdicts are
+cached per rule class, so the optimizer's ``verify=True`` mode can
+consult them cheaply (see :func:`ensure_verified`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from ..algebra.engine import evaluate
+from ..algebra.expr import Apply, Expr, Var, rebuild
+from ..algebra.values import CollectionValue, StructureValue, make_bag, make_list, make_set
+from ..optimizer.rules import RewriteRule, RuleContext
+
+#: recognized safety labels
+SAFETY_LABELS = ("safe", "unsafe")
+
+
+@dataclass(frozen=True)
+class RuleVerdict:
+    """The harness's verdict on one rule."""
+
+    rule: str
+    layer: str
+    declared_safety: str
+    exercised: int
+    failures: tuple[str, ...] = ()
+    #: mean element overlap across exercised cases (1.0 for exact rules)
+    mean_overlap: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return self.exercised > 0 and not self.failures
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        detail = f"{self.exercised} case(s), overlap {self.mean_overlap:.2f}"
+        if not self.exercised:
+            detail = "never exercised by the corpus"
+        line = (f"{status}  {self.rule:<32} [{self.layer}] "
+                f"declared={self.declared_safety}  {detail}")
+        for failure in self.failures[:3]:
+            line += f"\n      {failure}"
+        if len(self.failures) > 3:
+            line += f"\n      ... {len(self.failures) - 3} more failure(s)"
+        return line
+
+
+# -- corpus ------------------------------------------------------------------
+
+
+def _make_env(rng: random.Random) -> dict:
+    n = rng.randint(1, 12)
+    values = [rng.randint(-20, 40) for _ in range(n)]
+    if rng.random() < 0.5:
+        values.sort()
+    maker = rng.choice([make_list, make_bag, make_set])
+    return {"xs": maker(values)}
+
+
+def _list_env(rng: random.Random) -> dict:
+    n = rng.randint(1, 12)
+    values = [rng.randint(-20, 40) for _ in range(n)]
+    if rng.random() < 0.5:
+        values.sort()
+    return {"xs": make_list(values)}
+
+
+def _bounds(rng: random.Random) -> tuple[int, int]:
+    lo, hi = rng.randint(-25, 45), rng.randint(-25, 45)
+    return min(lo, hi), max(lo, hi)
+
+
+#: the one environment variable all corpus cases range over
+_VAR = Var("xs")
+
+
+def _templates(rng: random.Random):
+    """Directed expression templates: every default rule of all three
+    layers fires on at least one of these shapes."""
+    x = Apply  # brevity
+    lo, hi = _bounds(rng)
+    lo2, hi2 = _bounds(rng)
+    n, k = rng.randint(0, 8), rng.randint(0, 8)
+    d1, d2 = rng.randint(0, 1), rng.randint(0, 1)
+    v = rng.randint(-20, 40)
+    yield x("select", x("select", _VAR, lo, hi), lo2, hi2), _make_env(rng)
+    yield x("slice", x("slice", x("sort", _VAR, d1), lo2 % 7, hi % 9 + 1), n, k + 1), _make_env(rng)
+    yield x("sort", x("sort", _VAR, d1), d1), _make_env(rng)
+    yield x("select", x("projecttobag", _VAR), lo, hi), _list_env(rng)
+    yield x("select", x("projecttoset", _VAR), lo, hi), _list_env(rng)
+    yield x("topn", x("projecttobag", _VAR), n), _list_env(rng)
+    yield x("sort", x("projecttobag", _VAR), d1), _list_env(rng)
+    yield x("count", x("projecttobag", _VAR)), _list_env(rng)
+    yield x("max", x("projecttoset", _VAR)), _list_env(rng)
+    yield x("min", x("projecttobag", _VAR)), _list_env(rng)
+    yield x("contains", x("projecttobag", _VAR), v), _list_env(rng)
+    yield x("slice", x("sort", _VAR, d1), 0, n), _make_env(rng)
+    yield x("topn", x("sort", _VAR, d1), n), _make_env(rng)
+    yield x("sort", x("topn", _VAR, n, d1), d1), _make_env(rng)
+    yield x("topn", x("topn", _VAR, max(n, k), d2), min(n, k), d2), _make_env(rng)
+
+
+def _random_expr(rng: random.Random, depth: int = 0) -> Expr:
+    if depth >= 3 or rng.random() < 0.35:
+        return Var("xs")
+    child = _random_expr(rng, depth + 1)
+    op = rng.choice(["select", "sort", "topn", "projecttobag", "projecttoset"])
+    if op == "select":
+        lo, hi = _bounds(rng)
+        return Apply("select", child, lo, hi)
+    if op == "sort":
+        return Apply("sort", child, rng.randint(0, 1))
+    if op == "topn":
+        return Apply("topn", child, rng.randint(0, 8), rng.randint(0, 1))
+    return Apply(op, child)
+
+
+def default_corpus(seed: int = 7, n_random: int = 40, n_template_rounds: int = 4):
+    """The deterministic (seeded) differential-testing corpus: several
+    rounds of directed templates plus random expression trees."""
+    rng = random.Random(seed)
+    cases = []
+    for _ in range(n_template_rounds):
+        for template, env in _templates(rng):
+            cases.append((template, env))
+    for _ in range(n_random):
+        cases.append((_random_expr(rng), _make_env(rng)))
+    return cases
+
+
+# -- differential application -------------------------------------------------
+
+
+def apply_rule_somewhere(expr: Expr, rule: RewriteRule, context: RuleContext) -> Expr | None:
+    """Apply ``rule`` at the first matching node (bottom-up), without
+    the rewriter's inline type check — the harness verifies types as
+    part of the differential contract instead.  Returns the rewritten
+    tree, or ``None`` when the rule fires nowhere."""
+    if not isinstance(expr, Apply):
+        return None
+    for index, child in enumerate(expr.children()):
+        new_child = apply_rule_somewhere(child, rule, context)
+        if new_child is not None:
+            args = list(expr.children())
+            args[index] = new_child
+            return rebuild(expr, tuple(args))
+    replacement = rule.apply(expr, context)
+    if replacement is not None and replacement != expr:
+        return replacement
+    return None
+
+
+def _elements(value: StructureValue):
+    if isinstance(value, CollectionValue):
+        # dict elements (tuple collections) are unhashable: canonicalize
+        return [
+            tuple(sorted(e.items())) if isinstance(e, dict) else e
+            for e in value.iter_elements()
+        ]
+    return [value.to_python()]
+
+
+def _overlap(a: StructureValue, b: StructureValue) -> float:
+    """Multiset overlap fraction of ``b``'s elements against ``a``'s."""
+    elems_a, elems_b = Counter(_elements(a)), Counter(_elements(b))
+    if not elems_a:
+        return 1.0 if not elems_b else 0.0
+    shared = sum((elems_a & elems_b).values())
+    return shared / max(sum(elems_a.values()), sum(elems_b.values()))
+
+
+# -- the harness -------------------------------------------------------------
+
+
+@dataclass
+class SoundnessHarness:
+    """Differentially verifies rewrite rules against a case corpus."""
+
+    registry: object = None
+    seed: int = 7
+    cases: list = None
+    max_applications: int = 8
+
+    def __post_init__(self) -> None:
+        if self.cases is None:
+            self.cases = default_corpus(self.seed)
+
+    # -- single-rule verification ----------------------------------------
+
+    def verify_rule(self, rule: RewriteRule) -> RuleVerdict:
+        declared = getattr(rule, "safety", "safe")
+        exercised = 0
+        failures: list[str] = []
+        overlaps: list[float] = []
+        for expr, env in self.cases:
+            env_types = {name: value.stype for name, value in env.items()}
+            context = RuleContext(env_types=env_types)
+            if self.registry is not None:
+                context.registry = self.registry
+            if not _well_typed(expr, context):
+                continue
+            try:
+                rewritten = self._apply_to_fixpoint(expr, rule, context)
+            except Exception as exc:
+                exercised += 1
+                failures.append(f"{expr}: rule raised {type(exc).__name__}: {exc}")
+                continue
+            if rewritten is None:
+                continue
+            exercised += 1
+            failure, overlap = self._compare(expr, rewritten, env, context, declared)
+            if failure is not None:
+                failures.append(failure)
+            if overlap is not None:
+                overlaps.append(overlap)
+        mean_overlap = sum(overlaps) / len(overlaps) if overlaps else 0.0
+        return RuleVerdict(
+            rule=rule.name, layer=rule.layer, declared_safety=declared,
+            exercised=exercised, failures=tuple(failures), mean_overlap=mean_overlap,
+        )
+
+    def verify_rules(self, rules) -> dict[str, RuleVerdict]:
+        """Verdicts for a rule list, keyed by rule name."""
+        return {rule.name: self.verify_rule(rule) for rule in rules}
+
+    # -- internals ---------------------------------------------------------
+
+    def _apply_to_fixpoint(self, expr, rule, context):
+        current, applied = expr, 0
+        while applied < self.max_applications:
+            rewritten = apply_rule_somewhere(current, rule, context)
+            if rewritten is None:
+                return current if applied else None
+            current = rewritten
+            applied += 1
+        raise RuntimeError(
+            f"rule did not reach a fixpoint within {self.max_applications} "
+            f"applications (cyclic rule?)"
+        )
+
+    def _compare(self, expr, rewritten, env, context, declared):
+        """(failure message or None, overlap or None) for one case."""
+        try:
+            type_after = context.type_of(rewritten)
+        except Exception as exc:
+            return (f"{expr} => {rewritten}: rewritten expression is "
+                    f"ill-typed ({type(exc).__name__}: {exc})"), None
+        type_before = context.type_of(expr)
+        if type_before != type_after:
+            return (f"{expr} => {rewritten}: result type changed "
+                    f"{type_before} -> {type_after}"), None
+
+        status_a, value_a = _eval_or_error(expr, env)
+        status_b, value_b = _eval_or_error(rewritten, env)
+        if status_a == "error":
+            # the rewrite may legitimately have removed the failing work;
+            # it must never *introduce* a failure, checked below
+            return None, None
+        if status_b == "error":
+            return (f"{expr} => {rewritten}: rewritten plan failed "
+                    f"({value_b}) where the original succeeded"), None
+
+        overlap = _overlap(value_a, value_b)
+        if declared == "safe":
+            if not value_a.equals(value_b):
+                return (f"{expr} => {rewritten}: results differ "
+                        f"({value_a.to_python()} != {value_b.to_python()})"), overlap
+            return None, overlap
+        # unsafe contract: same shape (type already checked), same
+        # cardinality; element membership may differ (overlap recorded)
+        len_a = value_a.count if isinstance(value_a, CollectionValue) else 1
+        len_b = value_b.count if isinstance(value_b, CollectionValue) else 1
+        if len_a != len_b:
+            return (f"{expr} => {rewritten}: unsafe rule changed the result "
+                    f"cardinality {len_a} -> {len_b}"), overlap
+        return None, overlap
+
+
+def _well_typed(expr, context) -> bool:
+    try:
+        context.type_of(expr)
+        return True
+    except Exception:
+        return False
+
+
+def _eval_or_error(expr, env):
+    try:
+        return "ok", evaluate(expr, env)
+    except Exception as exc:
+        return "error", f"{type(exc).__name__}: {exc}"
+
+
+# -- verified-label cache -----------------------------------------------------
+
+_VERIFIED: dict[tuple, RuleVerdict] = {}
+
+
+def _rule_key(rule: RewriteRule) -> tuple:
+    cls = type(rule)
+    return (cls.__module__, cls.__qualname__, rule.name)
+
+
+def verified_verdict(rule: RewriteRule, harness: SoundnessHarness | None = None) -> RuleVerdict:
+    """The cached harness verdict for ``rule`` (computed on first use)."""
+    key = _rule_key(rule)
+    if key not in _VERIFIED:
+        _VERIFIED[key] = (harness or SoundnessHarness()).verify_rule(rule)
+    return _VERIFIED[key]
+
+
+def ensure_verified(rules, harness: SoundnessHarness | None = None) -> dict[str, RuleVerdict]:
+    """Verified verdicts for a rule list, keyed by rule name (cached)."""
+    return {rule.name: verified_verdict(rule, harness) for rule in rules}
+
+
+def clear_verified_cache() -> None:
+    """Drop cached verdicts (tests use private registries/rules)."""
+    _VERIFIED.clear()

@@ -8,6 +8,7 @@ Commands
 ``experiment``  run the Step-1 fragmentation experiment and print the
                 paper-vs-measured table
 ``example1``    the paper's Example 1 through the optimizer
+``lint``        statically verify algebra plans (the plan verifier)
 
 All commands are deterministic given ``--seed``.
 """
@@ -48,6 +49,28 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=["e3"])
     experiment.add_argument("--queries", type=int, default=30)
     experiment.add_argument("--topn", type=int, default=20)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify algebra plans and rewrite rules",
+        description="Run the plan verifier: lint plan files / expressions "
+                    "for type, ordering, duplicate-semantics, cut-off safety, "
+                    "cardinality and fragment-coverage issues (stable MOA "
+                    "diagnostic codes); optionally verify the optimizer's "
+                    "rewrite rules differentially.",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PLAN_FILE",
+                      help="plan files, one expression per line (# comments)")
+    lint.add_argument("--expr", action="append", default=[], metavar="EXPR",
+                      help="lint this expression (repeatable)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit reports as JSON instead of text")
+    lint.add_argument("--demo-unsafe", action="store_true",
+                      help="seed the unsafe stop_after pushdown over an "
+                           "unordered BAG and show the verifier flagging it")
+    lint.add_argument("--verify-rules", action="store_true",
+                      help="run the soundness harness over the default "
+                           "optimizer rules of all three layers")
     return parser
 
 
@@ -124,8 +147,91 @@ def _cmd_experiment_e3(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    import json
+
+    from .analysis import SoundnessHarness, demo_unsafe_rewrite, lint_file, lint_text
+    from .errors import ParseError
+
+    if not (args.paths or args.expr or args.demo_unsafe or args.verify_rules):
+        print("repro lint: nothing to lint "
+              "(give PLAN_FILEs, --expr, --demo-unsafe or --verify-rules)", file=out)
+        return 2
+
+    exit_code = 0
+    payload: dict = {}
+
+    reports = []
+    for text in args.expr:
+        try:
+            reports.append(lint_text(text))
+        except ParseError as exc:
+            print(f"repro lint: {text.strip() or '<empty>'}: syntax error: {exc}",
+                  file=out)
+            exit_code = 1
+    for path in args.paths:
+        try:
+            reports.extend(lint_file(path))
+        except ParseError as exc:
+            print(f"repro lint: {path}: syntax error: {exc}", file=out)
+            exit_code = 1
+        except OSError as exc:
+            print(f"repro lint: cannot read {path}: {exc}", file=out)
+            return 2
+    if reports:
+        if args.json:
+            payload["reports"] = [report.to_dict() for report in reports]
+        else:
+            for report in reports:
+                print(report.render_text(), file=out)
+        if any(report.has_errors for report in reports):
+            exit_code = 1
+
+    if args.demo_unsafe:
+        demo = demo_unsafe_rewrite()
+        if args.json:
+            payload["demo_unsafe"] = demo.to_dict()
+        else:
+            print(demo.render_text(), file=out)
+        # the demo *should* produce errors; report them like any lint run
+        if demo.report.has_errors or not demo.verdict.passed:
+            exit_code = 1
+
+    if args.verify_rules:
+        from .optimizer import (
+            DEFAULT_INTER_OBJECT_RULES,
+            DEFAULT_LOGICAL_RULES,
+            intra_rules_for,
+        )
+
+        rules = (list(DEFAULT_LOGICAL_RULES) + list(DEFAULT_INTER_OBJECT_RULES)
+                 + list(intra_rules_for()))
+        verdicts = SoundnessHarness(seed=args.seed).verify_rules(rules)
+        if args.json:
+            payload["rule_verdicts"] = {
+                name: {
+                    "layer": verdict.layer,
+                    "declared_safety": verdict.declared_safety,
+                    "passed": verdict.passed,
+                    "exercised": verdict.exercised,
+                    "mean_overlap": verdict.mean_overlap,
+                    "failures": list(verdict.failures),
+                }
+                for name, verdict in verdicts.items()
+            }
+        else:
+            for verdict in verdicts.values():
+                print(verdict.describe(), file=out)
+        if any(not verdict.passed for verdict in verdicts.values()):
+            exit_code = 1
+
+    if args.json:
+        print(json.dumps(payload, indent=2), file=out)
+    return exit_code
+
+
 def _cmd_example1(args, out) -> int:
-    from .algebra import evaluate, parse
+    from .algebra import parse
     from .optimizer import Optimizer
 
     expr = parse("select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)")
@@ -155,4 +261,6 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_experiment_e3(args, out)
     if args.command == "example1":
         return _cmd_example1(args, out)
+    if args.command == "lint":
+        return _cmd_lint(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

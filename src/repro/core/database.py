@@ -30,7 +30,7 @@ from ..ir.documents import Collection
 from ..ir.invindex import InvertedIndex
 from ..ir.ranking import make_model
 from ..mm.features import FeatureSpace
-from ..mm.sources import ArraySource, PostingsSource, feature_source
+from ..mm.sources import PostingsSource, feature_source
 from ..storage.bat import BAT
 from ..storage.stats import CostCounter
 from ..topn import (

@@ -28,7 +28,8 @@ STOPWORDS = frozenset(
 )
 
 #: suffixes stripped by the light stemmer, longest first
-_SUFFIXES = ("ations", "ation", "ingly", "iness", "ments", "ness", "ings", "ing", "ies", "ment", "edly", "ed", "es", "ly", "s")
+_SUFFIXES = ("ations", "ation", "ingly", "iness", "ments", "ness", "ings", "ing",
+             "ies", "ment", "edly", "ed", "es", "ly", "s")
 _MIN_STEM = 3
 
 

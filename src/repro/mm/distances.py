@@ -63,7 +63,9 @@ def similarity_scores(vectors: np.ndarray, query: np.ndarray, measure: str = "l2
     try:
         func = SIMILARITIES[measure]
     except KeyError:
-        raise WorkloadError(f"unknown similarity measure {measure!r}; have {sorted(SIMILARITIES)}") from None
+        raise WorkloadError(
+            f"unknown similarity measure {measure!r}; have {sorted(SIMILARITIES)}"
+        ) from None
     if vectors.shape[1] != len(query):
         raise WorkloadError(
             f"query dimension {len(query)} != feature dimension {vectors.shape[1]}"

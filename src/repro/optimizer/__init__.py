@@ -15,10 +15,18 @@ from .interobject import (
 from .intraobject import intra_rules_for, register_intra_rule
 from .logical import DEFAULT_LOGICAL_RULES, MergeSelects, SliceOfSlice, SortIdempotent
 from .pipeline import OptimizationReport, Optimizer
-from .rules import LAYERS, RewriteRule, RuleContext, TraceEntry, rewrite_fixpoint
+from .rules import (
+    BUDGET_EXHAUSTED_RULE,
+    LAYERS,
+    RewriteRule,
+    RuleContext,
+    TraceEntry,
+    rewrite_fixpoint,
+)
 
 __all__ = [
     "AggregateThroughConversion",
+    "BUDGET_EXHAUSTED_RULE",
     "CostModel",
     "DEFAULT_INTER_OBJECT_RULES",
     "DEFAULT_LOGICAL_RULES",

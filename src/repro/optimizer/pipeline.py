@@ -30,6 +30,9 @@ class OptimizationReport:
     optimized: Expr
     trace: list[TraceEntry] = field(default_factory=list)
     candidates: list[tuple[Expr, PlanEstimate]] = field(default_factory=list)
+    #: plan-verifier findings (populated in ``verify=True`` mode); a
+    #: :class:`repro.analysis.DiagnosticReport` or ``None``
+    diagnostics: object = None
 
     @property
     def original_estimate(self) -> PlanEstimate:
@@ -67,6 +70,8 @@ class OptimizationReport:
             f"{self.chosen_estimate.cost:.1f} "
             f"(x{self.estimated_speedup:.1f})"
         )
+        if self.diagnostics is not None:
+            lines.append(self.diagnostics.render_text())
         return "\n".join(lines)
 
 
@@ -82,6 +87,7 @@ class Optimizer:
         inter_object_rules=None,
         intra_object_rules=None,
         cost_based: bool = True,
+        verify: bool = False,
     ) -> None:
         self.registry = registry or default_registry()
         self.cost_model = cost_model or CostModel()
@@ -93,11 +99,23 @@ class Optimizer:
             intra_rules_for() if intra_object_rules is None else intra_object_rules
         )
         self.cost_based = cost_based
+        #: opt-in plan verification: lint the chosen plan and every
+        #: trace step, and consult the rule-soundness verdicts
+        self.verify = verify
 
-    def optimize(self, expr: Expr, env=None) -> OptimizationReport:
+    def optimize(self, expr: Expr, env=None, verify: bool | None = None) -> OptimizationReport:
         """Rewrite ``expr`` through the three layers and pick the
-        cheapest candidate by estimated cost."""
+        cheapest candidate by estimated cost.
+
+        With ``verify=True`` (per call, or set on the optimizer) the
+        plan verifier lints the chosen plan and re-checks every trace
+        step; findings land in ``report.diagnostics``.
+        """
         env = env or {}
+        do_verify = self.verify if verify is None else verify
+        # in verify mode budget exhaustion becomes an MOA501 diagnostic
+        # instead of an exception, so the report can still be inspected
+        exhaustion = "mark" if do_verify else "raise"
         env_types = {name: value.stype for name, value in env.items()}
         context = RuleContext(env_types=env_types, registry=self.registry)
 
@@ -105,12 +123,16 @@ class Optimizer:
         stages: list[Expr] = [expr]
         current = expr
         for rules in (self.logical_rules, self.inter_object_rules, self.intra_object_rules):
-            current, stage_trace = rewrite_fixpoint(current, rules, context)
+            current, stage_trace = rewrite_fixpoint(
+                current, rules, context, on_budget_exhausted=exhaustion
+            )
             trace.extend(stage_trace)
             stages.append(current)
         # one more logical pass: inter/intra rewrites can expose new
         # general opportunities (e.g. merged selects after a pushdown)
-        current, stage_trace = rewrite_fixpoint(current, self.logical_rules, context)
+        current, stage_trace = rewrite_fixpoint(
+            current, self.logical_rules, context, on_budget_exhausted=exhaustion
+        )
         trace.extend(stage_trace)
         stages.append(current)
 
@@ -128,7 +150,58 @@ class Optimizer:
             chosen = min(reversed(estimates), key=lambda pair: pair[1].cost)[0]
         else:
             chosen = candidates[-1]
-        return OptimizationReport(expr, chosen, trace, estimates)
+        report = OptimizationReport(expr, chosen, trace, estimates)
+        if do_verify:
+            report.diagnostics = self._verify_report(report, env_types)
+        return report
+
+    def all_rules(self):
+        """Every rule of the three layers, in application order."""
+        return self.logical_rules + self.inter_object_rules + self.intra_object_rules
+
+    def _verify_report(self, report: OptimizationReport, env_types):
+        """Run the plan verifier over a finished optimization."""
+        # imported lazily: repro.analysis itself imports the rule
+        # framework, so a module-level import would be circular
+        from ..analysis import (
+            AnalysisContext,
+            DiagnosticReport,
+            analyze_expr,
+            check_rewrite_step,
+            ensure_verified,
+            make_diagnostic,
+        )
+
+        context = AnalysisContext(env_types=env_types, registry=self.registry)
+        diagnostics = DiagnosticReport(source=str(report.original))
+        diagnostics.extend(analyze_expr(report.optimized, context))
+
+        rules_by_name = {rule.name: rule for rule in self.all_rules()}
+        verdicts = ensure_verified(self.all_rules())
+        flagged_rules = set()
+        for entry in report.trace:
+            if entry.is_budget_marker:
+                diagnostics.add(make_diagnostic(
+                    "MOA501",
+                    f"rewrite stopped at {entry.after} without reaching a "
+                    f"fixpoint: non-confluent or cyclic rule set",
+                ))
+                continue
+            rule = rules_by_name.get(entry.rule)
+            if entry.before_expr is not None and entry.after_expr is not None:
+                diagnostics.extend(check_rewrite_step(
+                    entry.before_expr, entry.after_expr, context, rule=rule,
+                ))
+            verdict = verdicts.get(entry.rule)
+            if verdict is not None and not verdict.passed and entry.rule not in flagged_rules:
+                flagged_rules.add(entry.rule)
+                why = verdict.failures[0] if verdict.failures else "never exercised"
+                diagnostics.add(make_diagnostic(
+                    "MOA202",
+                    f"rule failed soundness verification: {why}",
+                    rule=entry.rule, severity="error",
+                ))
+        return diagnostics
 
     def execute(self, expr: Expr, env=None):
         """Optimize, evaluate the chosen plan, return (value, report)."""

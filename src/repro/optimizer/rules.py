@@ -42,6 +42,12 @@ class RewriteRule:
     name = "abstract"
     #: which optimizer layer the rule belongs to
     layer = "logical"
+    #: declared safety label: ``"safe"`` rules preserve results exactly,
+    #: ``"unsafe"`` rules (the paper's cut-off family) may approximate.
+    #: The label is *verified* differentially by
+    #: :mod:`repro.analysis.soundness`; the verifier's step checks
+    #: surface unsafe or unverified rules as MOA202 diagnostics.
+    safety = "safe"
 
     def apply(self, expr: Apply, context: RuleContext) -> Expr | None:
         """Return a replacement for ``expr`` or None if not applicable."""
@@ -53,12 +59,28 @@ class RewriteRule:
 
 @dataclass(frozen=True)
 class TraceEntry:
-    """One recorded rule application."""
+    """One recorded rule application.
+
+    ``before_expr`` / ``after_expr`` carry the actual expression trees
+    (when available) so the plan verifier can re-analyze every step;
+    the string fields remain the stable rendering used by reports.
+    """
 
     rule: str
     layer: str
     before: str
     after: str
+    before_expr: Expr | None = None
+    after_expr: Expr | None = None
+
+    @property
+    def is_budget_marker(self) -> bool:
+        return self.rule == BUDGET_EXHAUSTED_RULE
+
+
+#: pseudo-rule name of the trace marker recorded when
+#: :func:`rewrite_fixpoint` exhausts its application budget
+BUDGET_EXHAUSTED_RULE = "<budget-exhausted>"
 
 
 def _rewrite_node(expr: Expr, rules, context, trace, budget) -> Expr:
@@ -79,7 +101,8 @@ def _rewrite_node(expr: Expr, rules, context, trace, budget) -> Expr:
                 if replacement is None:
                     continue
                 _check_type_preserved(expr, replacement, context, rule)
-                trace.append(TraceEntry(rule.name, rule.layer, str(expr), str(replacement)))
+                trace.append(TraceEntry(rule.name, rule.layer, str(expr), str(replacement),
+                                        before_expr=expr, after_expr=replacement))
                 budget[0] -= 1
                 expr = replacement
                 # the replacement may expose new opportunities below it
@@ -110,20 +133,38 @@ def rewrite_fixpoint(
     rules: list[RewriteRule],
     context: RuleContext | None = None,
     max_applications: int = 100,
+    on_budget_exhausted: str = "raise",
 ) -> tuple[Expr, list[TraceEntry]]:
     """Apply ``rules`` bottom-up to a fixpoint (bounded by
     ``max_applications`` to guard against non-terminating rule sets).
 
     Every application is type-checked: a rule that changes the result
     type raises :class:`~repro.errors.RewriteError`.
+
+    Budget exhaustion is never silent: a :data:`BUDGET_EXHAUSTED_RULE`
+    marker entry is recorded in the trace so non-confluent rule sets
+    stay visible, then either a :class:`~repro.errors.RewriteError` is
+    raised (``on_budget_exhausted="raise"``, the default) or the
+    current state is returned with the marker in place
+    (``on_budget_exhausted="mark"`` — the plan verifier turns the
+    marker into an MOA501 diagnostic).
     """
+    if on_budget_exhausted not in ("raise", "mark"):
+        raise ValueError(
+            f"on_budget_exhausted must be 'raise' or 'mark', got {on_budget_exhausted!r}"
+        )
     context = context or RuleContext()
     trace: list[TraceEntry] = []
     budget = [max_applications]
     result = _rewrite_node(expr, rules, context, trace, budget)
     if budget[0] <= 0:
-        raise RewriteError(
-            f"rewrite did not reach a fixpoint within {max_applications} applications "
-            f"(cyclic rules?): last state {result}"
-        )
+        trace.append(TraceEntry(
+            BUDGET_EXHAUSTED_RULE, "framework", str(result), str(result),
+            before_expr=result, after_expr=result,
+        ))
+        if on_budget_exhausted == "raise":
+            raise RewriteError(
+                f"rewrite did not reach a fixpoint within {max_applications} applications "
+                f"(cyclic rules?): last state {result}"
+            )
     return result, trace

@@ -91,7 +91,8 @@ class SparseIndex:
         stop = min(stop_stride * self.stride, n)
         return start, max(stop, start)
 
-    def lookup_range(self, lo=None, hi=None, include_lo: bool = True, include_hi: bool = True) -> BAT:
+    def lookup_range(self, lo=None, hi=None, include_lo: bool = True,
+                     include_hi: bool = True) -> BAT:
         """Range probe: return the base pairs with ``lo <= tail <= hi``,
         reading only the candidate strides of the base BAT."""
         start, stop = self._candidate_span(lo, hi)
@@ -114,7 +115,8 @@ class SparseIndex:
         heads = self.base.head_array()[picked]
         tails = self.base.tail[picked]
         stats.charge_tuples_written(len(picked))
-        return BAT(tails, head=heads, tail_sorted=True, head_key=self.base.head_key or self.base.is_dense_head)
+        return BAT(tails, head=heads, tail_sorted=True,
+                   head_key=self.base.head_key or self.base.is_dense_head)
 
     def lookup_eq(self, value) -> BAT:
         """Equality probe."""

@@ -223,8 +223,10 @@ def select_range(
 
     if sorted_asc:
         _binary_search_cost(bat)
-        left = 0 if lo is None else int(np.searchsorted(tail, lo, "left" if include_lo else "right"))
-        right = n if hi is None else int(np.searchsorted(tail, hi, "right" if include_hi else "left"))
+        left = 0 if lo is None else int(
+            np.searchsorted(tail, lo, "left" if include_lo else "right"))
+        right = n if hi is None else int(
+            np.searchsorted(tail, hi, "right" if include_hi else "left"))
         right = max(right, left)
         scan_cost(bat, right - left, start=left)
         _emit(right - left)

@@ -1,5 +1,10 @@
 """Optimizer statistics over BAT columns: zone maps and histograms.
 
+.. note:: Not to be confused with :mod:`repro.storage.stats`, which is
+   *cost accounting* — runtime counters of pages, tuples and
+   comparisons charged while queries execute.  This module holds the
+   *column statistics* the cost model consults before execution.
+
 The cost model (Step 3) needs selectivity estimates.  Out of the box it
 uses per-column zone maps (min/max, uniform assumption); this module
 adds equi-depth histograms so skewed columns estimate well too, plus a
@@ -20,6 +25,14 @@ import numpy as np
 from ..errors import StorageError
 from . import stats as _stats
 from .bat import BAT
+
+__all__ = [
+    "ColumnStatistics",
+    "EquiDepthHistogram",
+    "StatisticsRegistry",
+    "ZoneMap",
+    "analyze_column",
+]
 
 
 @dataclass(frozen=True)

@@ -1,5 +1,10 @@
 """Cost accounting for the storage kernel and everything above it.
 
+.. note:: Not to be confused with :mod:`repro.storage.statistics`,
+   which holds *column statistics* (zone maps, equi-depth histograms)
+   for the cost model's selectivity estimates.  This module counts
+   *work performed* (pages, tuples, comparisons) while a query runs.
+
 The paper's claims are phrased in terms of "how much data is processed"
 (e.g. *"processing only a small portion of the data of approximately 5%
 of the unfragmented size ... speed up query processing ... with at least
@@ -31,6 +36,19 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field, fields
 
+__all__ = [
+    "CostCounter",
+    "active_counters",
+    "charge_buffer_hits",
+    "charge_comparisons",
+    "charge_extra",
+    "charge_page_reads",
+    "charge_page_writes",
+    "charge_random_accesses",
+    "charge_sorted_accesses",
+    "charge_tuples_read",
+    "charge_tuples_written",
+]
 
 _local = threading.local()
 

@@ -26,7 +26,7 @@ few numpy draws for the whole corpus).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

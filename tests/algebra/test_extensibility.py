@@ -10,7 +10,6 @@ pushdowns for free.
 
 import numpy as np
 import pytest
-from dataclasses import dataclass
 
 from repro.algebra import (
     Apply,

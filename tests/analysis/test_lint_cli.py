@@ -1,0 +1,140 @@
+"""The ``repro lint`` subcommand and the pipeline's verify mode."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.algebra import make_list, parse
+from repro.algebra.expr import Apply
+from repro.analysis import clear_verified_cache
+from repro.cli import main
+from repro.optimizer import BUDGET_EXHAUSTED_RULE, Optimizer, RewriteRule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLE_PLANS = sorted(str(p) for p in (REPO_ROOT / "examples" / "plans").glob("*.moa"))
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestLintCli:
+    def test_example_plans_lint_clean(self):
+        assert EXAMPLE_PLANS, "examples/plans/*.moa missing"
+        code, output = run_cli("lint", *EXAMPLE_PLANS)
+        assert code == 0
+        assert "clean" in output
+
+    def test_expr_with_errors_exits_nonzero(self):
+        code, output = run_cli("lint", "--expr", "slice(projecttobag([1, 2]), 0, 1)")
+        assert code == 1
+        assert "MOA201" in output
+
+    def test_json_output(self):
+        code, output = run_cli("lint", "--json", "--expr", "topn([3, 1, 2], 2)")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["reports"][0]["summary"] == "clean"
+
+    def test_demo_unsafe_flags_stable_codes(self):
+        code, output = run_cli("lint", "--demo-unsafe")
+        assert code == 1  # the seeded rewrite *must* produce findings
+        for expected in ("MOA201", "MOA202", "unsafe-stopafter-pushdown", "FAIL"):
+            assert expected in output
+
+    def test_demo_unsafe_json(self):
+        code, output = run_cli("lint", "--demo-unsafe", "--json")
+        assert code == 1
+        payload = json.loads(output)
+        demo = payload["demo_unsafe"]
+        assert demo["rule"] == "unsafe-stopafter-pushdown"
+        assert not demo["verdict"]["passed"]
+        codes = [d["code"] for d in demo["report"]["diagnostics"]]
+        assert "MOA201" in codes
+
+    def test_verify_rules_all_pass(self):
+        code, output = run_cli("lint", "--verify-rules")
+        assert code == 0
+        assert "FAIL" not in output
+        assert output.count("PASS") == 12
+
+    def test_nothing_to_lint_is_usage_error(self):
+        code, output = run_cli("lint")
+        assert code == 2
+        assert "nothing to lint" in output
+
+    def test_malformed_expr_reports_syntax_error(self):
+        code, output = run_cli("lint", "--expr", "topn((")
+        assert code == 1
+        assert "syntax error" in output
+        assert "Traceback" not in output
+
+    def test_empty_expr_reports_syntax_error(self):
+        code, output = run_cli("lint", "--expr", "")
+        assert code == 1
+        assert "syntax error" in output
+        assert "<empty>" in output
+
+    def test_missing_file_is_usage_error(self):
+        code, output = run_cli("lint", "/nonexistent/plans.moa")
+        assert code == 2
+        assert "cannot read" in output
+        assert "Traceback" not in output
+
+    def test_malformed_expr_does_not_suppress_good_ones(self):
+        code, output = run_cli("lint", "--expr", "topn((",
+                               "--expr", "topn(sort([3, 1, 2], 1), 2, 1)")
+        assert code == 1
+        assert "syntax error" in output
+        assert "clean" in output
+
+
+class TestPipelineVerifyMode:
+    def test_verify_off_by_default(self):
+        report = Optimizer().optimize(parse("topn([3, 1, 2], 2)"))
+        assert report.diagnostics is None
+
+    def test_verify_mode_clean_run(self):
+        env = {"xs": make_list(range(20))}
+        report = Optimizer(verify=True).optimize(
+            parse("slice(slice(sort(xs, 0), 0, 10), 0, 3)"), env)
+        assert report.diagnostics is not None
+        assert not report.diagnostics.has_errors
+        assert "lint" in report.describe()
+
+    def test_verify_per_call_override(self):
+        env = {"xs": make_list(range(5))}
+        expr = parse("sort(sort(xs, 1), 1)")
+        assert Optimizer().optimize(expr, env, verify=True).diagnostics is not None
+        assert Optimizer(verify=True).optimize(expr, env,
+                                               verify=False).diagnostics is None
+
+    def test_budget_exhaustion_marks_moa501_and_failing_rule_moa202(self):
+        class FlipSort(RewriteRule):
+            name = "fixture-cli-flip-sort"
+            layer = "logical"
+
+            def apply(self, expr, context):
+                if isinstance(expr, Apply) and expr.op == "sort":
+                    values, scalars = expr.split_args(context.env_types,
+                                                      context.registry)
+                    flipped = 1 - scalars[0].value if scalars else 1
+                    return Apply("sort", values[0], flipped)
+                return None
+
+        clear_verified_cache()
+        try:
+            optimizer = Optimizer(logical_rules=[FlipSort()], inter_object_rules=[],
+                                  intra_object_rules=[], verify=True)
+            env = {"xs": make_list([3, 1, 2])}
+            report = optimizer.optimize(parse("sort(xs, 1)"), env)
+            assert any(entry.is_budget_marker for entry in report.trace)
+            assert BUDGET_EXHAUSTED_RULE in [entry.rule for entry in report.trace]
+            codes = report.diagnostics.codes()
+            assert "MOA501" in codes
+            assert "MOA202" in codes  # the cyclic rule also fails the harness
+            assert report.diagnostics.has_errors
+        finally:
+            clear_verified_cache()

@@ -1,0 +1,154 @@
+"""The rewrite-rule soundness harness: positive and negative tests."""
+
+import pytest
+
+from repro.algebra import make_list, parse
+from repro.algebra.expr import Apply
+from repro.analysis import (
+    SoundnessHarness,
+    UnsafeStopAfterPushdown,
+    apply_rule_somewhere,
+    clear_verified_cache,
+    default_corpus,
+    ensure_verified,
+    verified_verdict,
+)
+from repro.optimizer import (
+    DEFAULT_INTER_OBJECT_RULES,
+    DEFAULT_LOGICAL_RULES,
+    RewriteRule,
+    RuleContext,
+    intra_rules_for,
+)
+
+ALL_DEFAULT_RULES = (list(DEFAULT_LOGICAL_RULES) + list(DEFAULT_INTER_OBJECT_RULES)
+                     + list(intra_rules_for()))
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return SoundnessHarness()
+
+
+class TestDefaultRulesAreSound:
+    @pytest.mark.parametrize("rule", ALL_DEFAULT_RULES, ids=lambda r: r.name)
+    def test_rule_passes(self, harness, rule):
+        verdict = harness.verify_rule(rule)
+        assert verdict.passed, verdict.describe()
+        assert verdict.declared_safety == "safe"
+        assert verdict.exercised > 0, f"{rule.name} never exercised by the corpus"
+        assert verdict.mean_overlap == pytest.approx(1.0)
+
+    def test_every_layer_is_represented(self):
+        layers = {rule.layer for rule in ALL_DEFAULT_RULES}
+        assert layers == {"logical", "inter-object", "intra-object"}
+
+    def test_no_error_level_findings_for_defaults(self, harness):
+        verdicts = harness.verify_rules(ALL_DEFAULT_RULES)
+        assert all(verdict.passed for verdict in verdicts.values())
+
+
+class DropSort(RewriteRule):
+    """Deliberately unsound: claims sort is a no-op (it is not, for a
+    LIST result the element order is the value)."""
+
+    name = "fixture-drop-sort"
+    layer = "logical"
+    # declared safe on purpose: the harness must catch the lie
+
+    def apply(self, expr, context):
+        if isinstance(expr, Apply) and expr.op == "sort":
+            values, _ = expr.split_args(context.env_types, context.registry)
+            from repro.algebra.types import ListType
+
+            if isinstance(context.type_of(values[0]), ListType):
+                return values[0]
+        return None
+
+
+class ShrinkTopN(RewriteRule):
+    """Deliberately unsound *unsafe* rule: changes the cardinality."""
+
+    name = "fixture-shrink-topn"
+    layer = "intra-object"
+    safety = "unsafe"
+
+    def apply(self, expr, context):
+        if isinstance(expr, Apply) and expr.op == "topn":
+            values, scalars = expr.split_args(context.env_types, context.registry)
+            if scalars and isinstance(scalars[0].value, int) and scalars[0].value > 1:
+                return Apply("topn", values[0], scalars[0].value - 1, *scalars[1:])
+        return None
+
+
+class NeverFires(RewriteRule):
+    name = "fixture-never-fires"
+    layer = "logical"
+
+    def apply(self, expr, context):
+        return None
+
+
+class TestUnsoundRulesAreFlagged:
+    def test_drop_sort_fails_differentially(self, harness):
+        verdict = harness.verify_rule(DropSort())
+        assert not verdict.passed
+        assert verdict.exercised > 0
+        assert any("results differ" in failure for failure in verdict.failures)
+
+    def test_unsafe_stopafter_pushdown_fails(self, harness):
+        verdict = harness.verify_rule(UnsafeStopAfterPushdown())
+        assert not verdict.passed
+        assert verdict.declared_safety == "unsafe"
+        assert any("ill-typed" in failure for failure in verdict.failures)
+
+    def test_cardinality_breaking_unsafe_rule_fails(self, harness):
+        verdict = harness.verify_rule(ShrinkTopN())
+        assert not verdict.passed
+        assert any("cardinality" in failure for failure in verdict.failures)
+
+    def test_unexercised_rule_fails(self, harness):
+        verdict = harness.verify_rule(NeverFires())
+        assert not verdict.passed
+        assert verdict.exercised == 0
+        assert "never exercised" in verdict.describe()
+
+
+class TestHarnessMechanics:
+    def test_corpus_is_deterministic(self):
+        a = default_corpus(seed=11)
+        b = default_corpus(seed=11)
+        assert [(str(e), sorted(env)) for e, env in a] == \
+               [(str(e), sorted(env)) for e, env in b]
+
+    def test_apply_rule_somewhere_none_when_no_match(self):
+        rule = DEFAULT_LOGICAL_RULES[0]
+        context = RuleContext(env_types={"xs": make_list([1]).stype})
+        assert apply_rule_somewhere(parse("sort(xs, 1)"), rule, context) is None
+
+    def test_cyclic_rule_is_a_failure_not_a_hang(self, harness):
+        class FlipSort(RewriteRule):
+            name = "fixture-flip-sort"
+            layer = "logical"
+
+            def apply(self, expr, context):
+                if isinstance(expr, Apply) and expr.op == "sort":
+                    values, scalars = expr.split_args(context.env_types,
+                                                      context.registry)
+                    flipped = 1 - scalars[0].value if scalars else 1
+                    return Apply("sort", values[0], flipped)
+                return None
+
+        verdict = harness.verify_rule(FlipSort())
+        assert not verdict.passed
+        assert any("fixpoint" in failure for failure in verdict.failures)
+
+    def test_verified_cache_reuses_verdicts(self):
+        clear_verified_cache()
+        rule = DEFAULT_LOGICAL_RULES[0]
+        first = verified_verdict(rule)
+        second = verified_verdict(rule)
+        assert first is second
+        verdicts = ensure_verified([rule])
+        assert verdicts[rule.name] is first
+        clear_verified_cache()

@@ -1,0 +1,89 @@
+"""Property-based tests for the plan verifier.
+
+Two invariants, checked over Hypothesis-generated expressions:
+
+* every *well-typed* expression the generator produces lints without
+  error-severity diagnostics — the analyzers have no false positives
+  on the algebra's own legal plans;
+* every optimizer run under ``verify=True`` over those expressions
+  yields a diagnostics report free of error-severity findings — the
+  default rules never trip the verifier.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import Apply, Var, make_bag, make_list, make_set
+from repro.analysis import AnalysisContext, analyze_expr, check_rewrite_step
+from repro.optimizer import Optimizer
+
+atoms = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def environments(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    values = draw(st.lists(atoms, min_size=n, max_size=n))
+    kind = draw(st.sampled_from(["list", "bag", "set"]))
+    maker = {"list": make_list, "bag": make_bag, "set": make_set}[kind]
+    return {"xs": maker(values)}
+
+
+@st.composite
+def collection_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return Var("xs")
+    child = draw(collection_exprs(depth=depth + 1))
+    op = draw(st.sampled_from(["select", "sort", "topn", "projecttobag",
+                               "projecttoset"]))
+    if op == "select":
+        lo, hi = draw(atoms), draw(atoms)
+        return Apply("select", child, min(lo, hi), max(lo, hi))
+    if op == "sort":
+        return Apply("sort", child, draw(st.sampled_from([0, 1])))
+    if op == "topn":
+        return Apply("topn", child, draw(st.integers(min_value=0, max_value=10)),
+                     draw(st.sampled_from([0, 1])))
+    return Apply(op, child)
+
+
+def _context(env):
+    return AnalysisContext(env_types={k: v.stype for k, v in env.items()})
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=collection_exprs(), env=environments())
+def test_legal_plans_have_no_error_diagnostics(expr, env):
+    context = _context(env)
+    try:
+        expr.infer_type(context.env_types, context.registry)
+    except Exception:
+        return  # ill-typed draws are the analyzers' *input*, not targets
+    errors = [d for d in analyze_expr(expr, context) if d.severity == "error"]
+    assert errors == [], [d.render() for d in errors]
+
+
+@settings(max_examples=30, deadline=None)
+@given(expr=collection_exprs(), env=environments())
+def test_verified_optimizer_runs_clean(expr, env):
+    context = _context(env)
+    try:
+        expr.infer_type(context.env_types, context.registry)
+    except Exception:
+        return
+    report = Optimizer(verify=True).optimize(expr, env)
+    assert report.diagnostics is not None
+    errors = report.diagnostics.errors
+    assert errors == [], [d.render() for d in errors]
+
+
+@settings(max_examples=40, deadline=None)
+@given(env=environments(), n=st.integers(min_value=0, max_value=5))
+def test_rewrite_step_check_accepts_true_equivalences(env, n):
+    """slice(sort(x), 0, n) => topn(x, n) is the paper's flagship safe
+    rewrite: the step checker must never complain about it."""
+    if not isinstance(env["xs"], type(make_list([1]))):
+        return
+    before = Apply("slice", Apply("sort", Var("xs"), 0), 0, n)
+    after = Apply("topn", Var("xs"), n, 0)
+    assert check_rewrite_step(before, after, _context(env)) == []

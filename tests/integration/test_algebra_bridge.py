@@ -7,7 +7,7 @@ from repro.core import MMDatabase, RANKING_TYPE, ranking_to_value, value_to_rank
 from repro.errors import AlgebraTypeError
 from repro.optimizer import Optimizer
 from repro.storage import CostCounter
-from repro.topn import RankedItem, TopNResult
+from repro.topn import TopNResult
 from repro.workloads import SyntheticCollection, generate_queries, trec
 
 

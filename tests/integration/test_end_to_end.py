@@ -1,13 +1,12 @@
 """Integration tests: whole-system flows across subsystem boundaries."""
 
-import numpy as np
 import pytest
 
 from repro.core import MMDatabase, QuerySession
 from repro.fragmentation import Strategy
 from repro.ir import BM25, InvertedIndex, LanguageModel, TfIdf
 from repro.mm import PostingsSource
-from repro.storage import BAT, Catalog, CostCounter
+from repro.storage import Catalog, CostCounter
 from repro.topn import SUM, naive_topn, nra_topn, threshold_topn
 from repro.workloads import SyntheticCollection, generate_queries, trec
 

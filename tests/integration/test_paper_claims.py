@@ -5,12 +5,11 @@ tests assert the same *shapes* at unit-test scale so `pytest tests/`
 alone already certifies the reproduction.
 """
 
-import numpy as np
 import pytest
 
 from repro.algebra import evaluate, parse
 from repro.core import MMDatabase, QuerySession
-from repro.ir import InvertedIndex, fit_zipf, vocabulary_share_for_volume
+from repro.ir import fit_zipf, vocabulary_share_for_volume
 from repro.optimizer import Optimizer
 from repro.storage import CostCounter
 from repro.workloads import SyntheticCollection, generate_queries, trec

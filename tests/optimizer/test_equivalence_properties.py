@@ -8,11 +8,10 @@ random environments and checks exactly that, plus cost-model sanity
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algebra import Apply, Literal, Var, evaluate, make_bag, make_list, make_set
+from repro.algebra import Apply, Var, evaluate, make_bag, make_list, make_set
 from repro.optimizer import CostModel, Optimizer
 
 # -- expression generator ------------------------------------------------------

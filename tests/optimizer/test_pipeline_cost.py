@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.algebra import evaluate, make_bag, make_list, parse
-from repro.errors import CostModelError
 from repro.optimizer import CostModel, Optimizer
 from repro.storage import CostCounter
 

@@ -2,7 +2,6 @@
 
 from collections import OrderedDict
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
