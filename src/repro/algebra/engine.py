@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from ..obs import tracer
 from .expr import Expr
 from .extensions import Registry, default_registry
 from .flatten import flatten
@@ -25,8 +26,9 @@ def evaluate(
     """Evaluate ``expr`` against an environment of named values."""
     env = dict(env or {})
     env_types = {name: value.stype for name, value in env.items()}
-    plan = flatten(expr, env_types, registry or default_registry())
-    return plan.execute(env)
+    with tracer.span("algebra.evaluate"):
+        plan = flatten(expr, env_types, registry or default_registry())
+        return plan.execute(env)
 
 
 def explain(

@@ -9,6 +9,8 @@ Commands
                 paper-vs-measured table
 ``example1``    the paper's Example 1 through the optimizer
 ``lint``        statically verify algebra plans (the plan verifier)
+``profile``     run a query or bench scenario under the execution
+                tracer and print the span-tree cost breakdown
 
 All commands are deterministic given ``--seed``.
 """
@@ -71,6 +73,41 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--verify-rules", action="store_true",
                       help="run the soundness harness over the default "
                            "optimizer rules of all three layers")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a scenario under the execution tracer and print the "
+             "span-tree / per-operator cost breakdown",
+        description="Profile one scenario: enable the repro.obs tracer + "
+                    "metrics, run the scenario, and print a span tree whose "
+                    "per-span exclusive cost deltas sum to the run's "
+                    "CostCounter totals.  Scenarios: 'search' (a top-N text "
+                    "query through the fragmented database), 'topn' (one "
+                    "Fagin-family engine over synthetic multimedia score "
+                    "sources), 'example1' (the paper's Example 1 through "
+                    "the optimizer pipeline).",
+    )
+    profile.add_argument("scenario", choices=["search", "topn", "example1"])
+    profile.add_argument("--terms", nargs="+", default=["data"],
+                         help="query terms (scenario: search)")
+    profile.add_argument("--strategy", default="auto",
+                         choices=["auto", "naive", "unfragmented", "unsafe-small",
+                                  "safe-switch", "indexed"],
+                         help="execution strategy (scenario: search)")
+    profile.add_argument("--algo", default="ta",
+                         choices=["naive", "fa", "ta", "nra", "ca"],
+                         help="middleware algorithm (scenario: topn)")
+    profile.add_argument("--n", type=int, default=10, help="top-N size")
+    profile.add_argument("--objects", type=int, default=2000,
+                         help="synthetic objects (scenario: topn)")
+    profile.add_argument("--sources", type=int, default=2,
+                         help="graded sources (scenario: topn)")
+    profile.add_argument("--events", type=int, default=0, metavar="K",
+                         help="show up to K events per span in the tree")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the full profile (spans, totals, metrics) as JSON")
+    profile.add_argument("--export", metavar="PATH",
+                         help="additionally write the raw trace as JSONL to PATH")
     return parser
 
 
@@ -230,6 +267,74 @@ def _cmd_lint(args, out) -> int:
     return exit_code
 
 
+def _profile_scenario(args):
+    """Build the zero-argument callable the profiler runs for ``args``."""
+    if args.scenario == "search":
+        db = _make_database(args)
+        query = " ".join(args.terms)
+
+        def run():
+            return db.search(query, n=args.n, strategy=args.strategy)
+
+        return run
+
+    if args.scenario == "topn":
+        import numpy as np
+
+        from .mm import ArraySource
+        from .topn import (
+            combined_topn,
+            fagin_topn,
+            naive_topn_sources,
+            nra_topn,
+            threshold_topn,
+        )
+
+        rng = np.random.default_rng(args.seed)
+        matrix = rng.random((args.objects, max(2, args.sources)))
+        sources = [ArraySource(matrix[:, j]) for j in range(matrix.shape[1])]
+        algo = {
+            "naive": naive_topn_sources,
+            "fa": fagin_topn,
+            "ta": threshold_topn,
+            "nra": nra_topn,
+            "ca": combined_topn,
+        }[args.algo]
+
+        def run():
+            return algo(sources, args.n)
+
+        return run
+
+    # example1: the paper's Example 1 through the optimizer pipeline
+    from .algebra import parse
+    from .optimizer import Optimizer
+
+    expr = parse("select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)")
+    optimizer = Optimizer()
+
+    def run():
+        value, report = optimizer.execute(expr)
+        return sorted(value.to_python())
+
+    return run
+
+
+def _cmd_profile(args, out) -> int:
+    from .obs import run_profiled
+
+    report = run_profiled(_profile_scenario(args))
+    if args.export:
+        report.export_jsonl(args.export)
+    if args.json:
+        print(report.to_json(indent=2), file=out)
+    else:
+        print(report.render_text(max_events=args.events), file=out)
+        if args.export:
+            print(f"trace written to {args.export}", file=out)
+    return 0
+
+
 def _cmd_example1(args, out) -> int:
     from .algebra import parse
     from .optimizer import Optimizer
@@ -263,4 +368,6 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_example1(args, out)
     if args.command == "lint":
         return _cmd_lint(args, out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

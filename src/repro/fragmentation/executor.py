@@ -28,6 +28,7 @@ import numpy as np
 
 from ..errors import TopNError
 from ..ir.ranking import ScoringModel
+from ..obs import tracer
 from ..storage import kernel, stats
 from ..storage.bat import BAT
 from ..topn.naive import naive_topn
@@ -69,14 +70,15 @@ class FragmentedExecutor:
         """Run a top-N query under the given strategy."""
         if n <= 0:
             raise TopNError(f"n must be positive, got {n}")
-        if strategy is Strategy.UNFRAGMENTED:
-            return self._unfragmented(tids, n)
-        if strategy is Strategy.UNSAFE_SMALL:
-            return self._unsafe_small(tids, n)
-        if strategy is Strategy.SAFE_SWITCH:
-            return self._with_switch(tids, n, use_index=False)
-        if strategy is Strategy.INDEXED:
-            return self._with_switch(tids, n, use_index=True)
+        with tracer.span("frag.query", strategy=strategy.value, n=n, terms=len(tids)):
+            if strategy is Strategy.UNFRAGMENTED:
+                return self._unfragmented(tids, n)
+            if strategy is Strategy.UNSAFE_SMALL:
+                return self._unsafe_small(tids, n)
+            if strategy is Strategy.SAFE_SWITCH:
+                return self._with_switch(tids, n, use_index=False)
+            if strategy is Strategy.INDEXED:
+                return self._with_switch(tids, n, use_index=True)
         raise TopNError(f"unknown strategy {strategy!r}")
 
     # -- strategies ------------------------------------------------------------
@@ -90,16 +92,17 @@ class FragmentedExecutor:
         """Accumulate small-fragment partial scores; returns
         (accumulator over all docs, candidate mask)."""
         index = self.fragmented.small
-        accumulator = np.zeros(index.n_docs, dtype=np.float64)
-        touched = np.zeros(index.n_docs, dtype=bool)
-        for tid in tids_small:
-            doc_ids, tfs = index.postings(tid)
-            if len(doc_ids) == 0:
-                continue
-            partials = self.model.partial_scores(index, tid, doc_ids, tfs)
-            np.add.at(accumulator, doc_ids, partials)
-            touched[doc_ids] = True
-        return accumulator, touched
+        with tracer.span("frag.small_fragment", terms=len(tids_small)):
+            accumulator = np.zeros(index.n_docs, dtype=np.float64)
+            touched = np.zeros(index.n_docs, dtype=bool)
+            for tid in tids_small:
+                doc_ids, tfs = index.postings(tid)
+                if len(doc_ids) == 0:
+                    continue
+                partials = self.model.partial_scores(index, tid, doc_ids, tfs)
+                np.add.at(accumulator, doc_ids, partials)
+                touched[doc_ids] = True
+            return accumulator, touched
 
     def _finish(self, accumulator, touched, n, strategy_name, extra_stats) -> TopNResult:
         candidates = np.nonzero(touched)[0]
@@ -135,27 +138,31 @@ class FragmentedExecutor:
             nth_score = float(np.partition(positive, len(positive) - n)[len(positive) - n])
         else:
             nth_score = 0.0
-        decision = self.quality_check.decide(
-            self.fragmented.full, self.model, tids_large, nth_score, found, n
-        )
+        with tracer.span("frag.quality_check", terms_large=len(tids_large)):
+            decision = self.quality_check.decide(
+                self.fragmented.full, self.model, tids_large, nth_score, found, n
+            )
+            tracer.annotate(switch=decision.switch, missing_mass=decision.missing_mass)
 
         switched = False
         if decision.switch and tids_large:
             switched = True
-            if use_index:
-                if not self.fragmented.large.has_index:
-                    self.fragmented.large.build_sparse_index()
-                postings = self.fragmented.large.indexed_postings(tids_large)
-            else:
-                postings = self.fragmented.large.scan_postings(tids_large)
-            for tid, (doc_ids, tfs) in postings.items():
-                if len(doc_ids) == 0:
-                    continue
-                partials = self.model.partial_scores(
-                    self.fragmented.full, tid, doc_ids, tfs
-                )
-                np.add.at(accumulator, doc_ids, partials)
-                touched[doc_ids] = True
+            with tracer.span("frag.switch", use_index=use_index,
+                             terms_large=len(tids_large)):
+                if use_index:
+                    if not self.fragmented.large.has_index:
+                        self.fragmented.large.build_sparse_index()
+                    postings = self.fragmented.large.indexed_postings(tids_large)
+                else:
+                    postings = self.fragmented.large.scan_postings(tids_large)
+                for tid, (doc_ids, tfs) in postings.items():
+                    if len(doc_ids) == 0:
+                        continue
+                    partials = self.model.partial_scores(
+                        self.fragmented.full, tid, doc_ids, tfs
+                    )
+                    np.add.at(accumulator, doc_ids, partials)
+                    touched[doc_ids] = True
 
         name = Strategy.INDEXED.value if use_index else Strategy.SAFE_SWITCH.value
         result = self._finish(

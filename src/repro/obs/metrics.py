@@ -1,0 +1,257 @@
+"""Counters, gauges and histograms with a global registry.
+
+Complements the tracer: spans say *where* cost accrues within one run,
+metrics accumulate named quantities *across* runs (buffer-pool churn,
+heap evictions, optimizer rule hits) without any span context.
+
+Zero-cost no-op mode
+--------------------
+Metrics are **disabled by default**.  While disabled, the fast-path
+helpers (:func:`inc`, :func:`set_gauge`, :func:`observe`) return after
+a single global read, and the instrument accessors (:func:`counter`,
+:func:`gauge`, :func:`histogram`) hand out shared no-op singletons, so
+instrumented hot paths — the buffer manager charges one :func:`inc`
+per page request — add no measurable overhead to the benchmarks.
+Enable with :func:`enable` or via
+:func:`repro.obs.observe`, which turns on tracing and metrics
+together.
+
+Naming follows the tracer's convention: dotted lowercase
+``<subsystem>.<quantity>``, e.g. ``buffer.evictions``,
+``topn.heap.evictions``, ``optimizer.rule_hits``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "inc",
+    "observe",
+    "registry",
+    "reset",
+    "set_gauge",
+    "snapshot",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins value (pool occupancy, current depth, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean).
+
+    Deliberately tiny: the reproduction needs distribution *summaries*
+    (posting lengths touched, per-round thresholds), not quantile
+    sketches."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class _NoopCounter:
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NoopGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NoopHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: shared no-op instruments handed out while metrics are disabled
+NOOP_COUNTER = _NoopCounter()
+NOOP_GAUGE = _NoopGauge()
+NOOP_HISTOGRAM = _NoopHistogram()
+
+
+class MetricsRegistry:
+    """Name → instrument map; get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self.counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self.gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self.histograms.setdefault(name, Histogram(name))
+        return instrument
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-able dict."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+_registry = MetricsRegistry()
+_enabled = False
+
+
+def registry() -> MetricsRegistry:
+    """The global registry (instruments persist across enable cycles)."""
+    return _registry
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Drop every instrument from the global registry."""
+    _registry.reset()
+
+
+def snapshot() -> dict:
+    return _registry.snapshot()
+
+
+# -- fast-path helpers ------------------------------------------------------
+
+
+def counter(name: str):
+    """The named counter, or the shared no-op while disabled."""
+    if not _enabled:
+        return NOOP_COUNTER
+    return _registry.counter(name)
+
+
+def gauge(name: str):
+    if not _enabled:
+        return NOOP_GAUGE
+    return _registry.gauge(name)
+
+
+def histogram(name: str):
+    if not _enabled:
+        return NOOP_HISTOGRAM
+    return _registry.histogram(name)
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Increment a counter (single-branch no-op while disabled)."""
+    if not _enabled:
+        return
+    _registry.counter(name).inc(n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    if not _enabled:
+        return
+    _registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    if not _enabled:
+        return
+    _registry.histogram(name).observe(value)

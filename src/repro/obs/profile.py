@@ -1,0 +1,175 @@
+"""Profiled execution: run a callable under tracing + cost counting
+and render a span-tree / per-operator cost breakdown.
+
+This is the library behind the ``repro profile`` CLI subcommand and
+the reproducibility hook EXPERIMENTS.md points at: every experiment's
+"how much data is processed" claim can now be broken down span by
+span, and the breakdown is *checked* — the sum of all spans' exclusive
+costs must equal the run's :class:`~repro.storage.stats.CostCounter`
+totals (up to work done outside any span, reported as the
+``untraced`` row).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..storage import stats as _stats
+from . import metrics as _metrics
+from . import tracer as _tracer
+
+__all__ = ["ProfileReport", "run_profiled", "COST_COLUMNS"]
+
+#: columns of the text table: (header, snapshot key)
+COST_COLUMNS = (
+    ("pages", "page_reads"),
+    ("hits", "buffer_hits"),
+    ("tup_r", "tuples_read"),
+    ("tup_w", "tuples_written"),
+    ("cmp", "comparisons"),
+    ("sort_acc", "sorted_accesses"),
+    ("rand_acc", "random_accesses"),
+)
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of one profiled run."""
+
+    roots: list
+    totals: dict
+    wall_seconds: float
+    dropped_spans: int = 0
+    metrics: dict = field(default_factory=dict)
+    result: object = None
+
+    def spans(self):
+        for root in self.roots:
+            yield from root.walk()
+
+    def self_cost_totals(self) -> dict:
+        """Sum of every span's exclusive cost."""
+        totals: dict = {}
+        for record in self.spans():
+            for key, value in record.self_cost.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def untraced(self) -> dict:
+        """Cost charged during the run but outside every span."""
+        traced = self.self_cost_totals()
+        return {
+            key: self.totals.get(key, 0) - traced.get(key, 0)
+            for key in dict.fromkeys(list(self.totals) + list(traced))
+        }
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_text(self, max_events: int = 0) -> str:
+        """Aligned span-tree table: self costs per span, totals last."""
+        headers = ["span", "wall_ms"] + [header for header, _ in COST_COLUMNS]
+        rows: list[list[str]] = []
+
+        def add_row(label: str, wall_ms, cost: dict) -> None:
+            rows.append(
+                [label, f"{wall_ms:.2f}" if wall_ms is not None else ""]
+                + [str(cost.get(key, 0)) for _, key in COST_COLUMNS]
+            )
+
+        def walk(record, indent: int) -> None:
+            attrs = " ".join(
+                f"{k}={v}" for k, v in record.attrs.items() if not isinstance(v, dict)
+            )
+            label = "  " * indent + record.name + (f" [{attrs}]" if attrs else "")
+            add_row(label, record.duration * 1e3, record.self_cost)
+            for i, ev in enumerate(record.events):
+                if i >= max_events:
+                    remaining = len(record.events) - max_events
+                    if remaining > 0:
+                        rows.append(
+                            ["  " * (indent + 1) + f"... {remaining} more events", ""]
+                            + [""] * len(COST_COLUMNS)
+                        )
+                    break
+                ev_attrs = " ".join(f"{k}={v}" for k, v in ev["attrs"].items())
+                rows.append(
+                    ["  " * (indent + 1) + f"* {ev['name']} {ev_attrs}".rstrip(), ""]
+                    + [""] * len(COST_COLUMNS)
+                )
+            for child in record.children:
+                walk(child, indent + 1)
+
+        for root in self.roots:
+            walk(root, 0)
+        untraced = self.untraced()
+        if any(untraced.get(key, 0) for _, key in COST_COLUMNS):
+            add_row("(untraced)", None, untraced)
+        add_row("TOTAL (CostCounter)", self.wall_seconds * 1e3, self.totals)
+
+        widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(len(headers))]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "  ".join("-" * widths[i] for i in range(len(headers))),
+        ]
+        for row in rows:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+        if self.dropped_spans:
+            lines.append(f"({self.dropped_spans} oldest root spans dropped by the buffer bound)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "totals": self.totals,
+            "self_cost_totals": self.self_cost_totals(),
+            "untraced": self.untraced(),
+            "dropped_spans": self.dropped_spans,
+            "metrics": self.metrics,
+            "spans": [record.to_dict() for root in self.roots for record in root.walk()],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def export_jsonl(self, path) -> int:
+        """Write the trace as JSON Lines (one flattened span per line);
+        returns the span count."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.spans():
+                handle.write(json.dumps(record.to_dict()) + "\n")
+                count += 1
+        return count
+
+
+def run_profiled(fn, *, max_spans: int = _tracer.DEFAULT_MAX_SPANS,
+                 with_metrics: bool = True) -> ProfileReport:
+    """Run ``fn()`` under a trace session and an outer cost counter.
+
+    Returns a :class:`ProfileReport`; ``fn``'s return value is kept in
+    ``report.result``.  Metrics are enabled for the duration (and
+    restored afterwards) unless ``with_metrics=False``.
+    """
+    was_enabled = _metrics.enabled()
+    if with_metrics:
+        _metrics.enable()
+    try:
+        with _stats.CostCounter.activate() as cost:
+            with _tracer.trace_session(max_spans=max_spans) as session:
+                import time
+
+                t0 = time.perf_counter()
+                result = fn()
+                wall = time.perf_counter() - t0
+        return ProfileReport(
+            roots=list(session.roots),
+            totals=cost.snapshot(),
+            wall_seconds=wall,
+            dropped_spans=session.dropped,
+            metrics=_metrics.snapshot() if with_metrics else {},
+            result=result,
+        )
+    finally:
+        if with_metrics and not was_enabled:
+            _metrics.disable()

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from ..algebra.engine import evaluate as _evaluate
 from ..algebra.expr import Expr
 from ..algebra.extensions import Registry, default_registry
+from ..obs import tracer
 from .cost import CostModel, PlanEstimate
 from .interobject import DEFAULT_INTER_OBJECT_RULES
 from .intraobject import intra_rules_for
@@ -122,37 +123,44 @@ class Optimizer:
         trace: list[TraceEntry] = []
         stages: list[Expr] = [expr]
         current = expr
-        for rules in (self.logical_rules, self.inter_object_rules, self.intra_object_rules):
-            current, stage_trace = rewrite_fixpoint(
-                current, rules, context, on_budget_exhausted=exhaustion
+        with tracer.span("optimizer.optimize", verify=do_verify):
+            phases = (
+                ("optimizer.logical", self.logical_rules),
+                ("optimizer.inter_object", self.inter_object_rules),
+                ("optimizer.intra_object", self.intra_object_rules),
+                # one more logical pass: inter/intra rewrites can expose new
+                # general opportunities (e.g. merged selects after a pushdown)
+                ("optimizer.logical_post", self.logical_rules),
             )
-            trace.extend(stage_trace)
-            stages.append(current)
-        # one more logical pass: inter/intra rewrites can expose new
-        # general opportunities (e.g. merged selects after a pushdown)
-        current, stage_trace = rewrite_fixpoint(
-            current, self.logical_rules, context, on_budget_exhausted=exhaustion
-        )
-        trace.extend(stage_trace)
-        stages.append(current)
+            for phase_name, rules in phases:
+                with tracer.span(phase_name, rules=len(rules)):
+                    current, stage_trace = rewrite_fixpoint(
+                        current, rules, context, on_budget_exhausted=exhaustion
+                    )
+                    tracer.annotate(applications=len(stage_trace))
+                trace.extend(stage_trace)
+                stages.append(current)
 
-        # unique candidates in stage order
-        candidates: list[Expr] = []
-        for stage in stages:
-            if stage not in candidates:
-                candidates.append(stage)
-        estimates = [
-            (candidate, self.cost_model.estimate_expr(candidate, env, self.registry))
-            for candidate in candidates
-        ]
-        if self.cost_based:
-            # ties go to the most-rewritten candidate (simpler plans)
-            chosen = min(reversed(estimates), key=lambda pair: pair[1].cost)[0]
-        else:
-            chosen = candidates[-1]
-        report = OptimizationReport(expr, chosen, trace, estimates)
-        if do_verify:
-            report.diagnostics = self._verify_report(report, env_types)
+            # unique candidates in stage order
+            candidates: list[Expr] = []
+            for stage in stages:
+                if stage not in candidates:
+                    candidates.append(stage)
+            with tracer.span("optimizer.cost_choice", candidates=len(candidates)):
+                estimates = [
+                    (candidate, self.cost_model.estimate_expr(candidate, env, self.registry))
+                    for candidate in candidates
+                ]
+                if self.cost_based:
+                    # ties go to the most-rewritten candidate (simpler plans)
+                    chosen = min(reversed(estimates), key=lambda pair: pair[1].cost)[0]
+                else:
+                    chosen = candidates[-1]
+            report = OptimizationReport(expr, chosen, trace, estimates)
+            if do_verify:
+                with tracer.span("optimizer.verify"):
+                    report.diagnostics = self._verify_report(report, env_types)
+            tracer.annotate(rules_fired=len(trace))
         return report
 
     def all_rules(self):

@@ -16,6 +16,8 @@ from ..algebra.expr import Apply, Expr, rebuild
 from ..algebra.extensions import Registry, default_registry
 from ..algebra.types import StructureType
 from ..errors import RewriteError
+from ..obs import metrics as _metrics
+from ..obs import tracer as _tracer
 
 #: the three optimizer layers of the paper's architecture
 LAYERS = ("logical", "inter-object", "intra-object")
@@ -103,6 +105,9 @@ def _rewrite_node(expr: Expr, rules, context, trace, budget) -> Expr:
                 _check_type_preserved(expr, replacement, context, rule)
                 trace.append(TraceEntry(rule.name, rule.layer, str(expr), str(replacement),
                                         before_expr=expr, after_expr=replacement))
+                if _tracer.enabled():
+                    _tracer.event("optimizer.rule", rule=rule.name, layer=rule.layer)
+                _metrics.inc(f"optimizer.rule_hits.{rule.name}")
                 budget[0] -= 1
                 expr = replacement
                 # the replacement may expose new opportunities below it

@@ -26,6 +26,7 @@ from collections import OrderedDict
 
 from ..errors import BufferError_
 from . import stats
+from ..obs import metrics as _metrics
 
 #: default number of tuples that fit on one simulated page
 DEFAULT_PAGE_TUPLES = 256
@@ -77,13 +78,16 @@ class BufferManager:
             self._pool.move_to_end(key)
             self.hits += 1
             stats.charge_buffer_hits(1)
+            _metrics.inc("buffer.hits")
             return True
         self.misses += 1
         stats.charge_page_reads(1)
+        _metrics.inc("buffer.misses")
         self._pool[key] = None
         if len(self._pool) > self.capacity_pages:
             self._pool.popitem(last=False)
             self.evictions += 1
+            _metrics.inc("buffer.evictions")
         return False
 
     # -- tuple-level helpers ------------------------------------------------
@@ -123,6 +127,7 @@ class BufferManager:
         pages = self.pages_for(n_tuples)
         stats.charge_page_writes(pages)
         stats.charge_tuples_written(n_tuples)
+        _metrics.inc("buffer.page_writes", pages)
         # written pages are hot afterwards
         first = self.page_of(start_tuple)
         for page_no in range(first, first + pages):

@@ -35,6 +35,7 @@ from ..errors import BATShapeError, BATTypeError
 from . import stats
 from .bat import BAT
 from .buffer import get_buffer_manager
+from ..obs import tracer as _trace
 
 __all__ = [
     "scan_cost",
@@ -336,6 +337,11 @@ def hashjoin(left: BAT, right: BAT) -> BAT:
     """
     if left.tail_dtype_kind != "i":
         raise BATTypeError("hashjoin requires integer join keys in the left tail")
+    with _trace.span("kernel.hashjoin", left=len(left), right=len(right)):
+        return _hashjoin(left, right)
+
+
+def _hashjoin(left: BAT, right: BAT) -> BAT:
     if right.is_dense_head:
         # positional fast path, but tolerate out-of-range keys by filtering
         scan_cost(left)
@@ -402,20 +408,30 @@ def sort_tail(bat: BAT, descending: bool = False) -> BAT:
     """Full sort on the tail column (stable).  Charges an
     ``n log n`` comparison estimate plus a scan and a materialization."""
     n = len(bat)
-    scan_cost(bat)
-    stats.charge_comparisons(n * _log2_ceil(n) if n else 0)
-    order = np.argsort(bat.tail, kind="stable")
-    if descending:
-        order = order[::-1]
-    _emit(n)
-    return BAT(
-        bat.tail[order],
-        head=bat.head_array()[order],
-        head_key=bat.head_key or bat.is_dense_head,
-        tail_sorted=not descending,
-        tail_sorted_desc=descending,
-        tail_key=bat.tail_key,
-    )
+    with _trace.span("kernel.sort_tail", n=n, descending=descending):
+        scan_cost(bat)
+        stats.charge_comparisons(n * _log2_ceil(n) if n else 0)
+        # canonical order: tail (asc or desc), ties broken by head oid
+        # ascending — the deterministic tie-break every top-N result
+        # shares (see repro.topn.result), so classic sort+slice plans
+        # agree with topn_tail on tied boundaries
+        heads = bat.head_array()
+        if bat.tail_dtype_kind == "U":
+            # non-numeric tails cannot be negated: keep the stable sort
+            order = np.argsort(bat.tail, kind="stable")
+            if descending:
+                order = order[::-1]
+        else:
+            order = np.lexsort((heads, -bat.tail if descending else bat.tail))
+        _emit(n)
+        return BAT(
+            bat.tail[order],
+            head=heads[order],
+            head_key=bat.head_key or bat.is_dense_head,
+            tail_sorted=not descending,
+            tail_sorted_desc=descending,
+            tail_key=bat.tail_key,
+        )
 
 
 def sort_head(bat: BAT) -> BAT:
@@ -447,6 +463,11 @@ def topn_tail(bat: BAT, n: int, descending: bool = True) -> BAT:
     """
     size = len(bat)
     n = max(int(n), 0)
+    with _trace.span("kernel.topn_tail", n=n, size=size, descending=descending):
+        return _topn_tail(bat, n, size, descending)
+
+
+def _topn_tail(bat: BAT, n: int, size: int, descending: bool) -> BAT:
     scan_cost(bat)
     if n == 0:
         _emit(0)
@@ -552,6 +573,11 @@ def group_sum(bat: BAT) -> BAT:
 
     The workhorse of score accumulation: summing per-document partial
     scores over query terms."""
+    with _trace.span("kernel.group_sum", n=len(bat)):
+        return _group_sum(bat)
+
+
+def _group_sum(bat: BAT) -> BAT:
     scan_cost(bat)
     stats.charge_comparisons(len(bat))
     if len(bat) == 0:

@@ -29,6 +29,12 @@ of active counters lets callers scope measurement with ``with`` blocks::
 
 Nested activations all receive the charges, so a benchmark harness can
 keep a global counter while an inner experiment keeps its own.
+
+Two read-only views support finer-grained attribution without
+monkeypatching: :meth:`CostCounter.snapshot` freezes the current
+counts as a plain dict, and :meth:`CostCounter.delta` subtracts two
+snapshots.  The execution tracer (:mod:`repro.obs.tracer`) uses them
+to attribute cost to individual spans of a run.
 """
 
 from __future__ import annotations
@@ -125,6 +131,20 @@ class CostCounter:
         out = {f.name: getattr(self, f.name) for f in fields(self) if f.name != "extra"}
         out.update(self.extra)
         return out
+
+    @staticmethod
+    def delta(before: dict, after: dict) -> dict:
+        """Counter-wise difference ``after - before`` of two
+        :meth:`snapshot` dicts.
+
+        Keys missing on either side count as 0 (``extra`` counters may
+        appear mid-run).  This is the primitive the execution tracer
+        uses to attribute cost to a span: snapshot on entry, snapshot
+        on exit, delta is the span's inclusive cost.
+        """
+        keys = dict.fromkeys(before)
+        keys.update(dict.fromkeys(after))
+        return {key: after.get(key, 0) - before.get(key, 0) for key in keys}
 
     @property
     def total_accesses(self) -> int:

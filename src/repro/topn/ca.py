@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 
 from ..errors import TopNError
+from ..obs import tracer
 from ..storage import stats
 from .aggregates import AggregateFunction, SUM
 from .result import RankedItem, TopNResult
@@ -35,6 +36,7 @@ def combined_topn(sources: list, n: int, agg: AggregateFunction = SUM,
     agg.validate_arity(len(sources))
 
     m = len(sources)
+    traced = tracer.enabled()
     grades: dict[int, list[float | None]] = {}
     bottoms = [math.inf] * m
     depth = 0
@@ -63,46 +65,59 @@ def combined_topn(sources: list, n: int, agg: AggregateFunction = SUM,
         max_rest = max((u for _, u, _ in rest), default=-math.inf)
         return nth_lower >= max(max_rest, virtual)
 
-    while True:
-        if max_depth is not None and depth >= max_depth:
-            break
-        active = False
-        for i, source in enumerate(sources):
-            if source.exhausted(depth):
-                bottoms[i] = 0.0
-                continue
-            active = True
-            obj, grade = source.sorted_access(depth)
-            bottoms[i] = grade
-            grades.setdefault(obj, [None] * m)[i] = grade
-        depth += 1
-        if depth % h == 0 and grades:
-            # complete the most promising incomplete candidate
-            best_obj, best_seen = None, None
-            best_key = None
-            for obj, seen in grades.items():
-                if None not in seen:
+    with tracer.span("topn.ca", n=n, m=m, agg=agg.name, h=h):
+        stop_reason = "exhausted"
+        while True:
+            if max_depth is not None and depth >= max_depth:
+                stop_reason = "max_depth"
+                break
+            active = False
+            for i, source in enumerate(sources):
+                if source.exhausted(depth):
+                    bottoms[i] = 0.0
                     continue
-                key = (upper(seen), -obj)
-                if best_key is None or key > best_key:
-                    best_key, best_obj, best_seen = key, obj, seen
-            if best_obj is not None:
-                for i, grade in enumerate(best_seen):
-                    if grade is None:
-                        best_seen[i] = sources[i].random_access(best_obj)
-                completions += 1
-        if not active:
-            break
-        if depth % check_every == 0 and stop_condition():
-            break
+                active = True
+                obj, grade = source.sorted_access(depth)
+                bottoms[i] = grade
+                grades.setdefault(obj, [None] * m)[i] = grade
+            depth += 1
+            if depth % h == 0 and grades:
+                # complete the most promising incomplete candidate
+                best_obj, best_seen = None, None
+                best_key = None
+                for obj, seen in grades.items():
+                    if None not in seen:
+                        continue
+                    key = (upper(seen), -obj)
+                    if best_key is None or key > best_key:
+                        best_key, best_obj, best_seen = key, obj, seen
+                if best_obj is not None:
+                    for i, grade in enumerate(best_seen):
+                        if grade is None:
+                            best_seen[i] = sources[i].random_access(best_obj)
+                    completions += 1
+                    if traced:
+                        tracer.event("ca.completion", depth=depth, obj=best_obj)
+            if not active:
+                break
+            if depth % check_every == 0:
+                stopped = stop_condition()
+                if traced:
+                    tracer.event("ca.check", depth=depth, stopped=stopped,
+                                 objects_seen=len(grades))
+                if stopped:
+                    stop_reason = "bounds"
+                    break
 
-    scored = sorted(
-        ((lower(seen), obj) for obj, seen in grades.items()),
-        key=lambda pair: (-pair[0], pair[1]),
-    )
-    items = [RankedItem(obj, score) for score, obj in scored[:n]]
-    return TopNResult(
-        items, n, strategy="fagin-ca", safe=True,
-        stats={"depth": depth, "objects_seen": len(grades),
-               "completions": completions, "h": h},
-    )
+        scored = sorted(
+            ((lower(seen), obj) for obj, seen in grades.items()),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        items = [RankedItem(obj, score) for score, obj in scored[:n]]
+        tracer.annotate(stop_reason=stop_reason, depth=depth,
+                        objects_seen=len(grades), completions=completions)
+        return TopNResult(
+            items, n, strategy="fagin-ca", safe=True,
+            stats={"depth": depth, "objects_seen": len(grades),
+                   "completions": completions, "h": h, "stop_reason": stop_reason},
+        )

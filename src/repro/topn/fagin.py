@@ -11,6 +11,7 @@ required top N answers have been computed" — the paper's Section 2).
 from __future__ import annotations
 
 from ..errors import TopNError
+from ..obs import tracer
 from .aggregates import AggregateFunction, SUM
 from .heap import BoundedTopN
 from .result import TopNResult
@@ -25,40 +26,50 @@ def fagin_topn(sources: list, n: int, agg: AggregateFunction = SUM) -> TopNResul
     agg.validate_arity(len(sources))
 
     m = len(sources)
-    seen_in: dict[int, int] = {}  # obj -> number of lists it was seen in
-    seen_in_all = 0
-    depth = 0
-    active = True
-    while active and seen_in_all < n:
-        active = False
-        for source in sources:
-            if source.exhausted(depth):
-                continue
+    with tracer.span("topn.fa", n=n, m=m, agg=agg.name):
+        traced = tracer.enabled()
+        seen_in: dict[int, int] = {}  # obj -> number of lists it was seen in
+        seen_in_all = 0
+        depth = 0
+        with tracer.span("fa.sorted_phase"):
             active = True
-            obj, _grade = source.sorted_access(depth)
-            count = seen_in.get(obj, 0) + 1
-            seen_in[obj] = count
-            if count == m:
-                seen_in_all += 1
-        depth += 1
-        # a source that exhausts means every unseen object grades at its
-        # floor there; FA's phase-1 condition can also be met by running
-        # out of input on all lists (handled by `active`)
+            while active and seen_in_all < n:
+                active = False
+                for source in sources:
+                    if source.exhausted(depth):
+                        continue
+                    active = True
+                    obj, _grade = source.sorted_access(depth)
+                    count = seen_in.get(obj, 0) + 1
+                    seen_in[obj] = count
+                    if count == m:
+                        seen_in_all += 1
+                depth += 1
+                if traced:
+                    tracer.event("fa.round", depth=depth, seen_in_all=seen_in_all)
+                # a source that exhausts means every unseen object grades at its
+                # floor there; FA's phase-1 condition can also be met by running
+                # out of input on all lists (handled by `active`)
+            tracer.annotate(depth=depth, objects_seen=len(seen_in),
+                            stop_reason="seen_in_all" if seen_in_all >= n else "exhausted")
 
-    # phase 2: complete grades by random access for every seen object
-    heap = BoundedTopN(n)
-    random_accesses = 0
-    for obj in sorted(seen_in):
-        grades = []
-        for source in sources:
-            grades.append(source.random_access(obj))
-            random_accesses += 1
-        heap.push(obj, agg.combine(grades))
-    return TopNResult(
-        heap.items_sorted(), n, strategy="fagin-fa", safe=True,
-        stats={
-            "depth": depth,
-            "objects_seen": len(seen_in),
-            "random_accesses": random_accesses,
-        },
-    )
+        # phase 2: complete grades by random access for every seen object
+        heap = BoundedTopN(n)
+        random_accesses = 0
+        with tracer.span("fa.random_phase", objects=len(seen_in)):
+            for obj in sorted(seen_in):
+                grades = []
+                for source in sources:
+                    grades.append(source.random_access(obj))
+                    random_accesses += 1
+                heap.push(obj, agg.combine(grades))
+        tracer.annotate(heap_churn=heap.churn())
+        return TopNResult(
+            heap.items_sorted(), n, strategy="fagin-fa", safe=True,
+            stats={
+                "depth": depth,
+                "objects_seen": len(seen_in),
+                "random_accesses": random_accesses,
+                "heap_churn": heap.churn(),
+            },
+        )

@@ -26,6 +26,11 @@ class BoundedTopN:
         # lowest score; among equal scores the largest id (ids tie-break
         # in favour of smaller ids, so larger ids are weaker)
         self._heap: list[tuple[float, int]] = []
+        # churn accounting (plain ints: cheap enough to keep always on;
+        # engines surface them through span attrs / result stats)
+        self.offers = 0
+        self.accepts = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -53,14 +58,26 @@ class BoundedTopN:
 
     def push(self, obj_id: int, score: float) -> bool:
         """Offer a pair; returns True if it entered the top-N."""
+        self.offers += 1
         if not self.would_enter(score, obj_id):
             return False
+        self.accepts += 1
         entry = (score, -obj_id)
         if self.full:
             heapq.heapreplace(self._heap, entry)
+            self.evictions += 1
         else:
             heapq.heappush(self._heap, entry)
         return True
+
+    def churn(self) -> dict:
+        """Heap traffic summary: offers seen, entries accepted,
+        previous members evicted."""
+        return {
+            "offers": self.offers,
+            "accepts": self.accepts,
+            "evictions": self.evictions,
+        }
 
     def items_sorted(self) -> list[RankedItem]:
         """Contents, best first (score desc, id asc)."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ..ir.invindex import InvertedIndex
 from ..ir.ranking import ScoringModel, score_all
+from ..obs import tracer
 from ..storage import kernel
 from .aggregates import AggregateFunction, SUM
 from .heap import BoundedTopN
@@ -25,14 +26,17 @@ from .result import TopNResult
 def naive_topn(index: InvertedIndex, tids: list[int], model: ScoringModel,
                n: int) -> TopNResult:
     """Exact top-N by full evaluation over the inverted index."""
-    scores = score_all(index, tids, model)
-    top = kernel.topn_tail(scores, n, descending=True)
-    return TopNResult.from_bat(
-        top, n, strategy="naive", safe=True,
-        stats={"candidates": len(scores), "postings_read": sum(
-            index.posting_length(tid) for tid in tids
-        )},
-    )
+    with tracer.span("topn.naive", n=n, terms=len(tids)):
+        with tracer.span("naive.score_all"):
+            scores = score_all(index, tids, model)
+        top = kernel.topn_tail(scores, n, descending=True)
+        tracer.annotate(candidates=len(scores))
+        return TopNResult.from_bat(
+            top, n, strategy="naive", safe=True,
+            stats={"candidates": len(scores), "postings_read": sum(
+                index.posting_length(tid) for tid in tids
+            )},
+        )
 
 
 def naive_full_ranking(index: InvertedIndex, tids: list[int],
@@ -96,12 +100,14 @@ def naive_topn_sources(sources: list, n: int,
                        agg: AggregateFunction = SUM) -> TopNResult:
     """Exact top-N over graded sources by exhaustive random access."""
     agg.validate_arity(len(sources))
-    heap = BoundedTopN(n)
-    n_objects = max((source.n_objects for source in sources), default=0)
-    for obj in range(n_objects):
-        grades = [source.random_access(obj) for source in sources]
-        heap.push(obj, agg.combine(grades))
-    return TopNResult(
-        heap.items_sorted(), n, strategy="naive-sources", safe=True,
-        stats={"objects_scored": n_objects},
-    )
+    with tracer.span("topn.naive_sources", n=n, m=len(sources), agg=agg.name):
+        heap = BoundedTopN(n)
+        n_objects = max((source.n_objects for source in sources), default=0)
+        for obj in range(n_objects):
+            grades = [source.random_access(obj) for source in sources]
+            heap.push(obj, agg.combine(grades))
+        tracer.annotate(objects_scored=n_objects, heap_churn=heap.churn())
+        return TopNResult(
+            heap.items_sorted(), n, strategy="naive-sources", safe=True,
+            stats={"objects_scored": n_objects, "heap_churn": heap.churn()},
+        )

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 
 from ..errors import TopNError
+from ..obs import tracer
 from .aggregates import AggregateFunction, SUM
 from .result import RankedItem, TopNResult
 
@@ -39,44 +40,56 @@ def nra_topn(sources: list, n: int, agg: AggregateFunction = SUM,
     agg.validate_arity(len(sources))
 
     m = len(sources)
-    grades: dict[int, list[float | None]] = {}
-    bottoms = [math.inf] * m  # current last sorted-access grade per source
-    depth = 0
-    stopped = False
-    while not stopped:
-        if max_depth is not None and depth >= max_depth:
-            break
-        active = False
-        for i, source in enumerate(sources):
-            if source.exhausted(depth):
-                bottoms[i] = 0.0
-                continue
-            active = True
-            obj, grade = source.sorted_access(depth)
-            bottoms[i] = grade
-            grades.setdefault(obj, [None] * m)[i] = grade
-        depth += 1
-        if not active:
-            break
-        if depth % check_every == 0:
-            stopped = _stop_condition_met(grades, bottoms, n, agg)
-    # final check (also covers exhausted inputs)
-    effective_bottoms = [0.0 if b is math.inf else b for b in bottoms]
+    with tracer.span("topn.nra", n=n, m=m, agg=agg.name, check_every=check_every):
+        traced = tracer.enabled()
+        grades: dict[int, list[float | None]] = {}
+        bottoms = [math.inf] * m  # current last sorted-access grade per source
+        depth = 0
+        stopped = False
+        stop_reason = "exhausted"
+        while not stopped:
+            if max_depth is not None and depth >= max_depth:
+                stop_reason = "max_depth"
+                break
+            active = False
+            for i, source in enumerate(sources):
+                if source.exhausted(depth):
+                    bottoms[i] = 0.0
+                    continue
+                active = True
+                obj, grade = source.sorted_access(depth)
+                bottoms[i] = grade
+                grades.setdefault(obj, [None] * m)[i] = grade
+            depth += 1
+            if not active:
+                break
+            if depth % check_every == 0:
+                stopped = _stop_condition_met(grades, bottoms, n, agg)
+                if stopped:
+                    stop_reason = "bounds"
+                if traced:
+                    tracer.event("nra.check", depth=depth, stopped=stopped,
+                                 objects_seen=len(grades))
+        # final check (also covers exhausted inputs)
+        effective_bottoms = [0.0 if b is math.inf else b for b in bottoms]
 
-    scored = []
-    for obj, seen in grades.items():
-        lower = agg.combine([0.0 if g is None else g for g in seen])
-        scored.append((lower, obj))
-    scored.sort(key=lambda pair: (-pair[0], pair[1]))
-    items = [RankedItem(obj, lower) for lower, obj in scored[:n]]
-    return TopNResult(
-        items, n, strategy="fagin-nra", safe=True,
-        stats={
-            "depth": depth,
-            "objects_seen": len(grades),
-            "bottom_aggregate": agg.combine(effective_bottoms),
-        },
-    )
+        scored = []
+        for obj, seen in grades.items():
+            lower = agg.combine([0.0 if g is None else g for g in seen])
+            scored.append((lower, obj))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        items = [RankedItem(obj, lower) for lower, obj in scored[:n]]
+        tracer.annotate(stop_reason=stop_reason, depth=depth,
+                        objects_seen=len(grades))
+        return TopNResult(
+            items, n, strategy="fagin-nra", safe=True,
+            stats={
+                "depth": depth,
+                "objects_seen": len(grades),
+                "bottom_aggregate": agg.combine(effective_bottoms),
+                "stop_reason": stop_reason,
+            },
+        )
 
 
 def _stop_condition_met(grades, bottoms, n, agg) -> bool:

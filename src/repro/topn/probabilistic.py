@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import TopNError
+from ..obs import tracer
 from ..storage import kernel, stats
 from ..storage.bat import BAT
 from ..storage.index import SparseIndex
@@ -81,28 +82,31 @@ def probabilistic_topn(
         raise TopNError("probabilistic_topn needs an ascending score-sorted BAT "
                         "(the selection's cheap access path)")
     total = len(scores_sorted)
-    cutoff = histogram.cutoff_for(n, slack=slack)
-    restarts = 0
-    while True:
-        candidates = kernel.select_range(scores_sorted, lo=cutoff, hi=None)
-        if len(candidates) >= min(n, total) or cutoff == float("-inf"):
-            break
-        if restarts >= max_restarts:
-            cutoff = float("-inf")
-            continue
-        restarts += 1
-        stats.charge_extra("probabilistic_restarts")
-        cutoff = histogram.next_lower_cutoff(cutoff)
-    top = kernel.topn_tail(candidates, n, descending=True)
-    return TopNResult.from_bat(
-        top, n, strategy="probabilistic", safe=True,
-        stats={
-            "cutoff": cutoff,
-            "candidates": len(candidates),
-            "restarts": restarts,
-            "fraction_scanned": len(candidates) / total if total else 0.0,
-        },
-    )
+    with tracer.span("topn.probabilistic", n=n, size=total, slack=slack):
+        cutoff = histogram.cutoff_for(n, slack=slack)
+        restarts = 0
+        while True:
+            candidates = kernel.select_range(scores_sorted, lo=cutoff, hi=None)
+            if len(candidates) >= min(n, total) or cutoff == float("-inf"):
+                break
+            if restarts >= max_restarts:
+                cutoff = float("-inf")
+                continue
+            restarts += 1
+            stats.charge_extra("probabilistic_restarts")
+            cutoff = histogram.next_lower_cutoff(cutoff)
+            tracer.event("prob.restart", cutoff=cutoff, candidates=len(candidates))
+        top = kernel.topn_tail(candidates, n, descending=True)
+        tracer.annotate(restarts=restarts, candidates=len(candidates))
+        return TopNResult.from_bat(
+            top, n, strategy="probabilistic", safe=True,
+            stats={
+                "cutoff": cutoff,
+                "candidates": len(candidates),
+                "restarts": restarts,
+                "fraction_scanned": len(candidates) / total if total else 0.0,
+            },
+        )
 
 
 def probabilistic_topn_indexed(
@@ -115,20 +119,23 @@ def probabilistic_topn_indexed(
     """Variant running the cutoff selection through the paper's
     non-dense index (Step 1's access path for the large fragment)."""
     total = len(index.base)
-    cutoff = histogram.cutoff_for(n, slack=slack)
-    restarts = 0
-    while True:
-        candidates = index.lookup_range(lo=cutoff, hi=None)
-        if len(candidates) >= min(n, total) or cutoff == float("-inf"):
-            break
-        if restarts >= max_restarts:
-            cutoff = float("-inf")
-            continue
-        restarts += 1
-        stats.charge_extra("probabilistic_restarts")
-        cutoff = histogram.next_lower_cutoff(cutoff)
-    top = kernel.topn_tail(candidates, n, descending=True)
-    return TopNResult.from_bat(
-        top, n, strategy="probabilistic-indexed", safe=True,
-        stats={"cutoff": cutoff, "candidates": len(candidates), "restarts": restarts},
-    )
+    with tracer.span("topn.probabilistic_indexed", n=n, size=total, slack=slack):
+        cutoff = histogram.cutoff_for(n, slack=slack)
+        restarts = 0
+        while True:
+            candidates = index.lookup_range(lo=cutoff, hi=None)
+            if len(candidates) >= min(n, total) or cutoff == float("-inf"):
+                break
+            if restarts >= max_restarts:
+                cutoff = float("-inf")
+                continue
+            restarts += 1
+            stats.charge_extra("probabilistic_restarts")
+            cutoff = histogram.next_lower_cutoff(cutoff)
+            tracer.event("prob.restart", cutoff=cutoff, candidates=len(candidates))
+        top = kernel.topn_tail(candidates, n, descending=True)
+        tracer.annotate(restarts=restarts, candidates=len(candidates))
+        return TopNResult.from_bat(
+            top, n, strategy="probabilistic-indexed", safe=True,
+            stats={"cutoff": cutoff, "candidates": len(candidates), "restarts": restarts},
+        )

@@ -23,6 +23,7 @@ import numpy as np
 from ..errors import TopNError
 from ..ir.invindex import InvertedIndex
 from ..ir.ranking import ScoringModel
+from ..obs import tracer
 from ..storage import kernel, stats
 from ..storage.bat import BAT
 from .result import TopNResult
@@ -58,46 +59,54 @@ def quit_continue_topn(
     total_postings = sum(index.posting_length(tid) for tid in tids)
     budget = budget_fraction * total_postings
 
-    accumulator = np.zeros(index.n_docs, dtype=np.float64)
-    admitted = np.zeros(index.n_docs, dtype=bool)
-    postings_full = 0
-    postings_continued = 0
-    terms_full = 0
-    quit_reached = False
-    for tid in ordered:
-        plen = index.posting_length(tid)
-        if not quit_reached and postings_full + plen > budget and terms_full > 0:
-            quit_reached = True
-        if quit_reached and strategy == "quit":
-            break
-        doc_ids, tfs = index.postings(tid)
-        if len(doc_ids) == 0:
-            continue
-        partials = model.partial_scores(index, tid, doc_ids, tfs)
-        if not quit_reached:
-            np.add.at(accumulator, doc_ids, partials)
-            admitted[doc_ids] = True
-            postings_full += plen
-            terms_full += 1
-        else:
-            # continue phase: update existing accumulators only
-            mask = admitted[doc_ids]
-            np.add.at(accumulator, doc_ids[mask], partials[mask])
-            postings_continued += plen
-            stats.charge_comparisons(len(doc_ids))
+    with tracer.span("topn.quit_continue", n=n, strategy=strategy,
+                     budget_fraction=budget_fraction, terms=len(tids)):
+        traced = tracer.enabled()
+        accumulator = np.zeros(index.n_docs, dtype=np.float64)
+        admitted = np.zeros(index.n_docs, dtype=bool)
+        postings_full = 0
+        postings_continued = 0
+        terms_full = 0
+        quit_reached = False
+        for tid in ordered:
+            plen = index.posting_length(tid)
+            if not quit_reached and postings_full + plen > budget and terms_full > 0:
+                quit_reached = True
+                if traced:
+                    tracer.event("qc.budget_exhausted", terms_full=terms_full,
+                                 postings_full=postings_full)
+            if quit_reached and strategy == "quit":
+                break
+            doc_ids, tfs = index.postings(tid)
+            if len(doc_ids) == 0:
+                continue
+            partials = model.partial_scores(index, tid, doc_ids, tfs)
+            if not quit_reached:
+                np.add.at(accumulator, doc_ids, partials)
+                admitted[doc_ids] = True
+                postings_full += plen
+                terms_full += 1
+            else:
+                # continue phase: update existing accumulators only
+                mask = admitted[doc_ids]
+                np.add.at(accumulator, doc_ids[mask], partials[mask])
+                postings_continued += plen
+                stats.charge_comparisons(len(doc_ids))
 
-    candidates = np.nonzero(admitted)[0]
-    stats.charge_tuples_written(len(candidates))
-    scores = BAT(accumulator[candidates], head=candidates.astype(np.int64), head_key=True)
-    top = kernel.topn_tail(scores, n, descending=True)
-    return TopNResult.from_bat(
-        top, n, strategy=f"brown-{strategy}", safe=False,
-        stats={
-            "terms_total": len(tids),
-            "terms_full": terms_full,
-            "postings_total": total_postings,
-            "postings_full": postings_full,
-            "postings_continued": postings_continued,
-            "candidates": len(candidates),
-        },
-    )
+        candidates = np.nonzero(admitted)[0]
+        stats.charge_tuples_written(len(candidates))
+        scores = BAT(accumulator[candidates], head=candidates.astype(np.int64), head_key=True)
+        top = kernel.topn_tail(scores, n, descending=True)
+        tracer.annotate(quit_reached=quit_reached, terms_full=terms_full,
+                        candidates=len(candidates))
+        return TopNResult.from_bat(
+            top, n, strategy=f"brown-{strategy}", safe=False,
+            stats={
+                "terms_total": len(tids),
+                "terms_full": terms_full,
+                "postings_total": total_postings,
+                "postings_full": postings_full,
+                "postings_continued": postings_continued,
+                "candidates": len(candidates),
+            },
+        )

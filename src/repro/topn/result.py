@@ -24,6 +24,20 @@ class TopNResult:
     guarantee the exact top-N (up to score ties); unsafe strategies
     trade answer quality for speed.  ``stats`` carries strategy-specific
     counters (restarts, stop depth, postings touched, ...).
+
+    Deterministic tie-breaking (enforced)
+    -------------------------------------
+    Every strategy in :mod:`repro.topn` shares one convention: results
+    are ordered by **score descending, then object id ascending**, and
+    when a tied score group straddles the N-boundary the *smallest*
+    ids win.  ``__post_init__`` enforces the ordering half of this
+    contract — a result whose tied items are not id-ascending raises
+    :class:`~repro.errors.TopNError` — so any two exact engines on the
+    same instance return byte-identical rankings and the differential
+    conformance suite can compare them directly.  The producing
+    primitives uphold the boundary half: ``BoundedTopN`` treats larger
+    ids as weaker on equal scores, and ``kernel.topn_tail`` /
+    ``kernel.sort_tail`` break ties by head oid.
     """
 
     items: list[RankedItem]
@@ -40,6 +54,12 @@ class TopNResult:
         scores = [item.score for item in self.items]
         if any(a < b for a, b in zip(scores, scores[1:])):
             raise TopNError(f"{self.strategy}: result items are not score-descending")
+        for a, b in zip(self.items, self.items[1:]):
+            if a.score == b.score and a.obj_id >= b.obj_id:
+                raise TopNError(
+                    f"{self.strategy}: tied scores must be id-ascending "
+                    f"(got {a.obj_id} before {b.obj_id} at score {a.score})"
+                )
 
     def __len__(self) -> int:
         return len(self.items)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import TopNError
+from ..obs import tracer
 from ..storage import kernel, stats
 from ..storage.bat import BAT
 from .result import TopNResult
@@ -28,17 +29,19 @@ from .result import TopNResult
 
 def classic_topn(scores: BAT, n: int) -> TopNResult:
     """Full sort + slice: the plan without a STOP AFTER operator."""
-    ordered = kernel.sort_tail(scores, descending=True)
-    top = kernel.slice_pairs(ordered, 0, n)
-    return TopNResult.from_bat(top, n, strategy="classic-sort", safe=True,
-                               stats={"tuples_flowing": len(scores)})
+    with tracer.span("topn.classic", n=n, size=len(scores)):
+        ordered = kernel.sort_tail(scores, descending=True)
+        top = kernel.slice_pairs(ordered, 0, n)
+        return TopNResult.from_bat(top, n, strategy="classic-sort", safe=True,
+                                   stats={"tuples_flowing": len(scores)})
 
 
 def sort_stop(scores: BAT, n: int) -> TopNResult:
     """STOP folded into the sort: partial top-N selection."""
-    top = kernel.topn_tail(scores, n, descending=True)
-    return TopNResult.from_bat(top, n, strategy="sort-stop", safe=True,
-                               stats={"tuples_flowing": len(scores)})
+    with tracer.span("topn.sort_stop", n=n, size=len(scores)):
+        top = kernel.topn_tail(scores, n, descending=True)
+        return TopNResult.from_bat(top, n, strategy="sort-stop", safe=True,
+                                   stats={"tuples_flowing": len(scores)})
 
 
 def scan_stop(scores: BAT, n: int) -> TopNResult:
@@ -48,9 +51,10 @@ def scan_stop(scores: BAT, n: int) -> TopNResult:
     otherwise rather than silently returning garbage."""
     if not scores.tail_sorted_desc:
         raise TopNError("scan_stop requires a descending score-sorted input")
-    top = kernel.slice_pairs(scores, 0, n)
-    return TopNResult.from_bat(top, n, strategy="scan-stop", safe=True,
-                               stats={"tuples_flowing": min(n, len(scores))})
+    with tracer.span("topn.scan_stop", n=n, size=len(scores)):
+        top = kernel.slice_pairs(scores, 0, n)
+        return TopNResult.from_bat(top, n, strategy="scan-stop", safe=True,
+                                   stats={"tuples_flowing": min(n, len(scores))})
 
 
 def stop_after_filter(
@@ -79,35 +83,40 @@ def stop_after_filter(
         raise TopNError(f"inflation must be >= 1.0, got {inflation}")
 
     if policy == "conservative":
-        mask = (attributes.tail >= attr_lo) & (attributes.tail <= attr_hi)
-        kernel.scan_cost(attributes)
-        stats.charge_comparisons(2 * len(attributes))
-        surviving = kernel.select_mask(scores, mask, _precharged=True)
-        kernel.scan_cost(scores)
-        top = kernel.topn_tail(surviving, n, descending=True)
-        return TopNResult.from_bat(
-            top, n, strategy="stop-conservative", safe=True,
-            stats={"tuples_flowing": len(scores) + len(surviving), "restarts": 0},
-        )
+        with tracer.span("topn.stop_after", n=n, policy=policy, size=len(scores)):
+            mask = (attributes.tail >= attr_lo) & (attributes.tail <= attr_hi)
+            kernel.scan_cost(attributes)
+            stats.charge_comparisons(2 * len(attributes))
+            surviving = kernel.select_mask(scores, mask, _precharged=True)
+            kernel.scan_cost(scores)
+            top = kernel.topn_tail(surviving, n, descending=True)
+            return TopNResult.from_bat(
+                top, n, strategy="stop-conservative", safe=True,
+                stats={"tuples_flowing": len(scores) + len(surviving), "restarts": 0},
+            )
 
     # aggressive: stop below the filter, restart on underflow
-    k = max(int(np.ceil(n * inflation)), n)
-    restarts = 0
-    tuples_flowing = 0
-    while True:
-        prefix = kernel.topn_tail(scores, k, descending=True)
-        tuples_flowing += len(prefix)
-        attr_values = kernel.fetch_values(attributes, prefix.head_array())
-        stats.charge_comparisons(2 * len(attr_values))
-        mask = (attr_values >= attr_lo) & (attr_values <= attr_hi)
-        surviving = kernel.select_mask(prefix, mask, _precharged=True)
-        if len(surviving) >= n or k >= len(scores):
-            top = kernel.slice_pairs(surviving, 0, n)
-            return TopNResult.from_bat(
-                top, n, strategy="stop-aggressive", safe=True,
-                stats={"tuples_flowing": tuples_flowing, "restarts": restarts,
-                       "final_k": k},
-            )
-        restarts += 1
-        stats.charge_extra("stop_after_restarts")
-        k = min(k * 2, len(scores))
+    with tracer.span("topn.stop_after", n=n, policy=policy, size=len(scores),
+                     inflation=inflation):
+        k = max(int(np.ceil(n * inflation)), n)
+        restarts = 0
+        tuples_flowing = 0
+        while True:
+            prefix = kernel.topn_tail(scores, k, descending=True)
+            tuples_flowing += len(prefix)
+            attr_values = kernel.fetch_values(attributes, prefix.head_array())
+            stats.charge_comparisons(2 * len(attr_values))
+            mask = (attr_values >= attr_lo) & (attr_values <= attr_hi)
+            surviving = kernel.select_mask(prefix, mask, _precharged=True)
+            if len(surviving) >= n or k >= len(scores):
+                top = kernel.slice_pairs(surviving, 0, n)
+                tracer.annotate(restarts=restarts, final_k=k)
+                return TopNResult.from_bat(
+                    top, n, strategy="stop-aggressive", safe=True,
+                    stats={"tuples_flowing": tuples_flowing, "restarts": restarts,
+                           "final_k": k},
+                )
+            restarts += 1
+            stats.charge_extra("stop_after_restarts")
+            k = min(k * 2, len(scores))
+            tracer.event("stop.restart", k=k, surviving=len(surviving))

@@ -13,6 +13,7 @@ this is the "upper and lower bound administration" the paper cites.
 from __future__ import annotations
 
 from ..errors import TopNError
+from ..obs import tracer
 from .aggregates import AggregateFunction, SUM
 from .heap import BoundedTopN
 from .result import TopNResult
@@ -27,43 +28,56 @@ def threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM) -> TopNR
     agg.validate_arity(len(sources))
 
     m = len(sources)
-    heap = BoundedTopN(n)
-    seen: set[int] = set()
-    # per-source grade floor once a list is exhausted: 0 (grades are
-    # non-negative, and posting-style sources grade absent objects 0)
-    last_grades = [0.0] * m
-    depth = 0
-    random_accesses = 0
-    while True:
-        active = False
-        for i, source in enumerate(sources):
-            if source.exhausted(depth):
-                last_grades[i] = 0.0
-                continue
-            active = True
-            obj, grade = source.sorted_access(depth)
-            last_grades[i] = grade
-            if obj in seen:
-                continue
-            seen.add(obj)
-            grades = [
-                grade if j == i else other.random_access(obj)
-                for j, other in enumerate(sources)
-            ]
-            random_accesses += m - 1
-            heap.push(obj, agg.combine(grades))
-        threshold = agg.combine(last_grades)
-        if heap.full and heap.threshold() >= threshold:
-            break
-        if not active:
-            break
-        depth += 1
-    return TopNResult(
-        heap.items_sorted(), n, strategy="fagin-ta", safe=True,
-        stats={
-            "depth": depth + 1,
-            "objects_seen": len(seen),
-            "random_accesses": random_accesses,
-            "final_threshold": threshold,
-        },
-    )
+    with tracer.span("topn.ta", n=n, m=m, agg=agg.name):
+        traced = tracer.enabled()
+        heap = BoundedTopN(n)
+        seen: set[int] = set()
+        # per-source grade floor once a list is exhausted: 0 (grades are
+        # non-negative, and posting-style sources grade absent objects 0)
+        last_grades = [0.0] * m
+        depth = 0
+        random_accesses = 0
+        stop_reason = "threshold"
+        while True:
+            active = False
+            for i, source in enumerate(sources):
+                if source.exhausted(depth):
+                    last_grades[i] = 0.0
+                    continue
+                active = True
+                obj, grade = source.sorted_access(depth)
+                last_grades[i] = grade
+                if obj in seen:
+                    continue
+                seen.add(obj)
+                grades = [
+                    grade if j == i else other.random_access(obj)
+                    for j, other in enumerate(sources)
+                ]
+                random_accesses += m - 1
+                heap.push(obj, agg.combine(grades))
+            threshold = agg.combine(last_grades)
+            if traced:
+                # per-round threshold evolution: τ falls, the heap's
+                # N-th best rises; they crossing is the stop decision
+                tracer.event("ta.round", depth=depth, threshold=threshold,
+                             heap_threshold=heap.threshold(), objects_seen=len(seen))
+            if heap.full and heap.threshold() >= threshold:
+                break
+            if not active:
+                stop_reason = "exhausted"
+                break
+            depth += 1
+        tracer.annotate(stop_reason=stop_reason, depth=depth + 1,
+                        heap_churn=heap.churn())
+        return TopNResult(
+            heap.items_sorted(), n, strategy="fagin-ta", safe=True,
+            stats={
+                "depth": depth + 1,
+                "objects_seen": len(seen),
+                "random_accesses": random_accesses,
+                "final_threshold": threshold,
+                "stop_reason": stop_reason,
+                "heap_churn": heap.churn(),
+            },
+        )

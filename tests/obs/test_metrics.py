@@ -1,0 +1,101 @@
+"""Tests for the metrics registry and its zero-cost disabled mode."""
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Each test starts disabled with an empty registry."""
+    metrics.disable()
+    metrics.reset()
+    yield
+    metrics.disable()
+    metrics.reset()
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = metrics.Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge(self):
+        g = metrics.Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram(self):
+        h = metrics.Histogram("x")
+        for v in (2.0, 8.0, 5.0):
+            h.observe(v)
+        assert h.summary() == {"count": 3, "sum": 15.0, "min": 2.0,
+                               "max": 8.0, "mean": 5.0}
+
+    def test_empty_histogram_summary(self):
+        h = metrics.Histogram("x")
+        assert h.summary() == {"count": 0, "sum": 0.0, "min": None,
+                               "max": None, "mean": 0.0}
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = metrics.MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_shape(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestGlobalFacade:
+    def test_disabled_helpers_record_nothing(self):
+        assert not metrics.enabled()
+        metrics.inc("buffer.hits", 5)
+        metrics.set_gauge("pool", 3)
+        metrics.observe("lengths", 9.0)
+        assert metrics.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disabled_accessors_hand_out_shared_noops(self):
+        """Identity of the no-op singletons: the hot-path guarantee."""
+        assert metrics.counter("a") is metrics.counter("b") is metrics.NOOP_COUNTER
+        assert metrics.gauge("a") is metrics.NOOP_GAUGE
+        assert metrics.histogram("a") is metrics.NOOP_HISTOGRAM
+        # using them is inert
+        metrics.counter("a").inc(100)
+        assert metrics.snapshot()["counters"] == {}
+
+    def test_enabled_records(self):
+        metrics.enable()
+        metrics.inc("buffer.hits")
+        metrics.inc("buffer.hits", 2)
+        metrics.set_gauge("pool", 4)
+        metrics.observe("lengths", 2.0)
+        snap = metrics.snapshot()
+        assert snap["counters"]["buffer.hits"] == 3
+        assert snap["gauges"]["pool"] == 4.0
+        assert snap["histograms"]["lengths"]["count"] == 1
+
+    def test_instruments_survive_disable_cycle(self):
+        metrics.enable()
+        metrics.inc("kept")
+        metrics.disable()
+        metrics.inc("kept")  # ignored
+        assert metrics.snapshot()["counters"]["kept"] == 1

@@ -1,0 +1,106 @@
+"""Trace-derived regression invariants over the Fagin-family engines.
+
+These pin theoretically-grounded relationships as executable checks:
+TA never reads deeper down the sorted lists than FA on the same
+instance, NRA issues no random accesses at all, and the per-engine
+traced costs agree with the CostCounter totals.  A future engine
+change that silently breaks one of these properties fails here rather
+than only showing up as a benchmark regression.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mm import ArraySource
+from repro.obs import run_profiled, tracer
+from repro.storage import CostCounter
+from repro.topn import SUM, fagin_topn, naive_topn_sources, nra_topn, threshold_topn
+
+
+def make_sources(seed, n_objects=400, m=3):
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((n_objects, m))
+    return [ArraySource(matrix[:, j], name=f"s{j}") for j in range(m)]
+
+
+def cost_of(fn):
+    with CostCounter.activate() as cost:
+        fn()
+    return cost.snapshot()
+
+
+class TestAccessInvariants:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("n", [1, 5, 20])
+    def test_ta_sorted_accesses_at_most_fa(self, seed, n):
+        """TA's stopping rule fires no later than FA's on any instance
+        (both advance the m lists in lockstep here)."""
+        ta_cost = cost_of(lambda: threshold_topn(make_sources(seed), n, SUM))
+        fa_cost = cost_of(lambda: fagin_topn(make_sources(seed), n, SUM))
+        assert ta_cost["sorted_accesses"] <= fa_cost["sorted_accesses"]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_nra_issues_no_random_accesses(self, seed):
+        cost = cost_of(lambda: nra_topn(make_sources(seed), 10, SUM))
+        assert cost["random_accesses"] == 0
+        assert cost["sorted_accesses"] > 0
+
+    def test_naive_sources_random_only(self):
+        cost = cost_of(lambda: naive_topn_sources(make_sources(7), 10, SUM))
+        assert cost["sorted_accesses"] == 0
+        assert cost["random_accesses"] == 400 * 3
+
+
+class TestTracedCostsMatchCounter:
+    @pytest.mark.parametrize("engine", [fagin_topn, threshold_topn, nra_topn],
+                             ids=lambda e: e.__name__)
+    def test_root_span_inclusive_cost_equals_totals(self, engine):
+        report = run_profiled(lambda: engine(make_sources(11), 8))
+        (root,) = report.roots
+        for key, value in report.totals.items():
+            assert root.cost.get(key, 0) == value, key
+
+    def test_ta_round_events_track_stop_depth(self):
+        report = run_profiled(lambda: threshold_topn(make_sources(13), 5))
+        (root,) = report.roots
+        rounds = [e for e in root.events if e["name"] == "ta.round"]
+        assert len(rounds) == root.attrs["depth"]
+        # thresholds are non-increasing down the sorted lists
+        taus = [e["attrs"]["threshold"] for e in rounds]
+        assert all(a >= b for a, b in zip(taus, taus[1:]))
+        # each round costs one sorted access per list
+        assert report.totals["sorted_accesses"] == root.attrs["depth"] * 3
+
+    def test_stats_and_span_agree_on_stop_reason(self):
+        report = run_profiled(lambda: threshold_topn(make_sources(17), 5))
+        (root,) = report.roots
+        assert report.result.stats["stop_reason"] == root.attrs["stop_reason"]
+
+
+class TestDisabledOverheadPath:
+    """The no-op path: engines under no session must allocate nothing
+    in the tracer and return identical answers."""
+
+    def test_span_calls_share_the_noop_singleton(self):
+        assert not tracer.enabled()
+        handles = {id(tracer.span(name)) for name in ("a", "b", "c")}
+        assert handles == {id(tracer.NOOP_SPAN)}
+
+    @pytest.mark.parametrize("engine", [fagin_topn, threshold_topn, nra_topn],
+                             ids=lambda e: e.__name__)
+    def test_results_identical_traced_vs_untraced(self, engine):
+        plain = engine(make_sources(23), 10)
+        traced = run_profiled(lambda: engine(make_sources(23), 10)).result
+        assert plain.same_ranking(traced)
+        assert plain.scores == traced.scores
+
+    def test_untraced_run_buffers_nothing(self):
+        """A run without a session must not grow any trace state."""
+        threshold_topn(make_sources(29), 5)
+        assert tracer.current_session() is None
+
+    def test_costs_identical_traced_vs_untraced(self):
+        """Tracing observes the cost model; it never perturbs it."""
+        plain = cost_of(lambda: threshold_topn(make_sources(31), 8))
+        traced = run_profiled(lambda: threshold_topn(make_sources(31), 8)).totals
+        assert plain == traced

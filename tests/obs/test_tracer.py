@@ -1,0 +1,216 @@
+"""Tests for the span tracer: nesting, cost attribution, bounds,
+events, export, and the disabled fast path."""
+
+import json
+
+import pytest
+
+from repro.obs import tracer
+from repro.storage import stats
+
+
+class TestSpanNesting:
+    def test_parent_child_links(self):
+        with tracer.trace_session() as session:
+            with tracer.span("outer", a=1):
+                with tracer.span("inner"):
+                    pass
+        (outer,) = session.roots
+        assert outer.name == "outer"
+        assert outer.attrs == {"a": 1}
+        assert outer.parent_id is None
+        assert outer.depth == 0
+        (inner,) = outer.children
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+
+    def test_siblings(self):
+        with tracer.trace_session() as session:
+            with tracer.span("root"):
+                with tracer.span("a"):
+                    pass
+                with tracer.span("b"):
+                    pass
+        (root,) = session.roots
+        assert [child.name for child in root.children] == ["a", "b"]
+
+    def test_walk_is_depth_first(self):
+        with tracer.trace_session() as session:
+            with tracer.span("r"):
+                with tracer.span("a"):
+                    with tracer.span("a1"):
+                        pass
+                with tracer.span("b"):
+                    pass
+        names = [record.name for record in session.spans()]
+        assert names == ["r", "a", "a1", "b"]
+
+    def test_exception_closes_span_and_marks_error(self):
+        with tracer.trace_session() as session:
+            with pytest.raises(ValueError):
+                with tracer.span("boom"):
+                    raise ValueError("x")
+            # the span must have been finished despite the exception
+            assert not session.stack
+        (record,) = session.roots
+        assert record.attrs["error"] == "ValueError"
+
+    def test_annotate_and_set(self):
+        with tracer.trace_session() as session:
+            with tracer.span("s") as handle:
+                handle.set(k=1)
+                tracer.annotate(depth=7)
+        (record,) = session.roots
+        assert record.attrs == {"k": 1, "depth": 7}
+
+
+class TestCostAttribution:
+    def test_span_cost_is_charge_delta(self):
+        with tracer.trace_session() as session:
+            with tracer.span("work"):
+                stats.charge_tuples_read(5)
+                stats.charge_comparisons(3)
+        (record,) = session.roots
+        assert record.cost["tuples_read"] == 5
+        assert record.cost["comparisons"] == 3
+
+    def test_self_cost_excludes_children(self):
+        with tracer.trace_session() as session:
+            with tracer.span("parent"):
+                stats.charge_tuples_read(2)
+                with tracer.span("child"):
+                    stats.charge_tuples_read(10)
+                stats.charge_tuples_read(1)
+        (parent,) = session.roots
+        assert parent.cost["tuples_read"] == 13
+        assert parent.self_cost["tuples_read"] == 3
+        assert parent.children[0].self_cost["tuples_read"] == 10
+
+    def test_self_cost_totals_match_counter(self):
+        """Summed self costs reconstruct the session counter exactly."""
+        with tracer.trace_session() as session:
+            with tracer.span("a"):
+                stats.charge_tuples_read(4)
+                with tracer.span("b"):
+                    stats.charge_comparisons(9)
+            with tracer.span("c"):
+                stats.charge_page_reads(2)
+        totals = session.self_cost_totals()
+        assert totals["tuples_read"] == 4
+        assert totals["comparisons"] == 9
+        assert totals["page_reads"] == 2
+
+    def test_session_counter_is_stacked(self):
+        """An enclosing CostCounter still sees work done under tracing."""
+        with stats.CostCounter.activate() as outer:
+            with tracer.trace_session():
+                with tracer.span("w"):
+                    stats.charge_tuples_read(6)
+        assert outer.tuples_read == 6
+
+
+class TestEvents:
+    def test_event_lands_on_innermost_span(self):
+        with tracer.trace_session() as session:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    tracer.event("tick", round=1)
+        (outer,) = session.roots
+        assert outer.events == []
+        (entry,) = outer.children[0].events
+        assert entry["name"] == "tick"
+        assert entry["attrs"] == {"round": 1}
+
+    def test_orphan_events_kept_separately(self):
+        with tracer.trace_session() as session:
+            tracer.event("lonely", x=1)
+        assert session.roots == type(session.roots)()
+        (entry,) = session.orphan_events
+        assert entry["name"] == "lonely"
+
+    def test_orphan_events_bounded(self):
+        with tracer.trace_session() as session:
+            for i in range(2000):
+                tracer.event("e", i=i)
+        assert len(session.orphan_events) == 1024
+
+
+class TestBufferBound:
+    def test_oldest_roots_dropped(self):
+        with tracer.trace_session(max_spans=3) as session:
+            for i in range(5):
+                with tracer.span(f"r{i}"):
+                    pass
+        assert [record.name for record in session.roots] == ["r2", "r3", "r4"]
+        assert session.dropped == 2
+
+    def test_children_not_counted_against_bound(self):
+        with tracer.trace_session(max_spans=2) as session:
+            with tracer.span("root"):
+                for i in range(10):
+                    with tracer.span(f"c{i}"):
+                        pass
+        assert session.dropped == 0
+        assert len(session.roots) == 1
+        assert len(session.roots[0].children) == 10
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, tmp_path):
+        with tracer.trace_session() as session:
+            with tracer.span("a", n=3):
+                stats.charge_tuples_read(2)
+                with tracer.span("b"):
+                    tracer.event("tick")
+        path = tmp_path / "trace.jsonl"
+        count = session.export_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert records[0]["attrs"] == {"n": 3}
+        assert records[0]["cost"]["tuples_read"] == 2
+        assert records[1]["parent_id"] == records[0]["span_id"]
+        assert records[1]["events"][0]["name"] == "tick"
+
+    def test_empty_trace_exports_empty_file(self, tmp_path):
+        with tracer.trace_session() as session:
+            pass
+        path = tmp_path / "empty.jsonl"
+        assert session.export_jsonl(path) == 0
+        assert path.read_text() == ""
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_noop(self):
+        assert not tracer.enabled()
+        assert tracer.span("x", n=1) is tracer.NOOP_SPAN
+        assert tracer.span("y") is tracer.NOOP_SPAN
+
+    def test_noop_span_is_inert_context_manager(self):
+        with tracer.span("x") as handle:
+            assert handle is tracer.NOOP_SPAN
+            assert handle.set(a=1) is tracer.NOOP_SPAN
+
+    def test_event_and_annotate_are_noops(self):
+        tracer.event("nothing", x=1)
+        tracer.annotate(y=2)
+
+    def test_session_lifecycle(self):
+        session = tracer.start_session()
+        assert tracer.enabled()
+        assert tracer.current_session() is session
+        with pytest.raises(RuntimeError):
+            tracer.start_session()
+        assert tracer.stop_session() is session
+        assert not tracer.enabled()
+        assert tracer.stop_session() is None
+
+    def test_stop_closes_open_spans(self):
+        tracer.start_session()
+        tracer.span("left-open").__enter__()
+        session = tracer.stop_session()
+        assert not session.stack
+        (record,) = session.roots
+        assert record.t_end >= record.t_start

@@ -1,0 +1,117 @@
+"""Property tests for STOP AFTER cutoff semantics.
+
+References are computed directly in numpy; the operators must match
+for arbitrary score tables, filter windows and N — including the
+aggressive policy's restart path, whose inflated-K cutoff must never
+change the answer, only the work.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BAT, kernel
+from repro.topn import classic_topn, scan_stop, sort_stop, stop_after_filter
+
+scores_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, width=32), min_size=1, max_size=80
+)
+
+
+def reference_pairs(scores, n, mask=None):
+    """Top-n (id, score) under the canonical (score desc, id asc) order,
+    optionally restricted to ``mask``."""
+    items = [(i, float(s)) for i, s in enumerate(scores)
+             if mask is None or mask[i]]
+    items.sort(key=lambda p: (-p[1], p[0]))
+    return items[:n]
+
+
+def result_pairs(result):
+    return [(item.obj_id, item.score) for item in result.items]
+
+
+class TestUnfilteredCutoffs:
+    @settings(max_examples=100, deadline=None)
+    @given(scores=scores_strategy, n=st.integers(min_value=1, max_value=20))
+    def test_sort_stop_equals_reference(self, scores, n):
+        got = result_pairs(sort_stop(BAT(np.array(scores)), n))
+        assert got == reference_pairs(scores, n)
+
+    @settings(max_examples=100, deadline=None)
+    @given(scores=scores_strategy, n=st.integers(min_value=1, max_value=20))
+    def test_classic_equals_sort_stop(self, scores, n):
+        table = BAT(np.array(scores))
+        assert result_pairs(classic_topn(table, n)) \
+            == result_pairs(sort_stop(table, n))
+
+    @settings(max_examples=100, deadline=None)
+    @given(scores=scores_strategy, n=st.integers(min_value=1, max_value=20))
+    def test_scan_stop_takes_exact_prefix(self, scores, n):
+        ordered = kernel.sort_tail(BAT(np.array(scores)), descending=True)
+        got = result_pairs(scan_stop(ordered, n))
+        assert got == [(int(h), float(t)) for h, t in ordered.to_list()[:n]]
+        assert got == reference_pairs(scores, n)
+
+    @settings(max_examples=50, deadline=None)
+    @given(scores=scores_strategy)
+    def test_n_beyond_table_returns_everything(self, scores):
+        n = len(scores) + 5
+        got = result_pairs(sort_stop(BAT(np.array(scores)), n))
+        assert got == reference_pairs(scores, n)
+        assert len(got) == len(scores)
+
+
+class TestFilteredCutoffs:
+    window = st.tuples(
+        st.floats(min_value=0.0, max_value=1.0, width=32),
+        st.floats(min_value=0.0, max_value=1.0, width=32),
+    ).map(sorted)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        scores=scores_strategy,
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=1, max_value=12),
+        window=window,
+        inflation=st.floats(min_value=1.0, max_value=4.0),
+    )
+    def test_both_policies_match_reference(self, scores, seed, n, window, inflation):
+        lo, hi = window
+        attrs = np.random.default_rng(seed).random(len(scores))
+        mask = (attrs >= lo) & (attrs <= hi)
+        expected = reference_pairs(scores, n, mask)
+
+        scores_bat = BAT(np.array(scores))
+        attrs_bat = BAT(attrs)
+        conservative = stop_after_filter(scores_bat, attrs_bat, n, lo, hi,
+                                         policy="conservative")
+        aggressive = stop_after_filter(scores_bat, attrs_bat, n, lo, hi,
+                                       policy="aggressive", inflation=inflation)
+        assert result_pairs(conservative) == expected
+        assert result_pairs(aggressive) == expected
+        assert conservative.stats["restarts"] == 0
+        assert aggressive.stats["restarts"] >= 0
+
+    def test_aggressive_restarts_until_filter_satisfied(self):
+        """A highly selective filter forces the restart path: K doubles
+        until enough survivors exist, and the answer stays exact."""
+        rng = np.random.default_rng(42)
+        scores = rng.random(500)
+        attrs = rng.random(500)
+        lo, hi = 0.0, 0.03  # ~3% pass rate: n=5 survivors need deep K
+        mask = (attrs >= lo) & (attrs <= hi)
+        assert mask.sum() >= 5
+        result = stop_after_filter(BAT(scores), BAT(attrs), 5, lo, hi,
+                                   policy="aggressive", inflation=1.2)
+        assert result.stats["restarts"] > 0
+        assert result.stats["final_k"] >= 5 * 1.2
+        assert result_pairs(result) == reference_pairs(scores, 5, mask)
+
+    def test_empty_filter_window_returns_empty(self):
+        rng = np.random.default_rng(1)
+        scores, attrs = rng.random(50), rng.random(50)
+        for policy in ("conservative", "aggressive"):
+            result = stop_after_filter(BAT(scores), BAT(attrs), 5,
+                                       2.0, 3.0, policy=policy)
+            assert result_pairs(result) == []
