@@ -11,7 +11,8 @@ The correctness tooling around the optimizer (see ``docs/API.md``,
   cardinality property inference over ``Expr`` trees;
 * :mod:`~repro.analysis.analyzers` — the analyzer suite (type
   soundness, ordering, safe-vs-unsafe cut-off classification,
-  cardinality, fragment coverage) plus per-rewrite step checks;
+  cardinality, fragment coverage, shard safety of parallel plans)
+  plus per-rewrite step checks;
 * :mod:`~repro.analysis.soundness` — the differential rewrite-rule
   soundness harness and the verified safety-label cache;
 * :mod:`~repro.analysis.lint` — ``repro lint`` entry points and the
@@ -28,6 +29,8 @@ from .analyzers import (
     FragmentCoverageAnalyzer,
     FragmentDeclaration,
     OrderingAnalyzer,
+    ShardDeclaration,
+    ShardSafetyAnalyzer,
     TypeSoundnessAnalyzer,
     analyze_expr,
     check_rewrite_step,
@@ -85,6 +88,8 @@ __all__ = [
     "PlanProperties",
     "RuleVerdict",
     "SEVERITIES",
+    "ShardDeclaration",
+    "ShardSafetyAnalyzer",
     "SoundnessHarness",
     "TypeSoundnessAnalyzer",
     "UnsafeStopAfterPushdown",

@@ -44,6 +44,17 @@ class FragmentDeclaration:
     total: int
 
 
+@dataclass(frozen=True)
+class ShardDeclaration:
+    """Declares an environment variable as one document-range shard of
+    a parent collection partitioned into ``total`` shards (the
+    :mod:`repro.parallel` sharder's layout, seen statically)."""
+
+    parent: str
+    index: int
+    total: int
+
+
 @dataclass
 class AnalysisContext:
     """Static context shared by all analyzers."""
@@ -52,6 +63,14 @@ class AnalysisContext:
     registry: Registry = field(default_factory=default_registry)
     #: optional fragment metadata: var name -> FragmentDeclaration
     fragments: Mapping[str, FragmentDeclaration] = field(default_factory=dict)
+    #: optional shard metadata: var name -> ShardDeclaration
+    shards: Mapping[str, ShardDeclaration] = field(default_factory=dict)
+    #: the plan's declared `parallel=K` property: the plan runs under
+    #: the distributed coordinator with K-way sharding (None = serial)
+    parallel: int | None = None
+    #: whether the coordinator's round-2 probe is enabled (the merge
+    #: may re-fetch a shard's items deeper than a shard-local cut-off)
+    merge_probe: bool = True
 
     def properties(self, expr: Expr) -> dict[ExprPath, PlanProperties]:
         return infer_properties(expr, self.env_types, self.registry)
@@ -299,6 +318,91 @@ class FragmentCoverageAnalyzer(Analyzer):
                 )
 
 
+def _cutoff_count(node: Apply) -> int | None:
+    """The element count a cut-off node keeps, when statically known."""
+    scalars = [a.value for a in node.children() if isinstance(a, ScalarLiteral)]
+    if node.op == "topn":
+        if scalars and isinstance(scalars[0], str):
+            scalars = scalars[1:]
+        count = scalars[0] if scalars else None
+    elif node.op == "slice":
+        count = scalars[1] if len(scalars) == 2 and scalars[0] == 0 else None
+    else:  # stopafter
+        count = scalars[0] if scalars else None
+    return int(count) if isinstance(count, (int, float)) else None
+
+
+class ShardSafetyAnalyzer(Analyzer):
+    """Shard safety of parallel plans (MOA601/602/603).
+
+    When the context declares document-range shards, a cut-off whose
+    input reads a strict subset of a parent's shards produces a
+    *shard-local* top-N — sound only under the distributed coordinator
+    (``context.parallel``), and, when cut shallower than the plan's
+    global top-N, only with the coordinator's round-2 probe enabled
+    (``context.merge_probe``): ``stop_after`` may not push below a
+    shard boundary without it.  A declared ``parallel=K`` that
+    disagrees with the shard layout is also flagged.
+    """
+
+    name = "shard-safety"
+
+    def analyze(self, expr, context):
+        if context.parallel is not None:
+            totals = {d.parent: d.total for d in context.shards.values()}
+            for parent, total in sorted(totals.items()):
+                if total != context.parallel:
+                    yield make_diagnostic(
+                        "MOA603",
+                        f"plan declares parallel={context.parallel} but "
+                        f"{parent!r} is split into {total} shards",
+                        (), expr,
+                    )
+        if not context.shards:
+            return
+        nodes = dict(_walk_with_paths(expr))
+        cutoffs = [c for c in classify_cutoffs(expr, context)
+                   if isinstance(nodes.get(c.path), Apply)]
+        global_n = None
+        for classification in sorted(cutoffs, key=lambda c: len(c.path)):
+            count = _cutoff_count(nodes[classification.path])
+            if count is not None:
+                global_n = count
+                break
+        totals = {d.parent: d.total for d in context.shards.values()}
+        for classification in cutoffs:
+            node = nodes[classification.path]
+            used: dict[str, set[int]] = {}
+            for _, sub in _walk_with_paths(node, classification.path):
+                if isinstance(sub, Var) and sub.name in context.shards:
+                    declaration = context.shards[sub.name]
+                    used.setdefault(declaration.parent, set()).add(declaration.index)
+            for parent, indexes in sorted(used.items()):
+                if len(indexes) >= totals[parent]:
+                    continue
+                if context.parallel is None:
+                    yield make_diagnostic(
+                        "MOA601",
+                        f"{classification.op} cuts a scan of "
+                        f"{len(indexes)} of {totals[parent]} shards of "
+                        f"{parent!r} with no distributed merge: the "
+                        f"shard-local top-N is not the global one",
+                        classification.path, node,
+                    )
+                    continue
+                count = _cutoff_count(node)
+                if (not context.merge_probe and count is not None
+                        and global_n is not None and count < global_n):
+                    yield make_diagnostic(
+                        "MOA602",
+                        f"{classification.op} keeps {count} elements per "
+                        f"shard of {parent!r}, below the global top-"
+                        f"{global_n}, and the merge round-2 probe is "
+                        f"disabled: the threshold merge may miss answers",
+                        classification.path, node,
+                    )
+
+
 #: the default suite, in reporting order
 DEFAULT_ANALYZERS: tuple[Analyzer, ...] = (
     TypeSoundnessAnalyzer(),
@@ -306,6 +410,7 @@ DEFAULT_ANALYZERS: tuple[Analyzer, ...] = (
     CutoffSafetyAnalyzer(),
     CardinalityAnalyzer(),
     FragmentCoverageAnalyzer(),
+    ShardSafetyAnalyzer(),
 )
 
 

@@ -8,7 +8,8 @@ from this table (``MOA001``...).  Codes are grouped by hundreds:
 * ``MOA2xx`` — safe vs unsafe top-N / ``stop_after`` classification;
 * ``MOA3xx`` — cardinality monotonicity;
 * ``MOA4xx`` — fragment coverage of fragmented scans;
-* ``MOA5xx`` — rewrite-framework health (budget exhaustion etc.).
+* ``MOA5xx`` — rewrite-framework health (budget exhaustion etc.);
+* ``MOA6xx`` — shard safety of parallel plans.
 
 Tests assert that the table has no duplicate codes and that every code
 emitted anywhere in the analysis package is registered here, so the
@@ -132,6 +133,30 @@ CODES: dict[str, DiagnosticCode] = _build_table(
         "rewrite_fixpoint ran out of its application budget: the rule set "
         "is non-confluent or cyclic on this expression, and the returned "
         "plan is whatever state the rewriter stopped in.",
+    ),
+    # -- shard safety of parallel plans -------------------------------------
+    DiagnosticCode(
+        "MOA601", "shard-local cut-off without a distributed merge", "error",
+        "A cut-off (top-N, prefix slice, stop_after) is applied to a scan "
+        "of a strict subset of the declared shards with no merge above it: "
+        "a document-range shard holds only part of the collection, so its "
+        "local top-N is not the global one.  Shard-local cut-offs are only "
+        "sound under a coordinator that merges every shard.",
+    ),
+    DiagnosticCode(
+        "MOA602", "shard-local cut-off shallower than the global top-N", "warning",
+        "A cut-off pushed below a shard boundary keeps fewer elements than "
+        "the plan's global top-N: the coordinator's round-1 threshold may "
+        "then miss answers unless the round-2 probe re-fetches the shard's "
+        "deeper items.  Sound only with the probing merge "
+        "(certified=True); flagged because stop_after may not push below "
+        "a shard boundary without it.",
+    ),
+    DiagnosticCode(
+        "MOA603", "plan parallelism disagrees with the shard layout", "warning",
+        "The plan declares a `parallel=K` property that does not match the "
+        "number of declared shards: the executor pool would idle workers "
+        "or serialize shard tasks.",
     ),
 )
 

@@ -11,6 +11,9 @@ Commands
 ``lint``        statically verify algebra plans (the plan verifier)
 ``profile``     run a query or bench scenario under the execution
                 tracer and print the span-tree cost breakdown
+``bench-parallel``  compare the sharded parallel engine against the
+                serial baseline across shard counts (exact-match
+                verified)
 
 All commands are deterministic given ``--seed``.
 """
@@ -44,7 +47,10 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--n", type=int, default=10)
     search.add_argument("--strategy", default="auto",
                         choices=["auto", "naive", "unfragmented", "unsafe-small",
-                                 "safe-switch", "indexed"])
+                                 "safe-switch", "indexed", "parallel"])
+    search.add_argument("--shards", type=int, default=None,
+                        help="shard count for --strategy parallel (default: "
+                             "$REPRO_PARALLEL_DEFAULT_SHARDS or 2)")
 
     experiment = sub.add_parser("experiment",
                                 help="run a named experiment (currently: e3)")
@@ -92,11 +98,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="query terms (scenario: search)")
     profile.add_argument("--strategy", default="auto",
                          choices=["auto", "naive", "unfragmented", "unsafe-small",
-                                  "safe-switch", "indexed"],
+                                  "safe-switch", "indexed", "parallel"],
                          help="execution strategy (scenario: search)")
     profile.add_argument("--algo", default="ta",
                          choices=["naive", "fa", "ta", "nra", "ca"],
                          help="middleware algorithm (scenario: topn)")
+    profile.add_argument("--shards", type=int, default=None, metavar="K",
+                         help="profile the sharded parallel engine with K "
+                              "shards (scenarios: search, topn)")
     profile.add_argument("--n", type=int, default=10, help="top-N size")
     profile.add_argument("--objects", type=int, default=2000,
                          help="synthetic objects (scenario: topn)")
@@ -108,6 +117,31 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="emit the full profile (spans, totals, metrics) as JSON")
     profile.add_argument("--export", metavar="PATH",
                          help="additionally write the raw trace as JSONL to PATH")
+
+    bench = sub.add_parser(
+        "bench-parallel",
+        help="benchmark the sharded parallel engine against the serial "
+             "baseline across shard counts",
+        description="Run a fixed query workload serially (naive top-N) and "
+                    "through the sharded parallel engine at each shard "
+                    "count, verifying that every parallel ranking is "
+                    "tie-aware identical to the serial one and certified; "
+                    "prints latency / tuple-access / probe-saving "
+                    "comparisons.  Exits nonzero on any mismatch or "
+                    "uncertified result.",
+    )
+    bench.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8],
+                       metavar="K", help="shard counts to benchmark")
+    bench.add_argument("--queries", type=int, default=10,
+                       help="number of generated queries")
+    bench.add_argument("--n", type=int, default=10, help="top-N size")
+    bench.add_argument("--kind", default="thread",
+                       choices=["serial", "thread", "process"],
+                       help="executor pool kind")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="executor pool workers")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the report as JSON")
     return parser
 
 
@@ -147,6 +181,9 @@ def _cmd_zipf(args, out) -> int:
 
 def _cmd_search(args, out) -> int:
     db = _make_database(args)
+    if args.strategy == "parallel" or args.shards is not None:
+        db.shard(args.shards)
+        args.strategy = "parallel"
     with CostCounter.activate() as cost:
         result = db.search(" ".join(args.terms), n=args.n, strategy=args.strategy)
     print(f"strategy={result.result.strategy} safe={result.safe} "
@@ -272,9 +309,13 @@ def _profile_scenario(args):
     if args.scenario == "search":
         db = _make_database(args)
         query = " ".join(args.terms)
+        strategy = args.strategy
+        if args.shards is not None or strategy == "parallel":
+            db.shard(args.shards)
+            strategy = "parallel"
 
         def run():
-            return db.search(query, n=args.n, strategy=args.strategy)
+            return db.search(query, n=args.n, strategy=strategy)
 
         return run
 
@@ -301,6 +342,14 @@ def _profile_scenario(args):
             "ca": combined_topn,
         }[args.algo]
 
+        if args.shards is not None:
+            from .parallel import parallel_topn_sources
+
+            def run():
+                return parallel_topn_sources(sources, args.n, shards=args.shards)
+
+            return run
+
         def run():
             return algo(sources, args.n)
 
@@ -321,9 +370,12 @@ def _profile_scenario(args):
 
 
 def _cmd_profile(args, out) -> int:
-    from .obs import run_profiled
+    from .obs import metrics, run_profiled
 
-    report = run_profiled(_profile_scenario(args))
+    scenario = _profile_scenario(args)
+    # start from a clean registry so the snapshot covers just this run
+    metrics.reset()
+    report = run_profiled(scenario)
     if args.export:
         report.export_jsonl(args.export)
     if args.json:
@@ -333,6 +385,33 @@ def _cmd_profile(args, out) -> int:
         if args.export:
             print(f"trace written to {args.export}", file=out)
     return 0
+
+
+def _cmd_bench_parallel(args, out) -> int:
+    import json
+
+    from .parallel import bench_parallel
+
+    report = bench_parallel(scale=args.scale, seed=args.seed,
+                            shard_counts=tuple(args.shards),
+                            queries=args.queries, n=args.n,
+                            kind=args.kind, workers=args.workers)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+    else:
+        header = (f"{'config':<12} {'seconds':>9} {'tuples':>10} {'pages':>8} "
+                  f"{'probes':>7} {'saved':>6} {'rnd2':>5} {'shipped':>8} "
+                  f"{'mismatch':>9}")
+        print(header, file=out)
+        for row in report.rows:
+            print(f"{row.label:<12} {row.seconds:>9.4f} {row.tuples_read:>10,} "
+                  f"{row.page_reads:>8,} {row.probes:>7} {row.probes_saved:>6} "
+                  f"{row.rounds_2:>5} {row.items_shipped:>8,} "
+                  f"{row.mismatches:>9}", file=out)
+        verdict = "ok: every parallel ranking matched serial and was certified" \
+            if report.ok else "MISMATCH: parallel results diverged from serial"
+        print(verdict, file=out)
+    return 0 if report.ok else 1
 
 
 def _cmd_example1(args, out) -> int:
@@ -370,4 +449,6 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_lint(args, out)
     if args.command == "profile":
         return _cmd_profile(args, out)
+    if args.command == "bench-parallel":
+        return _cmd_bench_parallel(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -24,8 +24,18 @@ class DatabaseConfig:
         Quality-check sensitivity for the safe switching strategy.
     default_strategy:
         Strategy name used by ``search`` when none is given:
-        ``auto``, ``unfragmented``, ``unsafe-small``, ``safe-switch``
-        or ``indexed``.
+        ``auto``, ``unfragmented``, ``unsafe-small``, ``safe-switch``,
+        ``indexed`` or ``parallel``.
+    default_shards:
+        Shard count used by ``shard()`` / ``strategy="parallel"`` when
+        none is given; ``None`` defers to the
+        ``REPRO_PARALLEL_DEFAULT_SHARDS`` environment variable.
+    executor_kind:
+        Executor pool flavour for parallel search: ``thread``
+        (default), ``process`` or ``serial``.
+    max_parallel_queries:
+        Admission-control bound: concurrent parallel queries beyond
+        this are rejected with ``AdmissionRejectedError``.
     """
 
     model: str = "bm25"
@@ -33,6 +43,9 @@ class DatabaseConfig:
     fragment_volume_cut: float = 0.95
     switch_sensitivity: float = 0.35
     default_strategy: str = "auto"
+    default_shards: int | None = None
+    executor_kind: str = "thread"
+    max_parallel_queries: int = 8
 
     def validate(self) -> None:
         if not 0.0 < self.fragment_volume_cut < 1.0:
@@ -42,4 +55,16 @@ class DatabaseConfig:
         if self.switch_sensitivity < 0:
             raise ReproError(
                 f"switch_sensitivity must be non-negative, got {self.switch_sensitivity}"
+            )
+        if self.default_shards is not None and self.default_shards < 1:
+            raise ReproError(
+                f"default_shards must be positive, got {self.default_shards}"
+            )
+        if self.executor_kind not in ("serial", "thread", "process"):
+            raise ReproError(
+                f"executor_kind must be serial/thread/process, got {self.executor_kind!r}"
+            )
+        if self.max_parallel_queries < 1:
+            raise ReproError(
+                f"max_parallel_queries must be positive, got {self.max_parallel_queries}"
             )

@@ -67,6 +67,8 @@ class MMDatabase:
         self.model = make_model(self.config.model, **self.config.model_params)
         self.fragmented = None
         self._executor: FragmentedExecutor | None = None
+        self.sharded = None
+        self._pool = None
         self.feature_spaces: dict[str, FeatureSpace] = {}
         self.attributes: dict[str, BAT] = {}
 
@@ -96,6 +98,36 @@ class MMDatabase:
             self.fragmented, self.model,
             QualityCheck(sensitivity=self.config.switch_sensitivity),
         )
+
+    def shard(self, shards: int | None = None,
+              boundaries: list[int] | None = None,
+              balance: str = "docs") -> None:
+        """Partition the index into document-range shards (enables the
+        ``parallel`` strategy).  ``shards`` defaults to the config's
+        ``default_shards``, falling back to the
+        ``REPRO_PARALLEL_DEFAULT_SHARDS`` environment variable."""
+        from ..parallel import default_shard_count, shard_index
+
+        if shards is None and boundaries is None:
+            shards = self.config.default_shards or default_shard_count(fallback=2)
+        self.sharded = shard_index(self.index, shards=shards,
+                                   boundaries=boundaries, balance=balance)
+
+    def _parallel_pool(self):
+        from ..parallel import ExecutorPool
+
+        if self._pool is None:
+            self._pool = ExecutorPool(
+                workers=4, kind=self.config.executor_kind,
+                max_queries=self.config.max_parallel_queries,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the parallel executor pool, if one was started."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def add_feature_space(self, space: FeatureSpace, name: str | None = None) -> None:
         """Register a multimedia feature space over the documents."""
@@ -162,6 +194,9 @@ class MMDatabase:
         if mode not in ("any", "all"):
             raise ReproError(f"unknown query mode {mode!r}; have any/all")
         tids = self._terms_to_tids(query)
+        name = strategy if strategy is not None else self.config.default_strategy
+        if name == "parallel":
+            return self._parallel_search(tids, n)
         resolved = self._resolve_strategy(strategy)
         started = time.perf_counter()
         with CostCounter.activate() as cost:
@@ -176,6 +211,22 @@ class MMDatabase:
                     raise ReproError("database is not fragmented; call fragment() "
                                      "or use strategy='naive'")
                 result = self._executor.query(tids, n, resolved)
+        elapsed = time.perf_counter() - started
+        return SearchResult(result, tids, cost, elapsed, self.collection)
+
+    def _parallel_search(self, tids, n) -> SearchResult:
+        """Sharded parallel execution: admission-controlled, certified
+        distributed top-N (auto-shards on first use)."""
+        from ..parallel import parallel_topn
+
+        if self.sharded is None:
+            self.shard()
+        pool = self._parallel_pool()
+        started = time.perf_counter()
+        with CostCounter.activate() as cost:
+            with pool.admit():
+                result = parallel_topn(self.sharded, tids, self.model, n,
+                                       pool=pool)
         elapsed = time.perf_counter() - started
         return SearchResult(result, tids, cost, elapsed, self.collection)
 
@@ -380,4 +431,7 @@ class MMDatabase:
         if self.fragmented is not None:
             out["small_volume_share"] = self.fragmented.small_volume_share()
             out["small_vocabulary_share"] = self.fragmented.small_vocabulary_share()
+        if self.sharded is not None:
+            out["shards"] = self.sharded.n_shards
+            out["shard_skew"] = self.sharded.skew()
         return out

@@ -85,6 +85,26 @@ class SourceExhaustedError(TopNError):
     algorithm required more input."""
 
 
+class ParallelError(TopNError):
+    """Base class for errors raised by the sharded parallel execution
+    engine (:mod:`repro.parallel`)."""
+
+
+class ShardingError(ParallelError):
+    """A sharder received an invalid shard count or shard boundaries."""
+
+
+class AdmissionRejectedError(ParallelError):
+    """Admission control rejected a query: the executor pool already
+    runs its maximum number of in-flight queries, or the shard-task
+    queue bound would be exceeded.  Raised *instead of* queueing —
+    rejection is explicit, never silent."""
+
+
+class QueryCancelledError(ParallelError):
+    """A parallel query was cancelled before its result was resolved."""
+
+
 class WorkloadError(ReproError):
     """A workload/collection generator received invalid parameters."""
 

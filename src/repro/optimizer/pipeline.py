@@ -34,6 +34,8 @@ class OptimizationReport:
     #: plan-verifier findings (populated in ``verify=True`` mode); a
     #: :class:`repro.analysis.DiagnosticReport` or ``None``
     diagnostics: object = None
+    #: the optimizer's `parallel=K` plan property (None = serial)
+    parallel: int | None = None
 
     @property
     def original_estimate(self) -> PlanEstimate:
@@ -89,6 +91,9 @@ class Optimizer:
         intra_object_rules=None,
         cost_based: bool = True,
         verify: bool = False,
+        parallel: int | None = None,
+        shards=None,
+        merge_probe: bool = True,
     ) -> None:
         self.registry = registry or default_registry()
         self.cost_model = cost_model or CostModel()
@@ -103,6 +108,15 @@ class Optimizer:
         #: opt-in plan verification: lint the chosen plan and every
         #: trace step, and consult the rule-soundness verdicts
         self.verify = verify
+        #: the plan's `parallel=K` property: plans are verified as
+        #: running under the K-way distributed coordinator; the shard
+        #: declarations (var name -> ShardDeclaration) describe the
+        #: layout, and ``merge_probe`` whether the coordinator's
+        #: round-2 probe is enabled (shard-local cut-offs below the
+        #: global top-N are unsound without it — MOA601/602/603)
+        self.parallel = parallel
+        self.shards = dict(shards or {})
+        self.merge_probe = merge_probe
 
     def optimize(self, expr: Expr, env=None, verify: bool | None = None) -> OptimizationReport:
         """Rewrite ``expr`` through the three layers and pick the
@@ -156,7 +170,8 @@ class Optimizer:
                     chosen = min(reversed(estimates), key=lambda pair: pair[1].cost)[0]
                 else:
                     chosen = candidates[-1]
-            report = OptimizationReport(expr, chosen, trace, estimates)
+            report = OptimizationReport(expr, chosen, trace, estimates,
+                                        parallel=self.parallel)
             if do_verify:
                 with tracer.span("optimizer.verify"):
                     report.diagnostics = self._verify_report(report, env_types)
@@ -180,7 +195,9 @@ class Optimizer:
             make_diagnostic,
         )
 
-        context = AnalysisContext(env_types=env_types, registry=self.registry)
+        context = AnalysisContext(env_types=env_types, registry=self.registry,
+                                  shards=self.shards, parallel=self.parallel,
+                                  merge_probe=self.merge_probe)
         diagnostics = DiagnosticReport(source=str(report.original))
         diagnostics.extend(analyze_expr(report.optimized, context))
 

@@ -1,0 +1,127 @@
+"""The ``repro bench-parallel`` harness.
+
+Builds one synthetic database, runs a query batch through serial
+:func:`~repro.topn.naive.naive_topn`, then through the sharded
+coordinator at each requested shard count, and reports latency, access
+counts (the simulated :class:`~repro.storage.stats.CostCounter`), round
+structure, and — most importantly — whether every parallel answer is
+tie-aware-identical to the serial one and ``certified``.  The harness
+*always* verifies; a mismatch is a defect, never a statistic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..storage.stats import CostCounter
+from ..topn.naive import naive_topn
+from .coordinator import parallel_topn
+from .executor import ExecutorPool
+from .sharder import shard_index
+
+
+@dataclass
+class BenchRow:
+    """Aggregate measurements for one configuration over the batch."""
+
+    label: str
+    shards: int
+    queries: int
+    seconds: float
+    tuples_read: int
+    page_reads: int
+    probes: int = 0
+    probes_saved: int = 0
+    rounds_2: int = 0
+    items_shipped: int = 0
+    mismatches: int = 0
+    uncertified: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class BenchParallelReport:
+    """Everything ``repro bench-parallel`` prints."""
+
+    n: int
+    rows: list[BenchRow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every parallel run matched serial and certified."""
+        return all(row.mismatches == 0 and row.uncertified == 0
+                   for row in self.rows)
+
+    def to_dict(self) -> dict:
+        return {"n": self.n, "ok": self.ok,
+                "rows": [row.to_dict() for row in self.rows]}
+
+
+def _ranking_equal(serial, parallel) -> bool:
+    """Tie-aware identity: same ids in the same order, same scores."""
+    return (serial.doc_ids == parallel.doc_ids
+            and serial.scores == parallel.scores)
+
+
+def bench_parallel(
+    scale: float = 0.05,
+    seed: int = 7,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    queries: int = 10,
+    n: int = 10,
+    kind: str = "thread",
+    workers: int = 4,
+) -> BenchParallelReport:
+    """Run the comparison; see the module docstring."""
+    from ..core import MMDatabase
+    from ..workloads import SyntheticCollection, generate_queries, trec
+
+    collection = SyntheticCollection.generate(trec.ft_like(scale=scale, seed=seed))
+    db = MMDatabase.from_collection(collection)
+    batch = generate_queries(collection, n_queries=queries,
+                             terms_range=(2, 6), rare_bias=2.0, seed=seed + 1)
+    tid_lists = [list(query.term_ids) for query in batch]
+
+    report = BenchParallelReport(n=n)
+
+    # serial baseline
+    serial_results = []
+    with CostCounter.activate() as cost:
+        started = time.perf_counter()
+        for tids in tid_lists:
+            serial_results.append(naive_topn(db.index, tids, db.model, n))
+        elapsed = time.perf_counter() - started
+    report.rows.append(BenchRow(
+        label="serial", shards=1, queries=len(tid_lists), seconds=elapsed,
+        tuples_read=cost.tuples_read, page_reads=cost.page_reads,
+    ))
+
+    for k in shard_counts:
+        sharded = shard_index(db.index, shards=k)
+        row = BenchRow(label=f"parallel-{k}", shards=k,
+                       queries=len(tid_lists), seconds=0.0,
+                       tuples_read=0, page_reads=0)
+        with ExecutorPool(workers=workers, kind=kind,
+                          max_queries=max(4, queries)) as pool:
+            with CostCounter.activate() as cost:
+                started = time.perf_counter()
+                for tids, serial in zip(tid_lists, serial_results):
+                    with pool.admit():
+                        result = parallel_topn(sharded, tids, db.model, n,
+                                               pool=pool)
+                    row.probes += result.stats["probes"]
+                    row.probes_saved += result.stats["probes_saved"]
+                    row.rounds_2 += int(result.stats["rounds"] == 2)
+                    row.items_shipped += result.stats["items_shipped"]
+                    if not _ranking_equal(serial, result):
+                        row.mismatches += 1
+                    if result.certified is not True:
+                        row.uncertified += 1
+                row.seconds = time.perf_counter() - started
+        row.tuples_read = cost.tuples_read
+        row.page_reads = cost.page_reads
+        report.rows.append(row)
+    return report

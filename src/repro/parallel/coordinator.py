@@ -1,0 +1,395 @@
+"""Distributed top-N coordinator: a bounded two-round threshold merge.
+
+The naive way to parallelize top-N over K document-range shards is a
+*full gather*: every shard ships its complete local top-N and the
+coordinator merges K·N items.  Following the TPUT/TA family (Fagin's
+threshold administration applied across nodes instead of across
+sources), this coordinator does better:
+
+**Round 1** fetches only each shard's local top-``R`` with
+``R = min(n, ceil(n/K))`` — if load were perfectly balanced, the global
+top-N would draw ~``n/K`` items per shard.  The merged round-1 pool
+yields a *uniform threshold* ``τ``: the sort key of the n-th best item
+seen so far.
+
+**Round 2** probes a shard for its deeper items only when they could
+still matter.  Shards are doc-disjoint and every fetched list is
+locally sorted, so every unfetched item of shard *s* ranks strictly
+below ``L_s``, the last item shard *s* shipped.  If ``key(L_s) ≥ τ``
+the shard is *pruned* — none of its unfetched items can displace the
+current top-N — otherwise it is probed for its full local top-N.
+Probes that are still queued are re-checked against the live threshold
+just before running and skipped when earlier probes have already pushed
+``τ`` past them.
+
+Sort keys are the pairs ``(-score, obj_id)`` (ascending = better).
+Keys are unique, so the tie-aware boundary rule — smallest ids win on a
+tied boundary — is enforced by construction and the merged result is
+byte-identical to serial :func:`~repro.topn.naive.naive_topn`.
+
+The returned :class:`TopNResult` carries ``certified=True`` when every
+shard was exhausted, pruned by the threshold bound, or fully probed —
+i.e. the coordinator *proved* the answer equals the serial one.  With
+``probe=False`` (round 1 only) certification can fail; the result then
+says ``certified=False`` and ``safe=False``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ParallelError, QueryCancelledError
+from ..ir.ranking import ScoringModel, score_all
+from ..obs import metrics, tracer
+from ..storage import stats as _stats
+from ..topn.aggregates import SUM, AggregateFunction
+from ..topn.result import RankedItem, TopNResult
+from .executor import CancelToken, ExecutorPool, replay_cost
+from .sharder import ShardedIndex
+
+
+def _key(item: RankedItem) -> tuple[float, int]:
+    """Total-order sort key, ascending = better.  Unique per object."""
+    return (-item.score, item.obj_id)
+
+
+# -- shard evaluators -------------------------------------------------------
+
+
+@dataclass
+class ShardAnswer:
+    """One shard's reply to a fetch: its best ``depth`` items."""
+
+    shard_id: int
+    #: local items, best first (key-ascending)
+    items: list[RankedItem]
+    #: True when ``items`` is the shard's *complete* candidate ranking
+    exhausted: bool
+    #: the shard's total candidate count
+    candidates: int
+
+
+class IndexShardEvaluator:
+    """Evaluates one query against one index shard.
+
+    The full local ranking is computed once and cached, so a round-2
+    probe reuses round 1's work (thread/serial pools share memory; a
+    process pool recomputes on the worker — the documented cost of
+    opting into processes).
+    """
+
+    def __init__(self, shard, tids: list[int], model: ScoringModel) -> None:
+        self.shard_id = shard.shard_id
+        self.shard = shard
+        self.tids = list(tids)
+        self.model = model
+        self._ranked: list[RankedItem] | None = None
+
+    def _ranking(self) -> list[RankedItem]:
+        if self._ranked is None:
+            bat = score_all(self.shard.index, self.tids, self.model)
+            docs = bat.head_array().astype(np.int64)
+            scores = np.asarray(bat.tail, dtype=np.float64)
+            order = np.lexsort((docs, -scores))
+            self._ranked = [RankedItem(int(docs[i]), float(scores[i]))
+                            for i in order]
+        return self._ranked
+
+    def top(self, depth: int) -> ShardAnswer:
+        ranked = self._ranking()
+        return ShardAnswer(self.shard_id, ranked[:depth],
+                           exhausted=depth >= len(ranked),
+                           candidates=len(ranked))
+
+
+class SourceRangeEvaluator:
+    """Evaluates one object-range shard of Fagin-style graded sources
+    by exhaustive random access (the ``naive_topn_sources`` discipline,
+    restricted to ``[obj_lo, obj_hi)``)."""
+
+    def __init__(self, shard_id: int, sources: list, obj_lo: int, obj_hi: int,
+                 agg: AggregateFunction = SUM) -> None:
+        agg.validate_arity(len(sources))
+        self.shard_id = shard_id
+        self.sources = sources
+        self.obj_lo = obj_lo
+        self.obj_hi = obj_hi
+        self.agg = agg
+        self._ranked: list[RankedItem] | None = None
+
+    def _ranking(self) -> list[RankedItem]:
+        if self._ranked is None:
+            scored = []
+            for obj in range(self.obj_lo, self.obj_hi):
+                grades = [source.random_access(obj) for source in self.sources]
+                scored.append(RankedItem(obj, self.agg.combine(grades)))
+            scored.sort(key=_key)
+            self._ranked = scored
+        return self._ranked
+
+    def top(self, depth: int) -> ShardAnswer:
+        ranked = self._ranking()
+        return ShardAnswer(self.shard_id, ranked[:depth],
+                           exhausted=depth >= len(ranked),
+                           candidates=len(ranked))
+
+
+# -- sealed merge state -----------------------------------------------------
+
+
+@dataclass
+class _MergeState:
+    """The coordinator's candidate pool.  ``seal()`` makes it
+    permanently read-only: a cancelled or late shard task whose outcome
+    arrives after the result was resolved can never write into it."""
+
+    n: int
+    _items: dict[int, RankedItem] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    sealed: bool = False
+    rejected_writes: int = 0
+
+    def offer(self, items: list[RankedItem]) -> bool:
+        """Merge items in; returns False (and changes nothing) when
+        sealed.  Shards are object-disjoint but a probe re-ships its
+        shard's round-1 items, so merging dedupes by object id."""
+        with self._lock:
+            if self.sealed:
+                self.rejected_writes += 1
+                return False
+            for item in items:
+                self._items[item.obj_id] = item
+            return True
+
+    def tau(self) -> tuple[float, int] | None:
+        """The uniform threshold: key of the n-th best pooled item, or
+        ``None`` while fewer than n candidates are pooled."""
+        with self._lock:
+            if len(self._items) < self.n:
+                return None
+            return heapq.nsmallest(self.n, map(_key, self._items.values()))[-1]
+
+    def prunable(self, last_key: tuple[float, int] | None) -> bool:
+        """Whether a shard whose deepest shipped item has ``last_key``
+        can be pruned under the current threshold."""
+        if last_key is None:
+            return False
+        threshold = self.tau()
+        return threshold is not None and last_key >= threshold
+
+    def seal(self) -> list[RankedItem]:
+        """Freeze the pool and return the final top-n, best first."""
+        with self._lock:
+            self.sealed = True
+            return sorted(self._items.values(), key=_key)[: self.n]
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+# -- the coordinator --------------------------------------------------------
+
+
+def default_round1_fetch(n: int, k: int) -> int:
+    """Round-1 fetch depth: the balanced-load share ``ceil(n/k)``,
+    never more than ``n``."""
+    return min(n, max(1, math.ceil(n / k)))
+
+
+def coordinated_topn(
+    evaluators: list,
+    n: int,
+    pool: ExecutorPool | None = None,
+    round1_fetch: int | None = None,
+    probe: bool = True,
+    token: CancelToken | None = None,
+    strategy: str = "parallel",
+) -> TopNResult:
+    """Run the two-round bounded merge over shard evaluators.
+
+    Each evaluator answers ``top(depth) -> ShardAnswer``.  See the
+    module docstring for the protocol; ``probe=False`` stops after
+    round 1 and reports honest (possibly ``certified=False``) results.
+    """
+    if n < 1:
+        raise ParallelError(f"need n >= 1, got {n}")
+    if not evaluators:
+        raise ParallelError("need at least one shard evaluator")
+    own_pool = pool is None
+    pool = pool or ExecutorPool(kind="serial", max_queries=1)
+    token = token or CancelToken()
+    k = len(evaluators)
+    fetch = round1_fetch if round1_fetch is not None else default_round1_fetch(n, k)
+    fetch = min(max(1, fetch), n)
+    state = _MergeState(n)
+    last_key: list[tuple[float, int] | None] = [None] * k
+    exhausted = [False] * k
+    shipped = 0
+    candidates = 0
+
+    def _absorb(outcomes, idxs, round_no) -> None:
+        """Merge shard outcomes (``idxs`` maps outcome position to
+        evaluator index); per-shard spans carry the replayed cost."""
+        nonlocal shipped, candidates
+        for pos, outcome in enumerate(outcomes):
+            i = idxs[pos]
+            with tracer.span("parallel.shard", shard=evaluators[i].shard_id,
+                             round=round_no, status=outcome.status):
+                if outcome.status == "error":
+                    raise outcome.error
+                if outcome.status == "cancelled":
+                    raise QueryCancelledError(
+                        f"shard task {evaluators[i].shard_id} cancelled in "
+                        f"round {round_no}")
+                if outcome.status == "skipped":
+                    continue
+                if not outcome.already_charged:
+                    replay_cost(outcome.cost)
+                answer: ShardAnswer = outcome.payload
+                state.offer(answer.items)
+                # the coordinator touches every shipped item once to
+                # merge it — model that transfer as tuple reads
+                _stats.charge_tuples_read(len(answer.items))
+                shipped += len(answer.items)
+                if round_no == 1:
+                    candidates += answer.candidates
+                if answer.items:
+                    last_key[i] = _key(answer.items[-1])
+                if answer.exhausted:
+                    exhausted[i] = True
+                tracer.annotate(items=len(answer.items),
+                                exhausted=answer.exhausted)
+
+    try:
+        with tracer.span(f"topn.{strategy}", n=n, shards=k, fetch=fetch):
+            # -- round 1: bounded fetch from every shard ------------------
+            with tracer.span("parallel.round", round=1, fetch=fetch):
+                outcomes = pool.run_tasks(
+                    [lambda e=e: e.top(fetch) for e in evaluators], token=token)
+                _absorb(outcomes, idxs=list(range(k)), round_no=1)
+
+            # -- threshold: which shards could still matter? --------------
+            need = [i for i in range(k)
+                    if not exhausted[i] and not state.prunable(last_key[i])]
+            rounds = 1
+            live_skipped = 0
+            probed = 0
+            if need and probe:
+                rounds = 2
+
+                def probe_shard(evaluator) -> ShardAnswer:
+                    # merge into the pool as soon as the probe finishes
+                    # (offer is locked and dedupes), so the threshold
+                    # advances while later probes are still queued
+                    answer = evaluator.top(n)
+                    state.offer(answer.items)
+                    return answer
+
+                with tracer.span("parallel.round", round=2, probes=len(need)):
+                    # a queued probe is re-checked against the *live*
+                    # threshold just before it runs: earlier probes may
+                    # have pushed tau past it — this is how a query whose
+                    # top-N is already resolved stops its remaining tasks
+                    probes = pool.run_tasks(
+                        [lambda e=evaluators[i]: probe_shard(e) for i in need],
+                        token=token,
+                        skip_when=lambda j: state.prunable(last_key[need[j]]),
+                    )
+                    live_skipped = sum(1 for o in probes if o.status == "skipped")
+                    probed = sum(1 for o in probes if o.status == "done")
+                    _absorb(probes, idxs=need, round_no=2)
+
+            items = state.seal()
+            certified = probe or all(
+                exhausted[i] or state.prunable(last_key[i]) for i in range(k))
+            metrics.counter("parallel.rounds").inc(rounds)
+            metrics.counter("parallel.probes").inc(probed)
+            metrics.counter("parallel.probes_saved").inc(k - probed)
+            tracer.annotate(rounds=rounds, probes=probed,
+                            probes_saved=k - probed, certified=certified)
+            return TopNResult(
+                items, n, strategy=strategy, safe=certified,
+                stats={
+                    "shards": k,
+                    "rounds": rounds,
+                    "round1_fetch": fetch,
+                    "probes": probed,
+                    "probes_saved": k - probed,
+                    "live_skipped": live_skipped,
+                    "full_gather_probes": k,
+                    "items_shipped": shipped,
+                    "candidates": candidates,
+                },
+                certified=certified,
+            )
+    finally:
+        token.cancel()  # resolved (or failed): stop any straggler tasks
+        if own_pool:
+            pool.close()
+
+
+# -- public entry points ----------------------------------------------------
+
+
+def parallel_topn(
+    sharded: ShardedIndex,
+    tids: list[int],
+    model: ScoringModel,
+    n: int,
+    pool: ExecutorPool | None = None,
+    round1_fetch: int | None = None,
+    probe: bool = True,
+    token: CancelToken | None = None,
+) -> TopNResult:
+    """Sharded parallel top-N over an inverted index.
+
+    Tie-aware-identical to serial :func:`~repro.topn.naive.naive_topn`
+    on the same index: shards share the full index's global statistics,
+    so per-document scores are bitwise equal, and the coordinator's
+    unique sort keys reproduce the serial boundary rule.
+    """
+    metrics.set_gauge("parallel.shard_skew", sharded.skew())
+    evaluators = [IndexShardEvaluator(shard, tids, model)
+                  for shard in sharded.shards]
+    result = coordinated_topn(evaluators, n, pool=pool,
+                              round1_fetch=round1_fetch, probe=probe,
+                              token=token, strategy="parallel")
+    result.stats["shard_skew"] = sharded.skew()
+    return result
+
+
+def parallel_topn_sources(
+    sources: list,
+    n: int,
+    shards: int = 2,
+    boundaries: list[int] | None = None,
+    agg: AggregateFunction = SUM,
+    pool: ExecutorPool | None = None,
+    round1_fetch: int | None = None,
+    probe: bool = True,
+    token: CancelToken | None = None,
+) -> TopNResult:
+    """Sharded parallel top-N over Fagin-style graded sources: the
+    object id space is split into contiguous ranges, one exhaustive
+    range evaluator per shard."""
+    n_objects = max((source.n_objects for source in sources), default=0)
+    if boundaries is None:
+        if shards < 1:
+            raise ParallelError(f"need a positive shard count, got {shards}")
+        boundaries = [round(i * n_objects / shards) for i in range(shards + 1)]
+    if boundaries[0] != 0 or boundaries[-1] != n_objects:
+        raise ParallelError(
+            f"boundaries must run from 0 to n_objects={n_objects}, got {boundaries}")
+    evaluators = [
+        SourceRangeEvaluator(i, sources, lo, hi, agg=agg)
+        for i, (lo, hi) in enumerate(zip(boundaries, boundaries[1:]))
+    ]
+    return coordinated_topn(evaluators, n, pool=pool,
+                            round1_fetch=round1_fetch, probe=probe,
+                            token=token, strategy="parallel-sources")

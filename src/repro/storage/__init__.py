@@ -7,7 +7,12 @@ Public surface:
   sorts, top-N, aggregates) with simulated cost accounting;
 * :class:`~repro.storage.buffer.BufferManager` — page-granular LRU
   buffer simulation;
-* :class:`~repro.storage.stats.CostCounter` — scoped cost counters;
+* :class:`~repro.storage.stats.CostCounter` — scoped cost counters
+  (runtime cost accounting);
+* :mod:`~repro.storage.statistics` — offline *column* statistics (zone
+  maps, equi-depth histograms) for the cost model — not to be confused
+  with ``stats``; both modules carry deprecation shims that forward
+  (and warn on) lookups that land in the wrong one;
 * :class:`~repro.storage.index.SparseIndex` /
   :class:`~repro.storage.index.HashIndex` — the paper's non-dense index
   and its dense counterpart;
@@ -27,7 +32,7 @@ from .statistics import (
     analyze_column,
 )
 from .stats import CostCounter
-from . import kernel, stats
+from . import kernel, statistics, stats
 
 __all__ = [
     "BAT",
@@ -44,5 +49,6 @@ __all__ = [
     "get_buffer_manager",
     "set_buffer_manager",
     "kernel",
+    "statistics",
     "stats",
 ]

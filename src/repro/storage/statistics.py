@@ -179,3 +179,36 @@ class StatisticsRegistry:
                 if value.bat.tail_dtype_kind != "U" and len(value.bat):
                     self.put(name, analyze_column(value.bat, n_buckets))
         return self
+
+
+# -- deprecation shim -------------------------------------------------------
+#
+# The mirror of the shim in repro.storage.stats: cost-accounting names
+# looked up here are forwarded to repro.storage.stats with a warning.
+
+_COST_NAMES = frozenset({
+    "CostCounter",
+    "active_counters",
+    "charge_buffer_hits",
+    "charge_comparisons",
+    "charge_extra",
+    "charge_page_reads",
+    "charge_page_writes",
+    "charge_random_accesses",
+    "charge_sorted_accesses",
+    "charge_tuples_read",
+    "charge_tuples_written",
+})
+
+
+def __getattr__(name: str):
+    if name in _COST_NAMES:
+        import warnings
+
+        warnings.warn(
+            f"repro.storage.statistics.{name} is cost accounting, not "
+            f"column statistics: import it from repro.storage.stats instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return getattr(_stats, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,149 @@
+"""Tests for document-range sharding of the inverted index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardingError
+from repro.ir import BM25, InvertedIndex
+from repro.ir.ranking import score_all
+from repro.parallel import shard_index
+from repro.workloads import SyntheticCollection, generate_queries, trec
+
+
+@pytest.fixture(scope="module")
+def index():
+    collection = SyntheticCollection.generate(trec.tiny(seed=11))
+    return InvertedIndex.build(collection)
+
+
+class TestBoundaries:
+    def test_even_split(self, index):
+        sharded = shard_index(index, shards=4)
+        assert sharded.n_shards == 4
+        assert sharded.boundaries[0] == 0
+        assert sharded.boundaries[-1] == index.n_docs
+        assert sharded.boundaries == sorted(sharded.boundaries)
+        assert sum(s.n_docs for s in sharded.shards) == index.n_docs
+
+    def test_postings_are_partitioned(self, index):
+        sharded = shard_index(index, shards=3)
+        assert sum(sharded.postings_per_shard()) == index.total_postings()
+        for shard in sharded.shards:
+            docs = shard.index.postings_docs.tail
+            if len(docs):
+                assert docs.min() >= shard.doc_lo
+                assert docs.max() < shard.doc_hi
+
+    def test_explicit_boundaries_override(self, index):
+        n = index.n_docs
+        sharded = shard_index(index, boundaries=[0, 1, n])
+        assert sharded.shards[0].n_docs == 1
+        assert sharded.shards[1].n_docs == n - 1
+
+    def test_postings_balance_mode(self, index):
+        sharded = shard_index(index, shards=3, balance="postings")
+        per_shard = sharded.postings_per_shard()
+        assert sum(per_shard) == index.total_postings()
+        # each shard carries a nontrivial share of the postings volume
+        even = index.total_postings() / 3
+        assert max(per_shard) <= 2 * even
+
+    @pytest.mark.parametrize("boundaries", [
+        [5, 10],            # does not start at 0
+        [0, 5],             # does not end at n_docs
+        [0],                # too short
+    ])
+    def test_bad_boundaries_rejected(self, index, boundaries):
+        assert index.n_docs not in (5, 10)
+        with pytest.raises(ShardingError):
+            shard_index(index, boundaries=boundaries)
+
+    def test_descending_boundaries_rejected(self, index):
+        n = index.n_docs
+        with pytest.raises(ShardingError):
+            shard_index(index, boundaries=[0, n // 2, n // 4, n])
+
+    @pytest.mark.parametrize("shards", [0, -2, None])
+    def test_bad_shard_count_rejected(self, index, shards):
+        with pytest.raises(ShardingError):
+            shard_index(index, shards=shards)
+
+    def test_unknown_balance_mode_rejected(self, index):
+        with pytest.raises(ShardingError):
+            shard_index(index, shards=2, balance="bogus")
+
+    def test_non_index_rejected(self):
+        with pytest.raises(ShardingError):
+            shard_index([1, 2, 3], shards=2)
+
+    def test_fragmented_index_wrapper_accepted(self, index):
+        class Wrapper:
+            full = index
+
+        sharded = shard_index(Wrapper(), shards=2)
+        assert sharded.full is index
+
+
+class TestShardLookup:
+    def test_shard_of_covers_every_doc(self, index):
+        sharded = shard_index(index, shards=5)
+        for doc in range(index.n_docs):
+            shard = sharded.shard_of(doc)
+            assert shard.doc_lo <= doc < shard.doc_hi
+
+    def test_shard_of_out_of_range(self, index):
+        sharded = shard_index(index, shards=2)
+        with pytest.raises(ShardingError):
+            sharded.shard_of(index.n_docs)
+        with pytest.raises(ShardingError):
+            sharded.shard_of(-1)
+
+    def test_empty_shard(self, index):
+        n = index.n_docs
+        sharded = shard_index(index, boundaries=[0, 0, n])
+        empty = sharded.shards[0]
+        assert empty.n_docs == 0
+        assert empty.n_postings == 0
+        assert sharded.shard_of(0).shard_id == 1
+
+    def test_skew(self, index):
+        even = shard_index(index, shards=2)
+        assert even.skew() >= 1.0
+        lopsided = shard_index(index, boundaries=[0, index.n_docs - 1,
+                                                  index.n_docs])
+        assert lopsided.skew() > even.skew()
+
+
+class TestShardStatistics:
+    def test_local_df_sums_to_global(self, index):
+        sharded = shard_index(index, shards=4)
+        local = np.sum([s.local_df for s in sharded.shards], axis=0)
+        global_df = np.array([index.term_stats(t).df for t in range(index.n_terms)])
+        assert np.array_equal(local, global_df)
+
+    def test_global_df_visible_in_shards(self, index):
+        """Shards share the global vocabulary: idf inputs are global."""
+        sharded = shard_index(index, shards=3)
+        tid = int(np.argmax([index.term_stats(t).df
+                             for t in range(index.n_terms)]))
+        for shard in sharded.shards:
+            assert shard.index.term_stats(tid).df == index.term_stats(tid).df
+            local = shard.local_term_stats(tid)
+            assert local.df == shard.local_df[tid]
+            assert local.df <= index.term_stats(tid).df
+
+    def test_score_upper_bound_dominates_shard_scores(self, index):
+        collection = SyntheticCollection.generate(trec.tiny(seed=11))
+        query = generate_queries(collection, n_queries=1, seed=5).queries[0]
+        tids = list(query.term_ids)
+        model = BM25()
+        sharded = shard_index(index, shards=3)
+        for shard in sharded.shards:
+            bound = shard.score_upper_bound(model, tids)
+            bat = score_all(shard.index, tids, model)
+            if len(bat):
+                assert bound >= float(np.max(bat.tail)) - 1e-9
+
+    def test_empty_shard_upper_bound_is_zero(self, index):
+        sharded = shard_index(index, boundaries=[0, 0, index.n_docs])
+        assert sharded.shards[0].score_upper_bound(BM25(), [0, 1]) == 0.0

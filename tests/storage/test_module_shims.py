@@ -1,0 +1,58 @@
+"""The stats / statistics module split: both re-exported from the
+package, with deprecation shims forwarding misdirected lookups.
+
+``repro.storage.stats`` holds runtime cost counters and
+``repro.storage.statistics`` offline column statistics; historically
+callers confused the two, so each module forwards (and warns on) names
+that live in the other.
+"""
+
+import pytest
+
+import repro.storage as storage
+from repro.storage import statistics, stats
+
+
+class TestPackageSurface:
+    def test_both_modules_re_exported(self):
+        assert storage.stats is stats
+        assert storage.statistics is statistics
+        assert "stats" in storage.__all__
+        assert "statistics" in storage.__all__
+
+    def test_flagship_classes_at_package_level(self):
+        assert storage.CostCounter is stats.CostCounter
+        assert storage.ZoneMap is statistics.ZoneMap
+
+
+class TestDeprecationShims:
+    @pytest.mark.parametrize("name", [
+        "ZoneMap", "EquiDepthHistogram", "ColumnStatistics",
+        "StatisticsRegistry", "analyze_column",
+    ])
+    def test_stats_forwards_statistics_names(self, name):
+        with pytest.warns(DeprecationWarning, match="repro.storage.statistics"):
+            forwarded = getattr(stats, name)
+        assert forwarded is getattr(statistics, name)
+
+    @pytest.mark.parametrize("name", [
+        "CostCounter", "active_counters", "charge_tuples_read",
+        "charge_page_reads",
+    ])
+    def test_statistics_forwards_cost_names(self, name):
+        with pytest.warns(DeprecationWarning, match="repro.storage.stats"):
+            forwarded = getattr(statistics, name)
+        assert forwarded is getattr(stats, name)
+
+    def test_unknown_names_still_raise(self):
+        with pytest.raises(AttributeError):
+            stats.definitely_not_a_name
+        with pytest.raises(AttributeError):
+            statistics.definitely_not_a_name
+
+    def test_native_names_do_not_warn(self, recwarn):
+        assert stats.CostCounter is storage.CostCounter
+        assert statistics.ZoneMap is storage.ZoneMap
+        deprecations = [w for w in recwarn.list
+                        if issubclass(w.category, DeprecationWarning)]
+        assert deprecations == []

@@ -47,6 +47,7 @@ from repro.topn import (
     stop_after_filter,
     threshold_topn,
 )
+from repro.parallel import parallel_topn, parallel_topn_sources, shard_index
 from repro.workloads import SyntheticCollection, generate_queries, trec
 
 N_OBJECTS = 300
@@ -209,6 +210,100 @@ class TestStopAfterConformance:
                                        policy="aggressive")
         assert aggressive.same_ranking(conservative)
         assert score_multiset(aggressive.scores) == score_multiset(conservative.scores)
+
+
+class TestParallelConformance:
+    """The sharded parallel engine is *exactly* (tie-aware) the serial
+    answer: identical ids and scores on every corpus shape and shard
+    count — the certified two-round merge, unlike early-stopping
+    engines, reproduces naive's boundary rule byte for byte."""
+
+    SHARD_COUNTS = [1, 2, 4, 7]
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_parallel_is_exactly_serial(self, shape, shards):
+        matrix = corpus(shape, seed=1)
+        reference = naive_topn_sources(make_sources(matrix), 10, SUM)
+        result = parallel_topn_sources(make_sources(matrix), 10, shards=shards)
+        assert result.doc_ids == reference.doc_ids
+        assert [round(s, 12) for s in result.scores] \
+            == [round(s, 12) for s in reference.scores]
+        assert result.certified is True
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_parallel_agrees_with_ta(self, shape):
+        """Against the early-stopping family the usual tie-aware
+        comparison applies: same score multiset, exact agreement above
+        the tied boundary."""
+        matrix = corpus(shape, seed=2)
+        ta = threshold_topn(make_sources(matrix), 10, SUM)
+        result = parallel_topn_sources(make_sources(matrix), 10, shards=4)
+        assert score_multiset(result.scores) == score_multiset(ta.scores)
+        assert above_boundary(result) == above_boundary(ta)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_skewed_sharding(self, shape):
+        """~90% of the objects on one shard: load skew must not change
+        the answer (only the probe pattern)."""
+        matrix = corpus(shape, seed=3)
+        reference = naive_topn_sources(make_sources(matrix), 10, SUM)
+        boundaries = [0, 270, 280, 290, N_OBJECTS]
+        result = parallel_topn_sources(make_sources(matrix), 10,
+                                       boundaries=boundaries)
+        assert result.doc_ids == reference.doc_ids
+        assert result.certified is True
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_empty_shard(self, shape):
+        matrix = corpus(shape, seed=4)
+        reference = naive_topn_sources(make_sources(matrix), 10, SUM)
+        boundaries = [0, 0, 150, N_OBJECTS]
+        result = parallel_topn_sources(make_sources(matrix), 10,
+                                       boundaries=boundaries)
+        assert result.doc_ids == reference.doc_ids
+        assert result.certified is True
+
+
+class TestParallelIndexConformance:
+    """Sharded parallel search over the inverted index reproduces
+    serial naive_topn exactly for every shard count, including a
+    deliberately skewed and an empty shard."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        collection = SyntheticCollection.generate(trec.tiny(seed=33))
+        index = InvertedIndex.build(collection)
+        queries = generate_queries(collection, n_queries=6,
+                                   terms_range=(3, 7), seed=9)
+        return index, BM25(), queries
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7])
+    def test_matches_naive_for_every_query(self, setup, shards):
+        index, model, queries = setup
+        sharded = shard_index(index, shards=shards)
+        for query in queries.queries:
+            tids = list(query.term_ids)
+            exact = naive_topn(index, tids, model, 10)
+            result = parallel_topn(sharded, tids, model, 10)
+            assert result.doc_ids == exact.doc_ids
+            assert result.scores == exact.scores
+            assert result.certified is True
+
+    @pytest.mark.parametrize("boundaries_of", [
+        lambda n: [0, max(1, int(n * 0.9)), n],       # ~90% on shard 0
+        lambda n: [0, 0, n // 2, n],                   # leading empty shard
+    ])
+    def test_degenerate_layouts(self, setup, boundaries_of):
+        index, model, queries = setup
+        sharded = shard_index(index, boundaries=boundaries_of(index.n_docs))
+        for query in queries.queries:
+            tids = list(query.term_ids)
+            exact = naive_topn(index, tids, model, 10)
+            result = parallel_topn(sharded, tids, model, 10)
+            assert result.doc_ids == exact.doc_ids
+            assert result.scores == exact.scores
+            assert result.certified is True
 
 
 class TestSafeModeQuitContinue:
