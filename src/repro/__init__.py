@@ -41,10 +41,15 @@ Quickstart::
 """
 
 from .errors import ReproError
+from . import sync as _sync
 
 __version__ = "1.0.0"
 
 __all__ = ["ReproError", "__version__"]
+
+# opt-in race sanitizer: REPRO_SANITIZE=1 instruments declared shared
+# state before any class is instantiated (free when the env var is off)
+_sync.auto_install()
 
 
 def __getattr__(name):

@@ -16,7 +16,10 @@ The correctness tooling around the optimizer (see ``docs/API.md``,
 * :mod:`~repro.analysis.soundness` — the differential rewrite-rule
   soundness harness and the verified safety-label cache;
 * :mod:`~repro.analysis.lint` — ``repro lint`` entry points and the
-  seeded unsafe ``stop_after`` pushdown exemplar.
+  seeded unsafe ``stop_after`` pushdown exemplar;
+* :mod:`~repro.analysis.concurrency` — the ``repro check`` pass:
+  AST-based effect inference over the Python codebase itself plus a
+  lock-discipline / race analyzer (the ``MOA7xx`` family).
 """
 
 from .analyzers import (
@@ -37,9 +40,23 @@ from .analyzers import (
     classify_cutoffs,
 )
 from .codes import CODES, SEVERITIES, DiagnosticCode, all_codes, code_info
+from .concurrency import (
+    WORKER_ROOTS,
+    analyze_effects,
+    check_package,
+    check_paths,
+    effect_summary,
+    infer_module_effects,
+    infer_package_effects,
+)
 from .diagnostics import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
     Diagnostic,
     DiagnosticReport,
+    cli_payload,
+    exit_code_for,
     format_path,
     make_diagnostic,
     severity_rank,
@@ -78,6 +95,9 @@ __all__ = [
     "CutoffSafetyAnalyzer",
     "DEFAULT_ANALYZERS",
     "DEMO_EXPRESSION",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
     "Diagnostic",
     "DiagnosticCode",
     "DiagnosticReport",
@@ -93,17 +113,26 @@ __all__ = [
     "SoundnessHarness",
     "TypeSoundnessAnalyzer",
     "UnsafeStopAfterPushdown",
+    "WORKER_ROOTS",
     "all_codes",
+    "analyze_effects",
     "analyze_expr",
     "apply_rule_somewhere",
+    "check_package",
+    "check_paths",
     "check_rewrite_step",
     "classify_cutoffs",
     "clear_verified_cache",
+    "cli_payload",
     "code_info",
     "default_corpus",
+    "effect_summary",
+    "exit_code_for",
     "demo_unsafe_rewrite",
     "ensure_verified",
     "format_path",
+    "infer_module_effects",
+    "infer_package_effects",
     "infer_properties",
     "lint_expr",
     "lint_file",

@@ -9,7 +9,9 @@ from this table (``MOA001``...).  Codes are grouped by hundreds:
 * ``MOA3xx`` — cardinality monotonicity;
 * ``MOA4xx`` — fragment coverage of fragmented scans;
 * ``MOA5xx`` — rewrite-framework health (budget exhaustion etc.);
-* ``MOA6xx`` — shard safety of parallel plans.
+* ``MOA6xx`` — shard safety of parallel plans;
+* ``MOA7xx`` — concurrency effects and lock discipline of the Python
+  codebase itself (the ``repro check`` analyzer).
 
 Tests assert that the table has no duplicate codes and that every code
 emitted anywhere in the analysis package is registered here, so the
@@ -65,7 +67,7 @@ CODES: dict[str, DiagnosticCode] = _build_table(
         "analysis environment.",
     ),
     DiagnosticCode(
-        "MOA003", "unknown operator", "error",
+        "MOA003", "unknown operator for the input extension", "error",
         "No registered extension provides the named operator for the "
         "receiver's structure type (e.g. `slice` dispatched on a BAG, "
         "which has no element order to slice).",
@@ -157,6 +159,50 @@ CODES: dict[str, DiagnosticCode] = _build_table(
         "The plan declares a `parallel=K` property that does not match the "
         "number of declared shards: the executor pool would idle workers "
         "or serialize shard tasks.",
+    ),
+    # -- concurrency effects / lock discipline (repro check) -----------------
+    DiagnosticCode(
+        "MOA701", "unguarded write to declared shared state", "error",
+        "A method writes an attribute declared in `SHARED_STATE` without "
+        "holding the declared lock (neither a `with self.<lock>:` scope "
+        "nor a `@guarded_by` declaration covers the write site).  Under "
+        "the thread executor the write can interleave with readers and "
+        "silently corrupt merge bookkeeping — exactly the exactness "
+        "Fagin-style threshold certification depends on.",
+    ),
+    DiagnosticCode(
+        "MOA702", "shared mutable state without a declaration", "error",
+        "A class or module on the parallel worker paths mutates state "
+        "after construction (a lock-owning class, a module-level "
+        "singleton, or a module global) but declares no `SHARED_STATE` "
+        "entry for it.  Undeclared shared state is unverifiable: declare "
+        "a guarding lock, `<thread-confined>`, `<barrier>` or `<config>`.",
+    ),
+    DiagnosticCode(
+        "MOA703", "lock-order inversion", "error",
+        "Two locks are acquired in opposite nesting orders on different "
+        "code paths.  Once both paths run concurrently each can hold one "
+        "lock while waiting for the other: a deadlock waiting to happen.",
+    ),
+    DiagnosticCode(
+        "MOA704", "write to sealed state without consulting the seal", "error",
+        "A method mutates an attribute declared in `SEALED_BY` without "
+        "reading the seal flag first.  The seal discipline (e.g. the "
+        "coordinator's merge pool) requires checking the flag under the "
+        "lock before every write, so a late shard task can never write "
+        "into a result that was already resolved.",
+    ),
+    DiagnosticCode(
+        "MOA705", "concurrency declaration references an unknown lock", "warning",
+        "A `SHARED_STATE` entry or `@guarded_by` decorator names a lock "
+        "attribute the class never defines: the declaration is "
+        "unenforceable and probably a typo.",
+    ),
+    DiagnosticCode(
+        "MOA706", "lock held around no declared shared state", "info",
+        "A lock is acquired in a scope that writes no declared shared "
+        "state: either the declaration is missing or the critical "
+        "section is dead weight.",
     ),
 )
 

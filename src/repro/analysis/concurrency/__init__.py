@@ -1,0 +1,39 @@
+"""Concurrency effect analysis and lock-discipline checking.
+
+Extends the plan verifier's static-analysis approach from algebra
+plans to the Python codebase itself: :mod:`.effects` infers per-
+function concurrency effects from the AST, :mod:`.races` checks them
+against the :mod:`repro.sync` declaration protocol (the ``MOA7xx``
+family), and :mod:`.check` packages both as the ``repro check``
+command.
+"""
+
+from .check import check_package, check_paths, effect_summary
+from .effects import (
+    ClassEffects,
+    FunctionEffects,
+    LockAcquisition,
+    ModuleEffects,
+    WriteSite,
+    infer_module_effects,
+    infer_package_effects,
+    summarize_effects,
+)
+from .races import WORKER_ROOTS, analyze_effects, reachable_modules
+
+__all__ = [
+    "WORKER_ROOTS",
+    "ClassEffects",
+    "FunctionEffects",
+    "LockAcquisition",
+    "ModuleEffects",
+    "WriteSite",
+    "analyze_effects",
+    "check_package",
+    "check_paths",
+    "effect_summary",
+    "infer_module_effects",
+    "infer_package_effects",
+    "reachable_modules",
+    "summarize_effects",
+]

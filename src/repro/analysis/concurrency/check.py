@@ -1,0 +1,67 @@
+"""Entry points tying effect inference and race analysis together.
+
+``check_package()`` runs the whole pass over the installed ``repro``
+package (the default of the ``repro check`` CLI); ``check_paths()``
+runs it over an explicit list of files or directories — used for the
+seeded-race fixtures and for auditing code outside the package.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..diagnostics import DiagnosticReport
+from .effects import infer_module_effects, infer_package_effects, summarize_effects
+from .races import analyze_effects
+
+__all__ = ["check_package", "check_paths", "effect_summary"]
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def check_package(root=None) -> DiagnosticReport:
+    """Analyze the installed package (or the package at ``root``)."""
+    root = Path(root) if root is not None else _package_root()
+    modules = infer_package_effects(root, package=root.name)
+    report = analyze_effects(modules)
+    report.source = f"package {root.name}"
+    return report
+
+
+def _iter_files(paths):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def check_paths(paths) -> DiagnosticReport:
+    """Analyze an explicit list of files/directories (all in scope)."""
+    modules = {}
+    for path in _iter_files(paths):
+        name = path.stem if path.stem != "__init__" else path.parent.name
+        # explicit paths may repeat stems; disambiguate by full path
+        key = name if name not in modules else str(path)
+        modules[key] = infer_module_effects(path, name)
+    report = analyze_effects(modules, all_in_scope=True)
+    report.source = ", ".join(str(p) for p in paths)
+    return report
+
+
+def effect_summary(root=None, paths=None) -> dict:
+    """The ``--effects`` view: JSON-able per-module effect summaries."""
+    if paths:
+        modules = {}
+        for path in _iter_files(paths):
+            name = path.stem if path.stem != "__init__" else path.parent.name
+            key = name if name not in modules else str(path)
+            modules[key] = infer_module_effects(path, name)
+        return summarize_effects(modules)
+    root = Path(root) if root is not None else _package_root()
+    return summarize_effects(infer_package_effects(root, package=root.name))

@@ -42,7 +42,13 @@ def subexpr_at(expr, path: ExprPath):
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One finding: a stable code, severity, message and location."""
+    """One finding: a stable code, severity, message and location.
+
+    Plan diagnostics locate themselves with an expression ``path``;
+    source-level diagnostics (the concurrency analyzer) carry a
+    ``site`` (``file.py:line``) instead, which then takes over as the
+    rendered location.
+    """
 
     code: str
     severity: str
@@ -52,6 +58,8 @@ class Diagnostic:
     expr: str = ""
     #: name of the rewrite rule involved, for step diagnostics
     rule: str | None = None
+    #: source location (``file.py:line``) for code-level findings
+    site: str | None = None
 
     def __post_init__(self) -> None:
         code_info(self.code)  # KeyError on unregistered codes
@@ -59,6 +67,8 @@ class Diagnostic:
 
     @property
     def location(self) -> str:
+        if self.site is not None:
+            return self.site
         return format_path(self.path)
 
     def to_dict(self) -> dict:
@@ -72,6 +82,8 @@ class Diagnostic:
         }
         if self.rule is not None:
             out["rule"] = self.rule
+        if self.site is not None:
+            out["site"] = self.site
         return out
 
     def render(self) -> str:
@@ -87,6 +99,7 @@ def make_diagnostic(
     expr="",
     rule: str | None = None,
     severity: str | None = None,
+    site: str | None = None,
 ) -> Diagnostic:
     """Build a diagnostic, defaulting severity from the code registry."""
     info = code_info(code)
@@ -97,6 +110,7 @@ def make_diagnostic(
         path=tuple(path),
         expr=str(expr),
         rule=rule,
+        site=site,
     )
 
 
@@ -143,9 +157,9 @@ class DiagnosticReport:
 
     # -- rendering ---------------------------------------------------------
 
-    def render_text(self) -> str:
+    def render_text(self, label: str = "lint") -> str:
         """Human-readable multi-line report."""
-        header = f"lint {self.source}" if self.source else "lint"
+        header = f"{label} {self.source}" if self.source else label
         if not self.diagnostics:
             return f"{header}: clean (no diagnostics)"
         lines = [f"{header}: {self._summary()}"]
@@ -173,3 +187,37 @@ class DiagnosticReport:
         parts = [f"{n} {severity}(s)" for severity, n in reversed(counts.items())
                  if n] or ["clean"]
         return ", ".join(parts)
+
+
+# -- the shared CLI diagnostics contract ------------------------------------
+#
+# ``repro lint`` and ``repro check`` share one exit-code contract and
+# one --json payload shape (documented in docs/API.md, "CLI
+# diagnostics contract"):
+#
+# * exit 0 — clean, or findings below error severity only;
+# * exit 1 — at least one error-severity finding (or a failed verdict);
+# * exit 2 — usage error (nothing to do, unreadable input).
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def exit_code_for(reports) -> int:
+    """The contract exit code for a list of reports (0 or 1)."""
+    return EXIT_FINDINGS if any(r.has_errors for r in reports) else EXIT_CLEAN
+
+
+def cli_payload(command: str, reports, exit_code: int | None = None, **extra) -> dict:
+    """The shared ``--json`` payload for a diagnostics command."""
+    reports = list(reports)
+    severities = [r.max_severity for r in reports if r.max_severity is not None]
+    payload = {
+        "command": command,
+        "reports": [r.to_dict() for r in reports],
+        "max_severity": (max(severities, key=severity_rank) if severities else None),
+        "exit_code": exit_code_for(reports) if exit_code is None else exit_code,
+    }
+    payload.update(extra)
+    return payload

@@ -9,6 +9,8 @@ Commands
                 paper-vs-measured table
 ``example1``    the paper's Example 1 through the optimizer
 ``lint``        statically verify algebra plans (the plan verifier)
+``check``       run the concurrency effect / lock-discipline analyzer
+                over the package (or explicit paths)
 ``profile``     run a query or bench scenario under the execution
                 tracer and print the span-tree cost breakdown
 ``bench-parallel``  compare the sharded parallel engine against the
@@ -79,6 +81,26 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--verify-rules", action="store_true",
                       help="run the soundness harness over the default "
                            "optimizer rules of all three layers")
+
+    check = sub.add_parser(
+        "check",
+        help="statically verify the codebase's concurrency discipline",
+        description="Run the concurrency effect analyzer: infer per-"
+                    "function effects (shared-state writes, lock "
+                    "acquisitions, thread spawns) over Python sources and "
+                    "check them against the repro.sync declaration "
+                    "protocol (SHARED_STATE / @guarded_by), reporting "
+                    "MOA7xx diagnostics.  Exit codes match repro lint: "
+                    "0 clean, 1 error-severity findings, 2 usage.",
+    )
+    check.add_argument("paths", nargs="*", metavar="PATH",
+                       help="Python files or directories to analyze "
+                            "(default: the installed repro package)")
+    check.add_argument("--json", action="store_true",
+                       help="emit the report as JSON (shared lint/check schema)")
+    check.add_argument("--effects", action="store_true",
+                       help="include per-module effect summaries in the "
+                            "JSON payload")
 
     profile = sub.add_parser(
         "profile",
@@ -224,16 +246,23 @@ def _cmd_experiment_e3(args, out) -> int:
 def _cmd_lint(args, out) -> int:
     import json
 
-    from .analysis import SoundnessHarness, demo_unsafe_rewrite, lint_file, lint_text
+    from .analysis import (
+        EXIT_USAGE,
+        SoundnessHarness,
+        cli_payload,
+        demo_unsafe_rewrite,
+        lint_file,
+        lint_text,
+    )
     from .errors import ParseError
 
     if not (args.paths or args.expr or args.demo_unsafe or args.verify_rules):
         print("repro lint: nothing to lint "
               "(give PLAN_FILEs, --expr, --demo-unsafe or --verify-rules)", file=out)
-        return 2
+        return EXIT_USAGE
 
     exit_code = 0
-    payload: dict = {}
+    extra: dict = {}
 
     reports = []
     for text in args.expr:
@@ -251,11 +280,9 @@ def _cmd_lint(args, out) -> int:
             exit_code = 1
         except OSError as exc:
             print(f"repro lint: cannot read {path}: {exc}", file=out)
-            return 2
+            return EXIT_USAGE
     if reports:
-        if args.json:
-            payload["reports"] = [report.to_dict() for report in reports]
-        else:
+        if not args.json:
             for report in reports:
                 print(report.render_text(), file=out)
         if any(report.has_errors for report in reports):
@@ -264,7 +291,7 @@ def _cmd_lint(args, out) -> int:
     if args.demo_unsafe:
         demo = demo_unsafe_rewrite()
         if args.json:
-            payload["demo_unsafe"] = demo.to_dict()
+            extra["demo_unsafe"] = demo.to_dict()
         else:
             print(demo.render_text(), file=out)
         # the demo *should* produce errors; report them like any lint run
@@ -282,7 +309,7 @@ def _cmd_lint(args, out) -> int:
                  + list(intra_rules_for()))
         verdicts = SoundnessHarness(seed=args.seed).verify_rules(rules)
         if args.json:
-            payload["rule_verdicts"] = {
+            extra["rule_verdicts"] = {
                 name: {
                     "layer": verdict.layer,
                     "declared_safety": verdict.declared_safety,
@@ -300,7 +327,41 @@ def _cmd_lint(args, out) -> int:
             exit_code = 1
 
     if args.json:
-        print(json.dumps(payload, indent=2), file=out)
+        print(json.dumps(cli_payload("lint", reports, exit_code=exit_code, **extra),
+                         indent=2), file=out)
+    return exit_code
+
+
+def _cmd_check(args, out) -> int:
+    import json
+
+    from .analysis import (
+        EXIT_CLEAN,
+        EXIT_FINDINGS,
+        EXIT_USAGE,
+        check_package,
+        check_paths,
+        cli_payload,
+        effect_summary,
+    )
+
+    try:
+        report = check_paths(args.paths) if args.paths else check_package()
+    except OSError as exc:
+        print(f"repro check: cannot read source: {exc}", file=out)
+        return EXIT_USAGE
+    except SyntaxError as exc:
+        print(f"repro check: cannot parse source: {exc}", file=out)
+        return EXIT_USAGE
+    exit_code = EXIT_FINDINGS if report.has_errors else EXIT_CLEAN
+    if args.json:
+        extra = {}
+        if args.effects:
+            extra["effects"] = effect_summary(paths=args.paths or None)
+        print(json.dumps(cli_payload("check", [report], exit_code=exit_code,
+                                     **extra), indent=2), file=out)
+    else:
+        print(report.render_text(label="check"), file=out)
     return exit_code
 
 
@@ -447,6 +508,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_example1(args, out)
     if args.command == "lint":
         return _cmd_lint(args, out)
+    if args.command == "check":
+        return _cmd_check(args, out)
     if args.command == "profile":
         return _cmd_profile(args, out)
     if args.command == "bench-parallel":

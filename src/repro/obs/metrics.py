@@ -24,7 +24,8 @@ Naming follows the tracer's convention: dotted lowercase
 from __future__ import annotations
 
 import math
-import threading
+
+from ..sync import declares_shared_state, make_lock
 
 __all__ = [
     "Counter",
@@ -46,32 +47,49 @@ __all__ = [
 ]
 
 
+@declares_shared_state
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
+
+    Worker threads increment concurrently (the buffer manager charges
+    one :func:`inc` per page request), so the read-modify-write goes
+    through a class-wide lock; the lock is class-level to keep the
+    per-instance footprint at two slots.
+    """
 
     __slots__ = ("name", "value")
+
+    SHARED_STATE = {"value": "_instrument_lock"}
+    _instrument_lock = make_lock("metrics.counter")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._instrument_lock:
+            self.value += n
 
 
+@declares_shared_state
 class Gauge:
     """Last-write-wins value (pool occupancy, current depth, ...)."""
 
     __slots__ = ("name", "value")
+
+    SHARED_STATE = {"value": "_instrument_lock"}
+    _instrument_lock = make_lock("metrics.gauge")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._instrument_lock:
+            self.value = float(value)
 
 
+@declares_shared_state
 class Histogram:
     """Streaming summary of observed values (count/sum/min/max/mean).
 
@@ -80,6 +98,14 @@ class Histogram:
     sketches."""
 
     __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    SHARED_STATE = {
+        "count": "_instrument_lock",
+        "total": "_instrument_lock",
+        "minimum": "_instrument_lock",
+        "maximum": "_instrument_lock",
+    }
+    _instrument_lock = make_lock("metrics.histogram")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -90,12 +116,13 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+        with self._instrument_lock:
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:
@@ -138,11 +165,18 @@ NOOP_GAUGE = _NoopGauge()
 NOOP_HISTOGRAM = _NoopHistogram()
 
 
+@declares_shared_state
 class MetricsRegistry:
     """Name → instrument map; get-or-create accessors."""
 
+    SHARED_STATE = {
+        "counters": "_lock",
+        "gauges": "_lock",
+        "histograms": "_lock",
+    }
+
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("metrics.registry")
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
@@ -179,10 +213,14 @@ class MetricsRegistry:
         }
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
 
+
+#: enable/disable happen in single-threaded setup, never on worker paths
+SHARED_STATE = {"_enabled": "<config>"}
 
 _registry = MetricsRegistry()
 _enabled = False

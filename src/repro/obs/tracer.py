@@ -51,6 +51,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..storage import stats as _stats
+from ..sync import declares_shared_state
 
 __all__ = [
     "NOOP_SPAN",
@@ -185,8 +186,23 @@ class _Span:
         return self
 
 
+@declares_shared_state
 class TraceSession:
-    """One tracing scope: owns the cost counter and the span buffer."""
+    """One tracing scope: owns the cost counter and the span buffer.
+
+    Sessions are *thread-confined* by design (the module hands them out
+    via ``threading.local``), so the span buffer needs no lock — the
+    declaration below states the confinement so the race sanitizer can
+    verify that no worker thread ever reaches into a foreign session's
+    buffers (the executor ships span-less cost snapshots instead).
+    """
+
+    SHARED_STATE = {
+        "roots": "<thread-confined>",
+        "stack": "<thread-confined>",
+        "dropped": "<thread-confined>",
+        "orphan_events": "<thread-confined>",
+    }
 
     def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
         self.counter = _stats.CostCounter()

@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import heapq
 import math
-import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,6 +46,7 @@ from ..errors import ParallelError, QueryCancelledError
 from ..ir.ranking import ScoringModel, score_all
 from ..obs import metrics, tracer
 from ..storage import stats as _stats
+from ..sync import declares_shared_state, make_lock
 from ..topn.aggregates import SUM, AggregateFunction
 from ..topn.result import RankedItem, TopNResult
 from .executor import CancelToken, ExecutorPool, replay_cost
@@ -74,6 +74,7 @@ class ShardAnswer:
     candidates: int
 
 
+@declares_shared_state
 class IndexShardEvaluator:
     """Evaluates one query against one index shard.
 
@@ -82,6 +83,10 @@ class IndexShardEvaluator:
     process pool recomputes on the worker — the documented cost of
     opting into processes).
     """
+
+    #: written by a round-1 worker, read by round 2 — safe because the
+    #: executor resolves every round-1 future before round 2 submits
+    SHARED_STATE = {"_ranked": "<barrier>"}
 
     def __init__(self, shard, tids: list[int], model: ScoringModel) -> None:
         self.shard_id = shard.shard_id
@@ -107,10 +112,13 @@ class IndexShardEvaluator:
                            candidates=len(ranked))
 
 
+@declares_shared_state
 class SourceRangeEvaluator:
     """Evaluates one object-range shard of Fagin-style graded sources
     by exhaustive random access (the ``naive_topn_sources`` discipline,
     restricted to ``[obj_lo, obj_hi)``)."""
+
+    SHARED_STATE = {"_ranked": "<barrier>"}
 
     def __init__(self, shard_id: int, sources: list, obj_lo: int, obj_hi: int,
                  agg: AggregateFunction = SUM) -> None:
@@ -142,15 +150,23 @@ class SourceRangeEvaluator:
 # -- sealed merge state -----------------------------------------------------
 
 
+@declares_shared_state
 @dataclass
 class _MergeState:
     """The coordinator's candidate pool.  ``seal()`` makes it
     permanently read-only: a cancelled or late shard task whose outcome
     arrives after the result was resolved can never write into it."""
 
+    SHARED_STATE = {
+        "_items": "_lock",
+        "sealed": "_lock",
+        "rejected_writes": "_lock",
+    }
+    SEALED_BY = {"_items": "sealed"}
+
     n: int
     _items: dict[int, RankedItem] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _lock: object = field(default_factory=lambda: make_lock("parallel.merge"))
     sealed: bool = False
     rejected_writes: int = 0
 

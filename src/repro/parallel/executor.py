@@ -39,6 +39,7 @@ from typing import Callable
 from ..errors import AdmissionRejectedError, ShardingError
 from ..obs import metrics
 from ..storage.stats import CostCounter, active_counters
+from ..sync import declares_shared_state, make_lock
 
 
 class CancelToken:
@@ -110,6 +111,7 @@ def _run_counted(fn: Callable[[], object]) -> tuple[object, dict]:
     return payload, counter.snapshot()
 
 
+@declares_shared_state
 class ExecutorPool:
     """A bounded pool executing shard tasks for admitted queries.
 
@@ -120,6 +122,12 @@ class ExecutorPool:
     """
 
     KINDS = ("serial", "thread", "process")
+
+    SHARED_STATE = {
+        "_in_flight": "_lock",
+        "_pending": "_lock",
+        "_executor": "<config>",
+    }
 
     def __init__(
         self,
@@ -138,7 +146,7 @@ class ExecutorPool:
         self.workers = workers
         self.max_queries = max_queries
         self.max_pending = max_pending
-        self._lock = threading.Lock()
+        self._lock = make_lock("parallel.executor")
         self._in_flight = 0
         self._pending = 0
         self._executor = None

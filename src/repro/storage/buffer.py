@@ -18,6 +18,12 @@ It is deliberately simple — single replacement policy (LRU), no
 dirty-page writeback model beyond an explicit :meth:`BufferManager.write`
 — because the paper's experiments only need a deterministic, monotone
 proxy for I/O volume.
+
+The pool is process-wide and the parallel engine's worker threads
+request pages concurrently, so the manager follows the
+:mod:`repro.sync` declaration protocol: every counter and the LRU map
+are guarded by ``_lock``, and :func:`repro check <repro.analysis.concurrency>`
+holds the class to it.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..errors import BufferError_
+from ..sync import declares_shared_state, guarded_by, make_lock
 from . import stats
 from ..obs import metrics as _metrics
 
@@ -33,7 +40,11 @@ DEFAULT_PAGE_TUPLES = 256
 #: default pool capacity, in pages
 DEFAULT_CAPACITY_PAGES = 4096
 
+#: module-level installation point, swapped only in single-threaded setup
+SHARED_STATE = {"_default_buffer": "<config>"}
 
+
+@declares_shared_state
 class BufferManager:
     """LRU pool of simulated page frames.
 
@@ -46,6 +57,14 @@ class BufferManager:
         Tuples per page; converts tuple positions to page numbers.
     """
 
+    SHARED_STATE = {
+        "_pool": "_lock",
+        "requests": "_lock",
+        "hits": "_lock",
+        "misses": "_lock",
+        "evictions": "_lock",
+    }
+
     def __init__(
         self,
         capacity_pages: int = DEFAULT_CAPACITY_PAGES,
@@ -57,6 +76,7 @@ class BufferManager:
             raise BufferError_(f"page_tuples must be positive, got {page_tuples}")
         self.capacity_pages = capacity_pages
         self.page_tuples = page_tuples
+        self._lock = make_lock("storage.buffer")
         # maps (segment_id, page_no) -> None; OrderedDict gives LRU order
         self._pool: OrderedDict[tuple[int, int], None] = OrderedDict()
         self.requests = 0
@@ -72,23 +92,35 @@ class BufferManager:
         Charges either a ``buffer_hit`` or a ``page_read`` on every
         active :class:`~repro.storage.stats.CostCounter`.
         """
-        self.requests += 1
         key = (segment_id, page_no)
-        if key in self._pool:
-            self._pool.move_to_end(key)
-            self.hits += 1
+        with self._lock:
+            self.requests += 1
+            hit = key in self._pool
+            if hit:
+                self._pool.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+                self._admit(key)
+        # cost counters are thread-local and the metrics instruments
+        # take their own locks: charge outside the pool lock
+        if hit:
             stats.charge_buffer_hits(1)
             _metrics.inc("buffer.hits")
-            return True
-        self.misses += 1
-        stats.charge_page_reads(1)
-        _metrics.inc("buffer.misses")
+        else:
+            stats.charge_page_reads(1)
+            _metrics.inc("buffer.misses")
+        return hit
+
+    @guarded_by("_lock")
+    def _admit(self, key: tuple[int, int]) -> None:
+        """Insert ``key`` as the most recent frame, evicting LRU overflow."""
         self._pool[key] = None
-        if len(self._pool) > self.capacity_pages:
+        self._pool.move_to_end(key)
+        while len(self._pool) > self.capacity_pages:
             self._pool.popitem(last=False)
             self.evictions += 1
             _metrics.inc("buffer.evictions")
-        return False
 
     # -- tuple-level helpers ------------------------------------------------
 
@@ -130,25 +162,23 @@ class BufferManager:
         _metrics.inc("buffer.page_writes", pages)
         # written pages are hot afterwards
         first = self.page_of(start_tuple)
-        for page_no in range(first, first + pages):
-            key = (segment_id, page_no)
-            self._pool[key] = None
-            self._pool.move_to_end(key)
-            if len(self._pool) > self.capacity_pages:
-                self._pool.popitem(last=False)
-                self.evictions += 1
+        with self._lock:
+            for page_no in range(first, first + pages):
+                self._admit((segment_id, page_no))
 
     # -- management ----------------------------------------------------------
 
     def flush(self) -> None:
         """Empty the pool (e.g. between benchmark repetitions)."""
-        self._pool.clear()
+        with self._lock:
+            self._pool.clear()
 
     def evict_segment(self, segment_id: int) -> None:
         """Drop all frames belonging to one segment (BAT dropped)."""
-        doomed = [key for key in self._pool if key[0] == segment_id]
-        for key in doomed:
-            del self._pool[key]
+        with self._lock:
+            doomed = [key for key in self._pool if key[0] == segment_id]
+            for key in doomed:
+                del self._pool[key]
 
     @property
     def resident_pages(self) -> int:

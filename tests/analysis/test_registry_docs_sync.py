@@ -1,0 +1,71 @@
+"""Registry <-> docs sync: every diagnostic code registered in
+``repro.analysis.codes`` must have a matching row in docs/API.md, and the
+family grouping advertised in the module docstring must match the registry."""
+
+import re
+from pathlib import Path
+
+from repro.analysis import codes as codes_module
+from repro.analysis.codes import CODES
+
+DOCS = Path(__file__).parent.parent.parent / "docs" / "API.md"
+
+DOC_ROW = re.compile(
+    r"^\|\s*`(MOA\d{3})`\s*\|\s*(\w+)\s*\|\s*(.+?)\s*\|\s*$", re.MULTILINE)
+
+
+def doc_rows():
+    return {code: (severity, title.strip())
+            for code, severity, title in DOC_ROW.findall(DOCS.read_text())}
+
+
+class TestDocsCoverage:
+    def test_every_registered_code_has_a_docs_row(self):
+        rows = doc_rows()
+        missing = sorted(set(CODES) - set(rows))
+        assert missing == [], f"codes missing from docs/API.md: {missing}"
+
+    def test_no_docs_row_without_a_registered_code(self):
+        rows = doc_rows()
+        stale = sorted(set(rows) - set(CODES))
+        assert stale == [], f"docs/API.md rows for unregistered codes: {stale}"
+
+    def test_docs_severity_matches_registry(self):
+        rows = doc_rows()
+        for code, info in CODES.items():
+            severity, _title = rows[code]
+            assert severity == info.default_severity, (
+                f"{code}: docs say {severity!r}, "
+                f"registry says {info.default_severity!r}")
+
+    def test_docs_title_matches_registry(self):
+        rows = doc_rows()
+        for code, info in CODES.items():
+            _severity, title = rows[code]
+            assert title == info.title, (
+                f"{code}: docs say {title!r}, registry says {info.title!r}")
+
+
+class TestFamilyGrouping:
+    def families_in_docstring(self):
+        doc = codes_module.__doc__ or ""
+        return {int(d) for d in re.findall(r"MOA(\d)xx", doc)}
+
+    def families_in_registry(self):
+        return {int(code[3]) for code in CODES}
+
+    def test_docstring_families_match_registry_families(self):
+        in_doc = self.families_in_docstring()
+        in_registry = self.families_in_registry()
+        assert in_doc == in_registry, (
+            f"docstring groups {sorted(in_doc)}, "
+            f"registry holds {sorted(in_registry)}")
+
+    def test_families_have_no_numbering_gaps(self):
+        for family in self.families_in_registry():
+            members = sorted(int(code[4:6]) for code in CODES
+                             if int(code[3]) == family)
+            expected = list(range(1, len(members) + 1))
+            assert members == expected, (
+                f"MOA{family}xx is not consecutively numbered "
+                f"from MOA{family}01: {members}")
