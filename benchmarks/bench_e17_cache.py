@@ -1,0 +1,38 @@
+"""E17 — multi-level query cache: warm repeats and top-N resume.
+
+Paper basis (Section 3.1): Blok lists reuse of earlier work among the
+top-N optimization issues — a repeated query should cost (almost)
+nothing, and the user who asked for the top 10 and comes back for the
+top 100 should *continue* the first run rather than redo it.  This
+experiment measures both reuses with the always-verifying
+:func:`repro.cache.bench.bench_cache` harness: warm repeats must cut
+charged operations at least 5x (they serve from the result cache and
+charge nothing), and every resume (TA frontier, NRA/CA access replay,
+quit/continue accumulator) must charge less than its cold reference
+while returning an element-for-element identical ranking.
+"""
+
+from repro.cache.bench import bench_cache
+
+from conftest import BENCH_SCALE, record_table
+
+
+def test_e17_cache_warm_and_resume():
+    report = bench_cache(scale=max(BENCH_SCALE, 0.05), seed=7,
+                         queries=10, n=10, resume_n=100)
+    rows = []
+    for row in report.rows:
+        reduction = ("inf" if row.charged_warm == 0
+                     else round(row.charged_cold / row.charged_warm, 2))
+        rows.append([row.label, row.queries, row.charged_cold,
+                     row.charged_warm, reduction, row.hits, row.resumes,
+                     row.mismatches])
+    record_table(
+        "E17: query cache — cold vs warm charged ops (top-10 -> top-100 resume)",
+        ["scenario", "queries", "cold ops", "warm ops", "reduction",
+         "hits", "resumes", "mismatches"],
+        rows,
+    )
+    assert report.ok, "a warm or resumed ranking diverged from cold"
+    for row in report.rows:
+        assert row.mismatches == 0, row.label

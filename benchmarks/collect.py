@@ -1,0 +1,52 @@
+"""Merge the per-experiment JSON tables into one ``BENCH_RESULTS.json``.
+
+Every ``benchmarks/bench_e*.py`` run writes its table(s) to
+``benchmarks/results/<slug>.json`` (see ``record_table`` in
+``conftest.py``).  This script collects them, sorted by slug, into a
+single machine-readable file at the repository root::
+
+    PYTHONPATH=src python -m pytest benchmarks/ -q
+    python benchmarks/collect.py            # -> BENCH_RESULTS.json
+
+Run it from anywhere; paths are anchored to this file's location.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+OUTPUT = Path(__file__).parent.parent / "BENCH_RESULTS.json"
+
+
+def collect(results_dir: Path = RESULTS_DIR, output: Path = OUTPUT) -> dict:
+    """Merge every ``results/*.json`` table; returns the payload."""
+    tables = []
+    for path in sorted(results_dir.glob("*.json")):
+        with open(path) as fh:
+            tables.append(json.load(fh))
+    payload = {
+        "source": "benchmarks/results",
+        "tables": tables,
+    }
+    with open(output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def main() -> int:
+    if not RESULTS_DIR.is_dir() or not any(RESULTS_DIR.glob("*.json")):
+        print("no JSON tables under benchmarks/results/ — run the "
+              "benchmarks first: PYTHONPATH=src python -m pytest benchmarks/ -q",
+              file=sys.stderr)
+        return 1
+    payload = collect()
+    print(f"merged {len(payload['tables'])} table(s) into {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,7 +4,11 @@ Each ``bench_eXX_*.py`` module reproduces one experiment from the
 DESIGN.md index.  Experiments print their result tables through
 :func:`record_table`, which (a) stores them for the end-of-run summary
 (visible in ``pytest benchmarks/ --benchmark-only`` output) and
-(b) writes them to ``benchmarks/results/``.
+(b) writes them to ``benchmarks/results/`` — both as aligned text
+(``<slug>.txt``) and as machine-readable JSON (``<slug>.json``, the
+title/headers/rows verbatim plus the workload scale).  Run
+``python benchmarks/collect.py`` afterwards to merge every JSON table
+into ``BENCH_RESULTS.json`` at the repo root.
 
 ``REPRO_BENCH_SCALE`` (default ``0.15``) scales the FT-like workload;
 1.0 is the full 20k-document stand-in.
@@ -52,13 +56,26 @@ def _fmt_cell(cell) -> str:
 
 
 def record_table(title: str, headers: list[str], rows: list[list]) -> str:
-    """Record an experiment table for the run summary and results dir."""
+    """Record an experiment table for the run summary and results dir,
+    as both aligned text and machine-readable JSON."""
+    import json
+
     table = fmt_table(title, headers, rows)
     _TABLES.append(table)
     RESULTS_DIR.mkdir(exist_ok=True)
     slug = title.split(":")[0].strip().lower().replace(" ", "_")
     with open(RESULTS_DIR / f"{slug}.txt", "w") as fh:
         fh.write(table + "\n")
+    payload = {
+        "slug": slug,
+        "title": title,
+        "scale": BENCH_SCALE,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+    }
+    with open(RESULTS_DIR / f"{slug}.json", "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return table
 
 

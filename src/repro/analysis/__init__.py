@@ -26,6 +26,8 @@ from .analyzers import (
     DEFAULT_ANALYZERS,
     AnalysisContext,
     Analyzer,
+    CacheReuseAnalyzer,
+    CacheReuseDeclaration,
     CardinalityAnalyzer,
     CutoffClassification,
     CutoffSafetyAnalyzer,
@@ -90,6 +92,8 @@ __all__ = [
     "AnalysisContext",
     "Analyzer",
     "CODES",
+    "CacheReuseAnalyzer",
+    "CacheReuseDeclaration",
     "CardinalityAnalyzer",
     "CutoffClassification",
     "CutoffSafetyAnalyzer",

@@ -9,7 +9,9 @@ suite covers the verifier's five dimensions:
 * safe vs unsafe top-N / ``stop_after`` classification
   (:class:`CutoffSafetyAnalyzer`, :func:`classify_cutoffs`),
 * cardinality bounds (:class:`CardinalityAnalyzer`),
-* fragment coverage (:class:`FragmentCoverageAnalyzer`).
+* fragment coverage (:class:`FragmentCoverageAnalyzer`),
+* shard safety of parallel plans (:class:`ShardSafetyAnalyzer`),
+* cache-reuse safety (:class:`CacheReuseAnalyzer`).
 
 :func:`check_rewrite_step` applies the cross-rewrite checks (ordering /
 duplicate-semantics preservation, cardinality monotonicity, rule safety
@@ -55,6 +57,91 @@ class ShardDeclaration:
     total: int
 
 
+@dataclass(frozen=True)
+class CacheReuseDeclaration:
+    """Declares one proposed reuse of cached query state.
+
+    Describes what the cache holds (built under which epoch, aggregate,
+    fragment set and shard layout, to which depth, with which safety)
+    against what the query at hand needs; ``None`` fields are "not
+    applicable / unknown" and skip the corresponding check.  The
+    :class:`CacheReuseAnalyzer` turns every unsound pairing into an
+    ``MOA8xx`` diagnostic, and the optimizer consults :meth:`violations`
+    before granting a plan the ``cache_hit`` / ``resume_from`` fast-path
+    properties.
+    """
+
+    #: label for messages (e.g. the fingerprint digest or query text)
+    name: str = "cache entry"
+    cached_epoch: int | None = None
+    current_epoch: int | None = None
+    cached_aggregate: str | None = None
+    query_aggregate: str | None = None
+    cached_fragments: tuple | None = None
+    current_fragments: tuple | None = None
+    cached_shard_layout: tuple | None = None
+    current_shard_layout: tuple | None = None
+    #: deepest cached answer and the depth the query requests
+    cached_n: int | None = None
+    requested_n: int | None = None
+    #: whether the entry's scores are independent of its stopping depth
+    prefix_safe: bool = True
+    #: whether the entry holds the complete corpus ranking
+    complete: bool = False
+    #: whether the entry carries certified resume state (frontier/replay)
+    has_resume: bool = False
+
+    def violations(self) -> list[tuple[str, str]]:
+        """Every ``(code, message)`` that makes this reuse unsound."""
+        out: list[tuple[str, str]] = []
+        if (self.cached_epoch is not None and self.current_epoch is not None
+                and self.cached_epoch < self.current_epoch):
+            out.append((
+                "MOA801",
+                f"{self.name}: built at corpus epoch {self.cached_epoch}, "
+                f"query runs at epoch {self.current_epoch} — scores may "
+                f"have changed",
+            ))
+        if (self.cached_aggregate is not None and self.query_aggregate is not None
+                and self.cached_aggregate != self.query_aggregate):
+            out.append((
+                "MOA802",
+                f"{self.name}: cached under aggregate "
+                f"{self.cached_aggregate!r}, query aggregates with "
+                f"{self.query_aggregate!r}",
+            ))
+        if (self.cached_fragments is not None and self.current_fragments is not None
+                and tuple(self.cached_fragments) != tuple(self.current_fragments)):
+            out.append((
+                "MOA803",
+                f"{self.name}: cached over fragments "
+                f"{tuple(self.cached_fragments)}, query reads "
+                f"{tuple(self.current_fragments)} — different candidate "
+                f"populations",
+            ))
+        if (self.cached_shard_layout is not None
+                and self.current_shard_layout is not None
+                and tuple(self.cached_shard_layout) != tuple(self.current_shard_layout)):
+            out.append((
+                "MOA804",
+                f"{self.name}: bounds keyed to shard layout "
+                f"{tuple(self.cached_shard_layout)}, current layout is "
+                f"{tuple(self.current_shard_layout)}",
+            ))
+        if (self.cached_n is not None and self.requested_n is not None
+                and not self.complete):
+            deeper = self.requested_n > self.cached_n
+            mismatched = self.requested_n != self.cached_n
+            if (deeper and not self.has_resume) or (not self.prefix_safe and mismatched):
+                out.append((
+                    "MOA805",
+                    f"{self.name}: top-{self.requested_n} requested from a "
+                    f"{'non-prefix-safe ' if not self.prefix_safe else ''}"
+                    f"top-{self.cached_n} entry with no resume state",
+                ))
+        return out
+
+
 @dataclass
 class AnalysisContext:
     """Static context shared by all analyzers."""
@@ -71,6 +158,8 @@ class AnalysisContext:
     #: whether the coordinator's round-2 probe is enabled (the merge
     #: may re-fetch a shard's items deeper than a shard-local cut-off)
     merge_probe: bool = True
+    #: proposed cache reuses the plan depends on (MOA8xx checks)
+    cache_reuse: tuple = ()
 
     def properties(self, expr: Expr) -> dict[ExprPath, PlanProperties]:
         return infer_properties(expr, self.env_types, self.registry)
@@ -403,6 +492,26 @@ class ShardSafetyAnalyzer(Analyzer):
                     )
 
 
+class CacheReuseAnalyzer(Analyzer):
+    """Cache-reuse safety (MOA801–805).
+
+    The expression tree plays no role: the context's
+    :class:`CacheReuseDeclaration` records describe the reuses the plan
+    depends on, and every unsound pairing becomes a diagnostic at the
+    plan root.  The runtime cache cannot *construct* most of these
+    (fingerprints embed epoch, aggregate, fragments and shard layout),
+    so the analyzer's job is guarding explicit reuse — pinned entries,
+    externally persisted state, hand-built resume plans.
+    """
+
+    name = "cache-reuse"
+
+    def analyze(self, expr, context):
+        for declaration in context.cache_reuse:
+            for code, message in declaration.violations():
+                yield make_diagnostic(code, message, (), expr)
+
+
 #: the default suite, in reporting order
 DEFAULT_ANALYZERS: tuple[Analyzer, ...] = (
     TypeSoundnessAnalyzer(),
@@ -411,6 +520,7 @@ DEFAULT_ANALYZERS: tuple[Analyzer, ...] = (
     CardinalityAnalyzer(),
     FragmentCoverageAnalyzer(),
     ShardSafetyAnalyzer(),
+    CacheReuseAnalyzer(),
 )
 
 

@@ -11,7 +11,9 @@ from this table (``MOA001``...).  Codes are grouped by hundreds:
 * ``MOA5xx`` — rewrite-framework health (budget exhaustion etc.);
 * ``MOA6xx`` — shard safety of parallel plans;
 * ``MOA7xx`` — concurrency effects and lock discipline of the Python
-  codebase itself (the ``repro check`` analyzer).
+  codebase itself (the ``repro check`` analyzer);
+* ``MOA8xx`` — cache-reuse safety: whether a cached answer, resume
+  state or bound set may soundly serve the query at hand.
 
 Tests assert that the table has no duplicate codes and that every code
 emitted anywhere in the analysis package is registered here, so the
@@ -203,6 +205,49 @@ CODES: dict[str, DiagnosticCode] = _build_table(
         "A lock is acquired in a scope that writes no declared shared "
         "state: either the declaration is missing or the critical "
         "section is dead weight.",
+    ),
+    # -- cache-reuse safety ---------------------------------------------------
+    DiagnosticCode(
+        "MOA801", "stale-epoch cache reuse", "error",
+        "A cached answer, resume state or bound set built at an earlier "
+        "corpus epoch would serve a query against the current corpus: "
+        "any mutation that bumped the epoch (fragmenting, sharding, "
+        "attribute or feature registration) may have changed scores, so "
+        "the cached ranking is unverifiable.  The query cache embeds "
+        "the epoch in every fingerprint precisely so this reuse can "
+        "never happen implicitly.",
+    ),
+    DiagnosticCode(
+        "MOA802", "cache reuse across a different aggregate", "error",
+        "A cached multi-source answer or resume frontier is reused for "
+        "a query with a different aggregation function.  Threshold "
+        "bookkeeping (TA frontiers, NRA/CA bounds) is specific to the "
+        "aggregate that produced it; combining under a different one "
+        "yields wrong thresholds and wrong stop decisions.",
+    ),
+    DiagnosticCode(
+        "MOA803", "cached fragment set drifted", "error",
+        "The fragment set the cached answer was computed over differs "
+        "from the fragments the query would read: the cached ranking "
+        "covers a different candidate population (the paper's "
+        "fragment-restricted approximation, silently reused where the "
+        "full answer is expected, or vice versa).",
+    ),
+    DiagnosticCode(
+        "MOA804", "cached bounds under a different shard layout", "error",
+        "Cached per-shard thresholds or rankings are keyed to one "
+        "document-range shard layout; reusing them after re-sharding "
+        "prunes shards against bounds computed for different document "
+        "ranges, and the coordinator's certified merge no longer holds.",
+    ),
+    DiagnosticCode(
+        "MOA805", "deep serve from a non-prefix-safe entry", "error",
+        "A top-N deeper than (or, without prefix safety, different "
+        "from) the cached depth would be served from a cached answer "
+        "whose scores depend on the producing run's stopping depth "
+        "(NRA/CA lower bounds, quality-switched strategies).  Such "
+        "entries serve exact-depth repeats only; deeper requests must "
+        "resume (frontier or access replay) or recompute.",
     ),
 )
 

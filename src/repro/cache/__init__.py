@@ -1,0 +1,59 @@
+"""Multi-level query cache: results, resumable top-N state, bounds.
+
+Blok lists reuse of earlier work as a first-class top-N optimization
+issue: the same query re-asked should cost (almost) nothing, and a
+top-100 following a top-10 should *continue*, not restart.  This
+package provides the three cache levels the reproduction layers over
+one fingerprint space:
+
+* **Result cache** (:class:`QueryCache`): canonical query fingerprints
+  (:mod:`~repro.cache.fingerprint`) map to cached
+  :class:`~repro.topn.result.TopNResult` objects; a top-``n`` is
+  answered from a cached top-``m`` (``m >= n``) when the producing
+  engine is prefix-safe.
+* **Resume state** (:mod:`~repro.cache.resume`): TA frontier
+  snapshots, NRA/CA access-replay logs, and quit/continue accumulator
+  snapshots — each certified equivalent to a cold run by the mechanism
+  its engine can support.
+* **Bound cache** (:mod:`~repro.cache.bounds`): per-shard thresholds
+  from certified parallel runs seed the coordinator's round-1/round-2
+  pruning on later, deeper runs of the same query.
+
+Invalidation is by corpus epoch: every fingerprint embeds the owning
+database's epoch, which is bumped on any mutation that can change
+scores, so stale entries can never hit (and are garbage-collected).
+"""
+
+from .bounds import CoordinatorBounds, ShardBoundInfo
+from .fingerprint import (
+    QueryFingerprint,
+    source_token,
+    sources_fingerprint,
+    text_fingerprint,
+)
+from .manager import CacheEntry, QueryCache
+from .resume import (
+    AccumulatorResumeState,
+    ReplayLog,
+    ReplaySource,
+    TAResumeState,
+    replayed_total,
+    wrap_sources,
+)
+
+__all__ = [
+    "AccumulatorResumeState",
+    "CacheEntry",
+    "CoordinatorBounds",
+    "QueryCache",
+    "QueryFingerprint",
+    "ReplayLog",
+    "ReplaySource",
+    "ShardBoundInfo",
+    "TAResumeState",
+    "replayed_total",
+    "source_token",
+    "sources_fingerprint",
+    "text_fingerprint",
+    "wrap_sources",
+]

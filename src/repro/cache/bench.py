@@ -1,0 +1,251 @@
+"""The ``repro bench-cache`` harness.
+
+Builds one synthetic database and measures the two reuses the cache
+subsystem promises (always verifying — a warm answer that differs from
+cold is a defect, never a statistic):
+
+* **cold vs warm repeat** — a query batch runs cold, then again with
+  the cache enabled; the warm pass must charge (almost) no simulated
+  work and return element-for-element identical rankings;
+* **top-10 → top-100 resume** — each engine answers top-``n`` cold,
+  then top-``resume_n`` by resuming (TA frontier, NRA/CA access
+  replay, quit/continue accumulator snapshot); the resumed run is
+  compared against a cold top-``resume_n`` on a fresh database for
+  both cost and exact equality.
+
+"Charged ops" sums everything the simulated cost model bills: page
+reads, buffer hits and tuple reads on the storage side, sorted and
+random accesses on the Fagin-source side.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..storage.stats import CostCounter
+
+#: engines exercised by the resume scenario
+RESUME_ENGINES = ("ta", "nra", "ca")
+
+
+def charged_ops(cost: CostCounter) -> int:
+    """Everything the simulated cost model billed for one run."""
+    return (cost.page_reads + cost.buffer_hits + cost.tuples_read
+            + cost.sorted_accesses + cost.random_accesses)
+
+
+@dataclass
+class BenchRow:
+    """Cold-vs-warm measurements for one scenario."""
+
+    label: str
+    queries: int
+    seconds_cold: float
+    seconds_warm: float
+    charged_cold: int
+    charged_warm: int
+    #: answers that differed from the cold reference (must stay 0)
+    mismatches: int = 0
+    #: cache counter deltas attributable to the warm pass
+    hits: int = 0
+    resumes: int = 0
+
+    @property
+    def reduction(self) -> float:
+        """Charged-ops reduction factor cold / warm (inf when the warm
+        pass charged nothing at all)."""
+        if self.charged_warm == 0:
+            return float("inf")
+        return self.charged_cold / self.charged_warm
+
+    def to_dict(self) -> dict:
+        out = dict(self.__dict__)
+        # null, not Infinity: the latter is not valid JSON
+        out["reduction"] = (None if self.charged_warm == 0 else self.reduction)
+        return out
+
+
+@dataclass
+class BenchCacheReport:
+    """Everything ``repro bench-cache`` prints."""
+
+    n: int
+    resume_n: int
+    rows: list[BenchRow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every warm answer matched cold, warm repeats cut charged ops
+        at least 5x, and every resume charged less than its cold run."""
+        for row in self.rows:
+            if row.mismatches:
+                return False
+            if row.label.endswith("warm-repeat") and row.reduction < 5.0:
+                return False
+            if row.label.endswith("resume") and row.charged_warm >= row.charged_cold:
+                return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {"n": self.n, "resume_n": self.resume_n, "ok": self.ok,
+                "rows": [row.to_dict() for row in self.rows]}
+
+
+def _ranking_equal(reference, candidate) -> bool:
+    """Tie-aware identity: same ids in the same order, same scores."""
+    return (reference.doc_ids == candidate.doc_ids
+            and reference.scores == candidate.scores)
+
+
+def _build(collection, features, cache: bool):
+    from ..core import DatabaseConfig, MMDatabase
+
+    db = MMDatabase.from_collection(
+        collection, DatabaseConfig(cache_enabled=cache))
+    for space in features:
+        db.add_feature_space(space)
+    return db
+
+
+def bench_cache(
+    scale: float = 0.05,
+    seed: int = 7,
+    queries: int = 10,
+    n: int = 10,
+    resume_n: int = 100,
+    dims: int = 8,
+) -> BenchCacheReport:
+    """Run the comparison; see the module docstring."""
+    from ..mm.features import FeatureSpace
+    from ..topn.quit_continue import quit_continue_topn
+    from ..workloads import SyntheticCollection, generate_queries, trec
+
+    if resume_n <= n:
+        resume_n = max(n + 1, 10 * n)
+    collection = SyntheticCollection.generate(trec.ft_like(scale=scale, seed=seed))
+    rng = np.random.default_rng(seed + 2)
+    features = [FeatureSpace("bench_a", rng.random((collection.n_docs, dims))),
+                FeatureSpace("bench_b", rng.random((collection.n_docs, dims)))]
+    # two-source queries: the Fagin engines degenerate over one source
+    feature_queries = [{"bench_a": rng.random(dims), "bench_b": rng.random(dims)}
+                       for _ in range(max(1, queries // 2))]
+    batch = generate_queries(collection, n_queries=queries,
+                             terms_range=(2, 6), rare_bias=2.0, seed=seed + 1)
+    tid_lists = [list(query.term_ids) for query in batch]
+
+    report = BenchCacheReport(n=n, resume_n=resume_n)
+
+    # -- cold vs warm repeat over the text batch ---------------------------
+    db = _build(collection, features, cache=True)
+    cold_results = []
+    started = time.perf_counter()
+    with CostCounter.activate() as cost:
+        for tids in tid_lists:
+            cold_results.append(db.search(tids, n=n).result)
+    row = BenchRow(label="text-warm-repeat", queries=len(tid_lists),
+                   seconds_cold=time.perf_counter() - started,
+                   seconds_warm=0.0, charged_cold=charged_ops(cost),
+                   charged_warm=0)
+    before = db.cache.counters()
+    started = time.perf_counter()
+    with CostCounter.activate() as cost:
+        for tids, cold in zip(tid_lists, cold_results):
+            warm = db.search(tids, n=n).result
+            if not _ranking_equal(cold, warm):
+                row.mismatches += 1
+    row.seconds_warm = time.perf_counter() - started
+    row.charged_warm = charged_ops(cost)
+    row.hits = db.cache.counters()["hits"] - before["hits"]
+    report.rows.append(row)
+
+    # -- cold vs warm repeat over the feature batch ------------------------
+    for algorithm in ("fa",) + RESUME_ENGINES:
+        db = _build(collection, features, cache=True)
+        cold_results = []
+        started = time.perf_counter()
+        with CostCounter.activate() as cost:
+            for fq in feature_queries:
+                cold_results.append(
+                    db.feature_search(fq, n=n, algorithm=algorithm).result)
+        row = BenchRow(label=f"{algorithm}-warm-repeat",
+                       queries=len(feature_queries),
+                       seconds_cold=time.perf_counter() - started,
+                       seconds_warm=0.0, charged_cold=charged_ops(cost),
+                       charged_warm=0)
+        before = db.cache.counters()
+        started = time.perf_counter()
+        with CostCounter.activate() as cost:
+            for fq, cold in zip(feature_queries, cold_results):
+                warm = db.feature_search(fq, n=n, algorithm=algorithm).result
+                if not _ranking_equal(cold, warm):
+                    row.mismatches += 1
+        row.seconds_warm = time.perf_counter() - started
+        row.charged_warm = charged_ops(cost)
+        row.hits = db.cache.counters()["hits"] - before["hits"]
+        report.rows.append(row)
+
+    # -- top-n -> top-resume_n resume, per engine --------------------------
+    for algorithm in RESUME_ENGINES:
+        # the cold reference runs on a fresh, cache-less database
+        cold_db = _build(collection, features, cache=False)
+        cold_deep = []
+        started = time.perf_counter()
+        with CostCounter.activate() as cost:
+            for fq in feature_queries:
+                cold_deep.append(
+                    cold_db.feature_search(fq, n=resume_n,
+                                           algorithm=algorithm).result)
+        row = BenchRow(label=f"{algorithm}-resume", queries=len(feature_queries),
+                       seconds_cold=time.perf_counter() - started,
+                       seconds_warm=0.0, charged_cold=charged_ops(cost),
+                       charged_warm=0)
+        db = _build(collection, features, cache=True)
+        for fq in feature_queries:  # seed the shallow runs (uncounted)
+            db.feature_search(fq, n=n, algorithm=algorithm)
+        before = db.cache.counters()
+        started = time.perf_counter()
+        with CostCounter.activate() as cost:
+            for fq, cold in zip(feature_queries, cold_deep):
+                resumed = db.feature_search(fq, n=resume_n,
+                                            algorithm=algorithm).result
+                if not _ranking_equal(cold, resumed):
+                    row.mismatches += 1
+        row.seconds_warm = time.perf_counter() - started
+        row.charged_warm = charged_ops(cost)
+        row.resumes = db.cache.counters()["resumes"] - before["resumes"]
+        report.rows.append(row)
+
+    # -- quit/continue accumulator resume ----------------------------------
+    db = _build(collection, features, cache=False)
+    qc_lists = [tids for tids in tid_lists if tids][: max(1, queries // 2)]
+    cold_deep = []
+    started = time.perf_counter()
+    with CostCounter.activate() as cost:
+        for tids in qc_lists:
+            cold_deep.append(quit_continue_topn(
+                db.index, tids, db.model, resume_n, strategy="continue"))
+    row = BenchRow(label="qc-resume", queries=len(qc_lists),
+                   seconds_cold=time.perf_counter() - started,
+                   seconds_warm=0.0, charged_cold=charged_ops(cost),
+                   charged_warm=0)
+    states = []
+    for tids in qc_lists:  # shallow runs capture the accumulator (uncounted)
+        shallow = quit_continue_topn(db.index, tids, db.model, n,
+                                     strategy="continue", capture_state=True)
+        states.append(shallow.stats["resume_state"])
+    started = time.perf_counter()
+    with CostCounter.activate() as cost:
+        for tids, state, cold in zip(qc_lists, states, cold_deep):
+            resumed = quit_continue_topn(db.index, tids, db.model, resume_n,
+                                         strategy="continue", resume_from=state)
+            if not _ranking_equal(cold, resumed):
+                row.mismatches += 1
+    row.seconds_warm = time.perf_counter() - started
+    row.charged_warm = charged_ops(cost)
+    row.resumes = len(qc_lists)
+    report.rows.append(row)
+
+    return report

@@ -1,0 +1,132 @@
+"""Canonical query fingerprints: the cache key discipline.
+
+A cached answer may only be reused when the *whole* evaluation context
+matches, not just the query text.  The fingerprint therefore canonically
+encodes every input the engines read:
+
+* the query **terms** (term ids, sorted — naive scoring is a sum over
+  terms, so term order is irrelevant; duplicates are kept because a
+  repeated term contributes twice) or, for middleware queries, one
+  stable **token per graded source** (a posting-list source is
+  identified by its term id and model; an array source by a content
+  hash of its grade vector);
+* the **aggregate** / scoring model combining the sources;
+* the **fragment set** the strategy reads (an unsafe fragment-restricted
+  answer must never serve an unfragmented query);
+* the **shard layout** (a parallel answer is tied to its boundaries:
+  per-shard bound caches are meaningless under a different split);
+* the **corpus epoch** — a counter the database bumps on every mutation
+  that can change scores (ingest, fragmentation, sharding, attribute or
+  feature registration).  Stale epochs never collide with fresh ones,
+  so invalidation is by construction, not by search.
+
+``n`` is deliberately *not* part of the fingerprint: the whole point of
+the result cache is answering top-``n`` from a cached top-``m``, and
+the bound cache reuses thresholds across depths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+def _token(value) -> str:
+    """Render one key component deterministically."""
+    if isinstance(value, (tuple, list)):
+        return "(" + ",".join(_token(v) for v in value) + ")"
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class QueryFingerprint:
+    """The canonical cache key of one query, minus its ``n``."""
+
+    #: query flavour: ``text`` / ``feature`` / ``parallel`` / ``combined``
+    kind: str
+    #: sorted term ids, or per-source identity tokens (order preserved
+    #: for sources: weighted aggregates are not symmetric)
+    terms: tuple
+    #: aggregate or scoring-model name (``sum`` / ``bm25`` / ...)
+    aggregate: str
+    #: fragment signature of the executing strategy (empty = whole index)
+    fragments: tuple = ()
+    #: document-range shard boundaries (empty = serial)
+    shard_layout: tuple = ()
+    #: corpus epoch the entry was built at
+    epoch: int = 0
+    #: anything else reuse must agree on (strategy name, measure, ...)
+    extra: tuple = field(default=())
+
+    def digest(self) -> str:
+        """Stable hex digest used as the storage key."""
+        payload = "|".join((
+            self.kind,
+            _token(self.terms),
+            self.aggregate,
+            _token(self.fragments),
+            _token(self.shard_layout),
+            str(self.epoch),
+            _token(self.extra),
+        ))
+        return hashlib.sha1(payload.encode()).hexdigest()
+
+    def describe(self) -> dict:
+        """JSON-able key breakdown (for diagnostics and the CLI)."""
+        return {
+            "kind": self.kind,
+            "terms": list(self.terms),
+            "aggregate": self.aggregate,
+            "fragments": list(self.fragments),
+            "shard_layout": list(self.shard_layout),
+            "epoch": self.epoch,
+            "extra": list(self.extra),
+            "digest": self.digest(),
+        }
+
+
+def source_token(source) -> tuple:
+    """A stable identity token for one graded score source.
+
+    Posting-list sources are content-addressed by ``(term id, model)``
+    — their grades are a pure function of the index and the model, and
+    the index's identity is already covered by the corpus epoch.  Dense
+    array sources (feature similarities) hash their grade vector: two
+    feature queries only share cache state when their score arrays are
+    bit-identical.
+    """
+    tid = getattr(source, "tid", None)
+    if tid is not None:
+        model = getattr(source, "model", None)
+        return ("term", int(tid), getattr(model, "name", str(model)))
+    scores = getattr(source, "_scores", None)
+    if scores is not None:
+        content = hashlib.sha1(scores.tobytes()).hexdigest()[:16]
+        return ("array", getattr(source, "name", "array"), content)
+    return ("source", getattr(source, "name", repr(source)))
+
+
+def text_fingerprint(tids, model_name: str, epoch: int, strategy: str = "naive",
+                     fragments: tuple = (), shard_layout: tuple = ()) -> QueryFingerprint:
+    """Fingerprint of a text top-N query (term ids + ranking model)."""
+    return QueryFingerprint(
+        kind="text",
+        terms=tuple(sorted(int(t) for t in tids)),
+        aggregate=model_name,
+        fragments=tuple(fragments),
+        shard_layout=tuple(shard_layout),
+        epoch=epoch,
+        extra=("strategy", strategy),
+    )
+
+
+def sources_fingerprint(sources, agg_name: str, epoch: int, algorithm: str,
+                        kind: str = "feature") -> QueryFingerprint:
+    """Fingerprint of a middleware (Fagin-family) multi-source query."""
+    return QueryFingerprint(
+        kind=kind,
+        terms=tuple(source_token(source) for source in sources),
+        aggregate=agg_name,
+        epoch=epoch,
+        extra=("algorithm", algorithm),
+    )

@@ -16,6 +16,8 @@ Commands
 ``bench-parallel``  compare the sharded parallel engine against the
                 serial baseline across shard counts (exact-match
                 verified)
+``bench-cache`` measure the query cache: cold vs warm repeats and
+                top-N resume per engine (exact-match verified)
 
 All commands are deterministic given ``--seed``.
 """
@@ -164,6 +166,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="executor pool workers")
     bench.add_argument("--json", action="store_true",
                        help="emit the report as JSON")
+
+    bench_cache = sub.add_parser(
+        "bench-cache",
+        help="benchmark the query cache: cold vs warm repeats and "
+             "top-N resume, exact-match verified",
+        description="Run a fixed workload cold, then again against the "
+                    "query cache (warm repeats and top-n -> top-N "
+                    "resume per engine), verifying every warm or "
+                    "resumed ranking is tie-aware identical to its "
+                    "cold reference; prints charged-operation "
+                    "reductions.  Exits nonzero on any mismatch or a "
+                    "warm repeat below the 5x reduction bar.",
+    )
+    bench_cache.add_argument("--queries", type=int, default=10,
+                             help="number of generated queries")
+    bench_cache.add_argument("--n", type=int, default=10,
+                             help="shallow top-N size")
+    bench_cache.add_argument("--resume-n", type=int, default=100,
+                             help="deep top-N size resumed from the "
+                                  "shallow runs")
+    bench_cache.add_argument("--json", action="store_true",
+                             help="emit the report as JSON")
     return parser
 
 
@@ -475,6 +499,35 @@ def _cmd_bench_parallel(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench_cache(args, out) -> int:
+    import json
+
+    from .cache.bench import bench_cache
+
+    report = bench_cache(scale=args.scale, seed=args.seed,
+                         queries=args.queries, n=args.n,
+                         resume_n=args.resume_n)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+    else:
+        header = (f"{'scenario':<18} {'queries':>7} {'cold ops':>10} "
+                  f"{'warm ops':>10} {'reduction':>10} {'hits':>5} "
+                  f"{'resumes':>8} {'mismatch':>9}")
+        print(header, file=out)
+        for row in report.rows:
+            reduction = ("inf" if row.reduction == float("inf")
+                         else f"x{row.reduction:.1f}")
+            print(f"{row.label:<18} {row.queries:>7} {row.charged_cold:>10,} "
+                  f"{row.charged_warm:>10,} {reduction:>10} {row.hits:>5} "
+                  f"{row.resumes:>8} {row.mismatches:>9}", file=out)
+        verdict = ("ok: every warm and resumed ranking matched its cold "
+                   "reference" if report.ok
+                   else "MISMATCH: warm results diverged from cold, or a "
+                        "warm repeat missed the 5x reduction bar")
+        print(verdict, file=out)
+    return 0 if report.ok else 1
+
+
 def _cmd_example1(args, out) -> int:
     from .algebra import parse
     from .optimizer import Optimizer
@@ -514,4 +567,6 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_profile(args, out)
     if args.command == "bench-parallel":
         return _cmd_bench_parallel(args, out)
+    if args.command == "bench-cache":
+        return _cmd_bench_cache(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

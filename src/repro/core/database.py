@@ -23,6 +23,16 @@ import time
 
 import numpy as np
 
+from ..cache import (
+    CoordinatorBounds,
+    QueryCache,
+    ReplayLog,
+    replayed_total,
+    sources_fingerprint,
+    text_fingerprint,
+    wrap_sources,
+)
+from ..cache.fingerprint import source_token
 from ..errors import ReproError, TopNError, WorkloadError
 from ..fragmentation import FragmentedExecutor, QualityCheck, Strategy, fragment_by_volume
 from ..ir.analysis import Analyzer, DEFAULT_ANALYZER
@@ -31,6 +41,7 @@ from ..ir.invindex import InvertedIndex
 from ..ir.ranking import make_model
 from ..mm.features import FeatureSpace
 from ..mm.sources import PostingsSource, feature_source
+from ..obs import tracer
 from ..storage.bat import BAT
 from ..storage.stats import CostCounter
 from ..topn import (
@@ -54,6 +65,19 @@ _ALGORITHMS = {
     "ca": combined_topn,
 }
 
+#: engines whose reported scores are independent of the requested depth,
+#: so a cached top-m answers any top-n with n <= m (see repro.cache);
+#: NRA/CA report termination-depth-dependent lower bounds and are
+#: served for exact-n repeats or resumed by access replay instead
+_PREFIX_SAFE_ALGORITHMS = frozenset({"fa", "ta"})
+
+#: text strategies whose ranking is independent of n (exact engines and
+#: the fragment-restricted unsafe one); safe-switch picks its execution
+#: path based on an n-dependent quality check, so only exact-n repeats
+#: are served for it
+_PREFIX_SAFE_STRATEGIES = frozenset(
+    {"naive", "unfragmented", "unsafe-small", "indexed"})
+
 
 class MMDatabase:
     """An in-process multimedia retrieval database."""
@@ -71,6 +95,17 @@ class MMDatabase:
         self._pool = None
         self.feature_spaces: dict[str, FeatureSpace] = {}
         self.attributes: dict[str, BAT] = {}
+        #: corpus epoch: bumped by every mutation that can change scores
+        #: (fragmenting, sharding, attribute/feature registration) —
+        #: cache keys embed it, so stale entries can never hit
+        self.epoch = 0
+        self.cache: QueryCache | None = (
+            QueryCache(self.config.cache_max_entries)
+            if self.config.cache_enabled else None)
+        if self.config.buffer_policy is not None:
+            from ..storage.buffer import get_buffer_manager
+
+            get_buffer_manager().set_policy(self.config.buffer_policy)
 
     # -- construction -------------------------------------------------------
 
@@ -89,6 +124,14 @@ class MMDatabase:
 
     # -- content registration ---------------------------------------------------
 
+    def _bump_epoch(self) -> None:
+        """Advance the corpus epoch and garbage-collect stale cache
+        entries (they could never hit anyway — the epoch is part of
+        every fingerprint)."""
+        self.epoch += 1
+        if self.cache is not None:
+            self.cache.invalidate_below_epoch(self.epoch)
+
     def fragment(self, volume_cut: float | None = None) -> None:
         """Fragment the inverted file (paper Step 1); enables the
         ``unsafe-small`` / ``safe-switch`` / ``indexed`` strategies."""
@@ -98,6 +141,7 @@ class MMDatabase:
             self.fragmented, self.model,
             QualityCheck(sensitivity=self.config.switch_sensitivity),
         )
+        self._bump_epoch()
 
     def shard(self, shards: int | None = None,
               boundaries: list[int] | None = None,
@@ -112,6 +156,7 @@ class MMDatabase:
             shards = self.config.default_shards or default_shard_count(fallback=2)
         self.sharded = shard_index(self.index, shards=shards,
                                    boundaries=boundaries, balance=balance)
+        self._bump_epoch()
 
     def _parallel_pool(self):
         from ..parallel import ExecutorPool
@@ -137,6 +182,7 @@ class MMDatabase:
                 f"collection has {self.collection.n_docs}"
             )
         self.feature_spaces[name or space.name] = space
+        self._bump_epoch()
 
     def set_attribute(self, name: str, values) -> None:
         """Register an alphanumeric attribute column over documents."""
@@ -147,6 +193,7 @@ class MMDatabase:
                 f"{self.collection.n_docs} documents"
             )
         self.attributes[name] = BAT(values, name=f"attr_{name}", persistent=True)
+        self._bump_epoch()
 
     # -- text search ----------------------------------------------------------
 
@@ -198,6 +245,20 @@ class MMDatabase:
         if name == "parallel":
             return self._parallel_search(tids, n)
         resolved = self._resolve_strategy(strategy)
+        fingerprint = None
+        label = "naive" if resolved is None else resolved.value
+        if self.cache is not None and mode == "any" and attr_filter is None:
+            fingerprint = text_fingerprint(tids, self.model.name, self.epoch,
+                                           strategy=label)
+            with tracer.span("cache.lookup", kind="text", n=n):
+                served, _entry = self.cache.lookup(fingerprint, n)
+                tracer.annotate(hit=served is not None)
+            if served is not None:
+                started = time.perf_counter()
+                with CostCounter.activate() as cost:
+                    pass  # a cache hit charges no cost-model operations
+                elapsed = time.perf_counter() - started
+                return SearchResult(served, tids, cost, elapsed, self.collection)
         started = time.perf_counter()
         with CostCounter.activate() as cost:
             if mode == "all":
@@ -212,22 +273,53 @@ class MMDatabase:
                                      "or use strategy='naive'")
                 result = self._executor.query(tids, n, resolved)
         elapsed = time.perf_counter() - started
+        if fingerprint is not None:
+            self.cache.store(fingerprint, n, result,
+                             prefix_safe=label in _PREFIX_SAFE_STRATEGIES,
+                             complete=len(result.items) < n)
         return SearchResult(result, tids, cost, elapsed, self.collection)
 
     def _parallel_search(self, tids, n) -> SearchResult:
         """Sharded parallel execution: admission-controlled, certified
-        distributed top-N (auto-shards on first use)."""
+        distributed top-N (auto-shards on first use).
+
+        With the cache enabled, a warm repeat is served outright and a
+        cold run seeds/reuses :class:`~repro.cache.CoordinatorBounds`:
+        cached per-shard thresholds preclude shards and prune round-2
+        probes on the next, deeper run of the same query."""
         from ..parallel import parallel_topn
 
         if self.sharded is None:
             self.shard()
+        fingerprint = None
+        entry = None
+        if self.cache is not None:
+            fingerprint = text_fingerprint(
+                tids, self.model.name, self.epoch, strategy="parallel",
+                shard_layout=tuple(self.sharded.boundaries))
+            with tracer.span("cache.lookup", kind="parallel", n=n):
+                served, entry = self.cache.lookup(fingerprint, n)
+                tracer.annotate(hit=served is not None)
+            if served is not None:
+                started = time.perf_counter()
+                with CostCounter.activate() as cost:
+                    pass  # a cache hit charges no cost-model operations
+                elapsed = time.perf_counter() - started
+                return SearchResult(served, tids, cost, elapsed, self.collection)
+        bounds = None
+        if fingerprint is not None:
+            bounds = (entry.bounds if entry is not None and entry.bounds is not None
+                      else CoordinatorBounds())
         pool = self._parallel_pool()
         started = time.perf_counter()
         with CostCounter.activate() as cost:
             with pool.admit():
                 result = parallel_topn(self.sharded, tids, self.model, n,
-                                       pool=pool)
+                                       pool=pool, bounds=bounds)
         elapsed = time.perf_counter() - started
+        if fingerprint is not None and result.certified:
+            self.cache.store(fingerprint, n, result, prefix_safe=True,
+                             complete=len(result.items) < n, bounds=bounds)
         return SearchResult(result, tids, cost, elapsed, self.collection)
 
     def _search_with_attr_filter(self, tids, n, resolved, attr_filter) -> TopNResult:
@@ -253,6 +345,58 @@ class MMDatabase:
 
     # -- multimedia search ---------------------------------------------------------
 
+    def _run_multisource(self, sources, n, algorithm, agg, kind):
+        """Run a Fagin-family engine through the cache, when enabled.
+
+        Per-algorithm reuse (see :mod:`repro.cache`): TA resumes from a
+        saved frontier; NRA/CA replay memoized source accesses (their
+        lower-bound scores depend on termination depth, so re-running
+        the exact algorithm over replayed accesses is the only
+        bit-identical warm path); FA is prefix-safe, so its results are
+        served from cache but carry no resume state.
+        """
+        engine = _ALGORITHMS[algorithm]
+        if self.cache is None:
+            return engine(sources, n, agg)
+        fingerprint = sources_fingerprint(sources, agg.name, self.epoch,
+                                          algorithm, kind=kind)
+        with tracer.span("cache.lookup", kind=kind, n=n):
+            served, entry = self.cache.lookup(fingerprint, n)
+            tracer.annotate(hit=served is not None)
+        if served is not None:
+            return served
+        if algorithm == "ta":
+            resume = entry.resume if entry is not None else None
+            if resume is not None and n >= resume.n:
+                result = threshold_topn(sources, n, agg, resume_from=resume,
+                                        capture_state=True)
+                self.cache.note_resume()
+            else:
+                result = threshold_topn(sources, n, agg, capture_state=True)
+            self.cache.store(fingerprint, n, result, prefix_safe=True,
+                             complete=len(result.items) < n,
+                             resume=result.stats.pop("resume_state", None))
+            return result
+        if algorithm in ("nra", "ca"):
+            logs = entry.replay_logs if entry is not None else None
+            fresh_logs = logs is None
+            if fresh_logs:
+                logs = tuple(ReplayLog(source_token(s)) for s in sources)
+            wrapped = wrap_sources(sources, logs)
+            result = engine(wrapped, n, agg)
+            if not fresh_logs and replayed_total(wrapped):
+                self.cache.note_resume()
+            result.stats["replayed_accesses"] = replayed_total(wrapped)
+            # a run that exhausts the corpus ranks every object with
+            # exact (depth-independent) scores: complete is safe
+            self.cache.store(fingerprint, n, result, prefix_safe=False,
+                             complete=len(result.items) < n, replay_logs=logs)
+            return result
+        result = engine(sources, n, agg)
+        self.cache.store(fingerprint, n, result, prefix_safe=True,
+                         complete=len(result.items) < n)
+        return result
+
     def feature_search(self, queries: dict[str, np.ndarray], n: int = 10,
                        algorithm: str = "ta", agg=SUM,
                        measure: str = "l2") -> SearchResult:
@@ -268,7 +412,8 @@ class MMDatabase:
             sources.append(feature_source(self.feature_spaces[name], vector, measure))
         started = time.perf_counter()
         with CostCounter.activate() as cost:
-            result = _ALGORITHMS[algorithm](sources, n, agg)
+            result = self._run_multisource(sources, n, algorithm, agg,
+                                           kind="feature")
         elapsed = time.perf_counter() - started
         return SearchResult(result, [], cost, elapsed, self.collection)
 
@@ -296,7 +441,8 @@ class MMDatabase:
             raise TopNError("combined_search needs at least one source")
         started = time.perf_counter()
         with CostCounter.activate() as cost:
-            result = _ALGORITHMS[algorithm](sources, n, agg)
+            result = self._run_multisource(sources, n, algorithm, agg,
+                                           kind="combined")
         elapsed = time.perf_counter() - started
         return SearchResult(result, tids, cost, elapsed, self.collection)
 

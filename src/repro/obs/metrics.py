@@ -32,6 +32,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "add_reset_hook",
     "counter",
     "disable",
     "enable",
@@ -219,11 +220,14 @@ class MetricsRegistry:
             self.histograms.clear()
 
 
-#: enable/disable happen in single-threaded setup, never on worker paths
-SHARED_STATE = {"_enabled": "<config>"}
+#: enable/disable happen in single-threaded setup, never on worker paths;
+#: reset hooks are registered at import time by subsystems holding their
+#: own counters (e.g. the query cache)
+SHARED_STATE = {"_enabled": "<config>", "_reset_hooks": "<config>"}
 
 _registry = MetricsRegistry()
 _enabled = False
+_reset_hooks: list = []
 
 
 def registry() -> MetricsRegistry:
@@ -245,9 +249,23 @@ def disable() -> None:
     _enabled = False
 
 
+def add_reset_hook(hook) -> None:
+    """Register a callable to run on every :func:`reset`.
+
+    Subsystems that keep effectiveness counters outside the registry
+    (the query cache's hit/miss/resume tallies) register here so
+    ``metrics.reset()`` — and therefore ``repro profile`` — never
+    reports stale rates.  Registration is idempotent."""
+    if hook not in _reset_hooks:
+        _reset_hooks.append(hook)
+
+
 def reset() -> None:
-    """Drop every instrument from the global registry."""
+    """Drop every instrument from the global registry and run the
+    registered reset hooks."""
     _registry.reset()
+    for hook in _reset_hooks:
+        hook()
 
 
 def snapshot() -> dict:

@@ -36,6 +36,12 @@ class OptimizationReport:
     diagnostics: object = None
     #: the optimizer's `parallel=K` plan property (None = serial)
     parallel: int | None = None
+    #: fast-path plan property: every declared cache reuse is sound and
+    #: at least one serves the requested depth outright
+    cache_hit: bool = False
+    #: fast-path plan property: the depth certified resume state
+    #: continues from (None = no sound resume declared)
+    resume_from: int | None = None
 
     @property
     def original_estimate(self) -> PlanEstimate:
@@ -73,6 +79,10 @@ class OptimizationReport:
             f"{self.chosen_estimate.cost:.1f} "
             f"(x{self.estimated_speedup:.1f})"
         )
+        if self.cache_hit:
+            lines.append("fast path: cache_hit")
+        elif self.resume_from is not None:
+            lines.append(f"fast path: resume_from={self.resume_from}")
         if self.diagnostics is not None:
             lines.append(self.diagnostics.render_text())
         return "\n".join(lines)
@@ -94,6 +104,7 @@ class Optimizer:
         parallel: int | None = None,
         shards=None,
         merge_probe: bool = True,
+        cache_reuse=None,
     ) -> None:
         self.registry = registry or default_registry()
         self.cost_model = cost_model or CostModel()
@@ -117,6 +128,11 @@ class Optimizer:
         self.parallel = parallel
         self.shards = dict(shards or {})
         self.merge_probe = merge_probe
+        #: CacheReuseDeclaration records the plan depends on; sound
+        #: reuses grant the report's `cache_hit`/`resume_from` plan
+        #: properties, unsound ones become MOA8xx diagnostics in
+        #: verify mode
+        self.cache_reuse = tuple(cache_reuse or ())
 
     def optimize(self, expr: Expr, env=None, verify: bool | None = None) -> OptimizationReport:
         """Rewrite ``expr`` through the three layers and pick the
@@ -172,6 +188,7 @@ class Optimizer:
                     chosen = candidates[-1]
             report = OptimizationReport(expr, chosen, trace, estimates,
                                         parallel=self.parallel)
+            self._grant_cache_properties(report)
             if do_verify:
                 with tracer.span("optimizer.verify"):
                     report.diagnostics = self._verify_report(report, env_types)
@@ -181,6 +198,27 @@ class Optimizer:
     def all_rules(self):
         """Every rule of the three layers, in application order."""
         return self.logical_rules + self.inter_object_rules + self.intra_object_rules
+
+    def _grant_cache_properties(self, report: OptimizationReport) -> None:
+        """Grant the ``cache_hit`` / ``resume_from`` fast-path plan
+        properties when every declared reuse is sound (MOA8xx-clean).
+        One unsound declaration withholds both — a plan must not mix a
+        verified fast path with an unverifiable one."""
+        if not self.cache_reuse:
+            return
+        if any(declaration.violations() for declaration in self.cache_reuse):
+            return
+        for declaration in self.cache_reuse:
+            n, m = declaration.requested_n, declaration.cached_n
+            serves = (m is not None and n is not None
+                      and (declaration.complete
+                           or (n <= m and declaration.prefix_safe)
+                           or n == m))
+            if serves:
+                report.cache_hit = True
+            elif declaration.has_resume and m is not None:
+                if report.resume_from is None or m > report.resume_from:
+                    report.resume_from = m
 
     def _verify_report(self, report: OptimizationReport, env_types):
         """Run the plan verifier over a finished optimization."""
@@ -197,7 +235,8 @@ class Optimizer:
 
         context = AnalysisContext(env_types=env_types, registry=self.registry,
                                   shards=self.shards, parallel=self.parallel,
-                                  merge_probe=self.merge_probe)
+                                  merge_probe=self.merge_probe,
+                                  cache_reuse=self.cache_reuse)
         diagnostics = DiagnosticReport(source=str(report.original))
         diagnostics.extend(analyze_expr(report.optimized, context))
 

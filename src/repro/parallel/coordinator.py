@@ -218,6 +218,11 @@ def default_round1_fetch(n: int, k: int) -> int:
     return min(n, max(1, math.ceil(n / k)))
 
 
+#: complete shard rankings larger than this are not retained in the
+#: bound cache (memory guard; the threshold/top-key facts are kept)
+_MAX_CACHED_RANKING = 1024
+
+
 def coordinated_topn(
     evaluators: list,
     n: int,
@@ -226,12 +231,23 @@ def coordinated_topn(
     probe: bool = True,
     token: CancelToken | None = None,
     strategy: str = "parallel",
+    bounds=None,
 ) -> TopNResult:
     """Run the two-round bounded merge over shard evaluators.
 
     Each evaluator answers ``top(depth) -> ShardAnswer``.  See the
     module docstring for the protocol; ``probe=False`` stops after
     round 1 and reports honest (possibly ``certified=False``) results.
+
+    ``bounds`` is an optional
+    :class:`~repro.cache.bounds.CoordinatorBounds` recorded by a
+    previous certified run of the *same fingerprint* (same corpus
+    epoch, shard layout, terms).  Shards whose cached best key is
+    provably below a cached final threshold are excluded from round 1
+    outright (``bound_pruned``); shards with a cached complete local
+    ranking are served from the cache without scheduling their
+    evaluator (``bound_served``).  Certified outcomes are recorded back
+    so consecutive runs keep tightening the bounds.
     """
     if n < 1:
         raise ParallelError(f"need n >= 1, got {n}")
@@ -245,9 +261,45 @@ def coordinated_topn(
     fetch = min(max(1, fetch), n)
     state = _MergeState(n)
     last_key: list[tuple[float, int] | None] = [None] * k
+    first_key: list[tuple[float, int] | None] = [None] * k
     exhausted = [False] * k
+    shard_candidates = [0] * k
+    full_ranking: list[list[RankedItem] | None] = [None] * k
+    precluded = [False] * k
+    served = [False] * k
     shipped = 0
     candidates = 0
+
+    # a cached final threshold from an n at least this deep bounds this
+    # run's final τ from above (in key order), so exceeding it proves a
+    # shard's unfetched tail irrelevant before the live pool can
+    cached_bound = bounds.threshold_bound(n) if bounds is not None else None
+
+    def _tail_prunable(i: int) -> bool:
+        if state.prunable(last_key[i]):
+            return True
+        return (cached_bound is not None and last_key[i] is not None
+                and last_key[i] >= cached_bound)
+
+    if bounds is not None:
+        prunable_ids = bounds.prunable_shards(n)
+        for i, evaluator in enumerate(evaluators):
+            ranking = bounds.complete_ranking(evaluator.shard_id)
+            if ranking is not None:
+                # cached complete local ranking: the shard never runs
+                items = [RankedItem(obj, score) for obj, score in ranking]
+                state.offer(items)
+                served[i] = True
+                exhausted[i] = True
+                shard_candidates[i] = len(items)
+                candidates += len(items)
+                if items:
+                    first_key[i] = _key(items[0])
+                    last_key[i] = _key(items[-1])
+            elif evaluator.shard_id in prunable_ids:
+                # cached top key below a cached final threshold: the
+                # shard provably contributes nothing to this top-n
+                precluded[i] = True
 
     def _absorb(outcomes, idxs, round_no) -> None:
         """Merge shard outcomes (``idxs`` maps outcome position to
@@ -277,22 +329,31 @@ def coordinated_topn(
                     candidates += answer.candidates
                 if answer.items:
                     last_key[i] = _key(answer.items[-1])
+                    if first_key[i] is None:
+                        first_key[i] = _key(answer.items[0])
                 if answer.exhausted:
                     exhausted[i] = True
+                    full_ranking[i] = answer.items
+                shard_candidates[i] = answer.candidates
                 tracer.annotate(items=len(answer.items),
                                 exhausted=answer.exhausted)
 
     try:
         with tracer.span(f"topn.{strategy}", n=n, shards=k, fetch=fetch):
-            # -- round 1: bounded fetch from every shard ------------------
-            with tracer.span("parallel.round", round=1, fetch=fetch):
-                outcomes = pool.run_tasks(
-                    [lambda e=e: e.top(fetch) for e in evaluators], token=token)
-                _absorb(outcomes, idxs=list(range(k)), round_no=1)
+            # -- round 1: bounded fetch from every non-excluded shard -----
+            run1 = [i for i in range(k) if not served[i] and not precluded[i]]
+            with tracer.span("parallel.round", round=1, fetch=fetch,
+                             bound_served=k - len(run1)):
+                if run1:
+                    outcomes = pool.run_tasks(
+                        [lambda e=evaluators[i]: e.top(fetch) for i in run1],
+                        token=token)
+                    _absorb(outcomes, idxs=run1, round_no=1)
 
             # -- threshold: which shards could still matter? --------------
             need = [i for i in range(k)
-                    if not exhausted[i] and not state.prunable(last_key[i])]
+                    if not exhausted[i] and not precluded[i]
+                    and not _tail_prunable(i)]
             rounds = 1
             live_skipped = 0
             probed = 0
@@ -315,20 +376,35 @@ def coordinated_topn(
                     probes = pool.run_tasks(
                         [lambda e=evaluators[i]: probe_shard(e) for i in need],
                         token=token,
-                        skip_when=lambda j: state.prunable(last_key[need[j]]),
+                        skip_when=lambda j: _tail_prunable(need[j]),
                     )
                     live_skipped = sum(1 for o in probes if o.status == "skipped")
                     probed = sum(1 for o in probes if o.status == "done")
                     _absorb(probes, idxs=need, round_no=2)
 
             items = state.seal()
+            # precluded shards are certifiably below a previous run's
+            # final threshold for an n at least this large: same-epoch
+            # data makes that proof carry over to this run
             certified = probe or all(
-                exhausted[i] or state.prunable(last_key[i]) for i in range(k))
+                exhausted[i] or precluded[i] or _tail_prunable(i)
+                for i in range(k))
+            bound_served = sum(served)
+            bound_pruned = sum(precluded)
+            if bounds is not None and certified:
+                _record_bounds(bounds, n, items, evaluators, served, precluded,
+                               first_key, exhausted, shard_candidates,
+                               full_ranking)
             metrics.counter("parallel.rounds").inc(rounds)
             metrics.counter("parallel.probes").inc(probed)
             metrics.counter("parallel.probes_saved").inc(k - probed)
+            if bound_served:
+                metrics.counter("cache.bound_served").inc(bound_served)
+            if bound_pruned:
+                metrics.counter("cache.bound_pruned").inc(bound_pruned)
             tracer.annotate(rounds=rounds, probes=probed,
-                            probes_saved=k - probed, certified=certified)
+                            probes_saved=k - probed, certified=certified,
+                            bound_served=bound_served, bound_pruned=bound_pruned)
             return TopNResult(
                 items, n, strategy=strategy, safe=certified,
                 stats={
@@ -341,6 +417,8 @@ def coordinated_topn(
                     "full_gather_probes": k,
                     "items_shipped": shipped,
                     "candidates": candidates,
+                    "bound_served": bound_served,
+                    "bound_pruned": bound_pruned,
                 },
                 certified=certified,
             )
@@ -348,6 +426,31 @@ def coordinated_topn(
         token.cancel()  # resolved (or failed): stop any straggler tasks
         if own_pool:
             pool.close()
+
+
+def _record_bounds(bounds, n, items, evaluators, served, precluded, first_key,
+                   exhausted, shard_candidates, full_ranking) -> None:
+    """Feed a certified run's observations back into the bound cache."""
+    from ..cache.bounds import ShardBoundInfo
+
+    tau_key = _key(items[n - 1]) if len(items) == n else None
+    infos = []
+    for i, evaluator in enumerate(evaluators):
+        if served[i] or precluded[i]:
+            continue  # served: already recorded; precluded: never ran
+        ranking = None
+        if exhausted[i] and full_ranking[i] is not None \
+                and len(full_ranking[i]) <= _MAX_CACHED_RANKING:
+            ranking = tuple((item.obj_id, item.score)
+                            for item in full_ranking[i])
+        infos.append(ShardBoundInfo(
+            shard_id=evaluator.shard_id,
+            top_key=first_key[i],
+            candidates=shard_candidates[i],
+            exhausted=exhausted[i],
+            ranking=ranking,
+        ))
+    bounds.record(n, tau_key, infos)
 
 
 # -- public entry points ----------------------------------------------------
@@ -362,6 +465,7 @@ def parallel_topn(
     round1_fetch: int | None = None,
     probe: bool = True,
     token: CancelToken | None = None,
+    bounds=None,
 ) -> TopNResult:
     """Sharded parallel top-N over an inverted index.
 
@@ -375,7 +479,7 @@ def parallel_topn(
                   for shard in sharded.shards]
     result = coordinated_topn(evaluators, n, pool=pool,
                               round1_fetch=round1_fetch, probe=probe,
-                              token=token, strategy="parallel")
+                              token=token, strategy="parallel", bounds=bounds)
     result.stats["shard_skew"] = sharded.skew()
     return result
 
@@ -390,6 +494,7 @@ def parallel_topn_sources(
     round1_fetch: int | None = None,
     probe: bool = True,
     token: CancelToken | None = None,
+    bounds=None,
 ) -> TopNResult:
     """Sharded parallel top-N over Fagin-style graded sources: the
     object id space is split into contiguous ranges, one exhaustive
@@ -408,4 +513,5 @@ def parallel_topn_sources(
     ]
     return coordinated_topn(evaluators, n, pool=pool,
                             round1_fetch=round1_fetch, probe=probe,
-                            token=token, strategy="parallel-sources")
+                            token=token, strategy="parallel-sources",
+                            bounds=bounds)

@@ -4,8 +4,8 @@ The reproduction measures "amount of data processed" the way a database
 would: in *pages*.  Every BAT (see :mod:`repro.storage.bat`) is backed
 by a logical segment of fixed-size pages (``page_tuples`` tuples per
 page).  Kernel operations route their access patterns through the
-buffer manager, which keeps an LRU pool of ``capacity_pages`` frames
-and charges :mod:`repro.storage.stats` counters:
+buffer manager, which keeps a pool of ``capacity_pages`` frames and
+charges :mod:`repro.storage.stats` counters:
 
 * a page request that misses the pool charges one ``page_read``;
 * a page request that hits charges one ``buffer_hit``;
@@ -13,26 +13,34 @@ and charges :mod:`repro.storage.stats` counters:
 * random (positional) accesses request the single page containing the
   tuple.
 
-This is a *simulation*: no bytes are moved, only accounting happens.
-It is deliberately simple — single replacement policy (LRU), no
-dirty-page writeback model beyond an explicit :meth:`BufferManager.write`
-— because the paper's experiments only need a deterministic, monotone
-proxy for I/O volume.
+This is a *simulation*: no bytes are moved, only accounting happens —
+a deterministic, monotone proxy for I/O volume.
+
+Replacement is **pluggable** (:mod:`repro.storage.policies`): ``lru``
+(the seed behaviour), ``slru`` (segmented LRU — scan-resistant), and
+``clock`` (second-chance), selected per manager or installed onto the
+process-wide pool via :meth:`BufferManager.set_policy` /
+``DatabaseConfig.buffer_policy``.  Frames can be **pinned**: a pinned
+page is never chosen as an eviction victim until every pin is
+released, which is how callers keep a working set resident across a
+multi-step operation.
 
 The pool is process-wide and the parallel engine's worker threads
 request pages concurrently, so the manager follows the
-:mod:`repro.sync` declaration protocol: every counter and the LRU map
-are guarded by ``_lock``, and :func:`repro check <repro.analysis.concurrency>`
-holds the class to it.
+:mod:`repro.sync` declaration protocol: the counters, the pin table,
+and the policy's residency structures are all guarded by the
+manager's ``_lock`` (the policy object *shares* that lock — see
+:mod:`repro.storage.policies`), and
+:func:`repro check <repro.analysis.concurrency>` holds both classes
+to it.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 from ..errors import BufferError_
 from ..sync import declares_shared_state, guarded_by, make_lock
 from . import stats
+from .policies import ReplacementPolicy, make_policy
 from ..obs import metrics as _metrics
 
 #: default number of tuples that fit on one simulated page
@@ -46,19 +54,24 @@ SHARED_STATE = {"_default_buffer": "<config>"}
 
 @declares_shared_state
 class BufferManager:
-    """LRU pool of simulated page frames.
+    """Pool of simulated page frames with a pluggable eviction policy.
 
     Parameters
     ----------
     capacity_pages:
         Number of page frames in the pool.  Requests beyond capacity
-        evict the least recently used frame.
+        evict the policy's next victim.
     page_tuples:
         Tuples per page; converts tuple positions to page numbers.
+    policy:
+        Replacement policy name (``lru`` / ``slru`` / ``clock``), or a
+        ready :class:`~repro.storage.policies.ReplacementPolicy`
+        instance already sharing this manager's lock.
     """
 
     SHARED_STATE = {
-        "_pool": "_lock",
+        "_policy": "_lock",
+        "_pins": "_lock",
         "requests": "_lock",
         "hits": "_lock",
         "misses": "_lock",
@@ -69,6 +82,7 @@ class BufferManager:
         self,
         capacity_pages: int = DEFAULT_CAPACITY_PAGES,
         page_tuples: int = DEFAULT_PAGE_TUPLES,
+        policy: str = "lru",
     ) -> None:
         if capacity_pages <= 0:
             raise BufferError_(f"capacity_pages must be positive, got {capacity_pages}")
@@ -77,12 +91,18 @@ class BufferManager:
         self.capacity_pages = capacity_pages
         self.page_tuples = page_tuples
         self._lock = make_lock("storage.buffer")
-        # maps (segment_id, page_no) -> None; OrderedDict gives LRU order
-        self._pool: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self._policy: ReplacementPolicy = self._make_policy(policy)
+        #: (segment_id, page_no) -> pin count; pinned frames are never victims
+        self._pins: dict[tuple[int, int], int] = {}
         self.requests = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def _make_policy(self, policy) -> ReplacementPolicy:
+        if isinstance(policy, ReplacementPolicy):
+            return policy
+        return make_policy(policy, self._lock, capacity_pages=self.capacity_pages)
 
     # -- page-level interface ---------------------------------------------
 
@@ -95,9 +115,9 @@ class BufferManager:
         key = (segment_id, page_no)
         with self._lock:
             self.requests += 1
-            hit = key in self._pool
+            hit = key in self._policy
             if hit:
-                self._pool.move_to_end(key)
+                self._policy.touch(key)
                 self.hits += 1
             else:
                 self.misses += 1
@@ -114,13 +134,49 @@ class BufferManager:
 
     @guarded_by("_lock")
     def _admit(self, key: tuple[int, int]) -> None:
-        """Insert ``key`` as the most recent frame, evicting LRU overflow."""
-        self._pool[key] = None
-        self._pool.move_to_end(key)
-        while len(self._pool) > self.capacity_pages:
-            self._pool.popitem(last=False)
+        """Insert ``key`` (or touch it when resident), evicting the
+        policy's victims while the pool overflows."""
+        if key in self._policy:
+            self._policy.touch(key)
+        else:
+            self._policy.admit(key)
+        while len(self._policy) > self.capacity_pages:
+            victim = self._policy.victim(self._pins)
+            if victim is None:
+                raise BufferError_(
+                    f"buffer pool overflows capacity ({self.capacity_pages} "
+                    f"pages) with every remaining frame pinned")
             self.evictions += 1
             _metrics.inc("buffer.evictions")
+
+    # -- pinning -------------------------------------------------------------
+
+    def pin(self, segment_id: int, page_no: int) -> None:
+        """Pin a page: it is admitted if absent (uncharged bookkeeping —
+        request it first to model the I/O) and exempt from eviction
+        until every pin is released."""
+        key = (segment_id, page_no)
+        with self._lock:
+            if key not in self._policy:
+                self._policy.admit(key)
+            self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, segment_id: int, page_no: int) -> None:
+        """Release one pin; raises when the page is not pinned."""
+        key = (segment_id, page_no)
+        with self._lock:
+            count = self._pins.get(key)
+            if count is None:
+                raise BufferError_(f"page {key} is not pinned")
+            if count <= 1:
+                del self._pins[key]
+            else:
+                self._pins[key] = count - 1
+
+    @property
+    def pinned_pages(self) -> int:
+        """Number of distinct pinned frames."""
+        return len(self._pins)
 
     # -- tuple-level helpers ------------------------------------------------
 
@@ -168,22 +224,46 @@ class BufferManager:
 
     # -- management ----------------------------------------------------------
 
-    def flush(self) -> None:
-        """Empty the pool (e.g. between benchmark repetitions)."""
+    def set_policy(self, policy: str) -> None:
+        """Swap the replacement policy, migrating resident frames.
+
+        Keys are re-admitted coldest-first, so the recency order the
+        old policy tracked is approximately preserved.  Pins are
+        unaffected (the pin table lives on the manager).
+        """
         with self._lock:
-            self._pool.clear()
+            survivors = self._policy.keys()
+            fresh = self._make_policy(policy)
+            for key in survivors:
+                fresh.admit(key)
+            self._policy = fresh
+
+    @property
+    def policy_name(self) -> str:
+        return self._policy.name
+
+    def flush(self) -> None:
+        """Empty the pool (e.g. between benchmark repetitions).
+        Pinned frames stay resident — a pin is a residency promise."""
+        with self._lock:
+            pinned = [key for key in self._policy.keys() if key in self._pins]
+            self._policy.clear()
+            for key in pinned:
+                self._policy.admit(key)
 
     def evict_segment(self, segment_id: int) -> None:
-        """Drop all frames belonging to one segment (BAT dropped)."""
+        """Drop all unpinned frames belonging to one segment (BAT
+        dropped)."""
         with self._lock:
-            doomed = [key for key in self._pool if key[0] == segment_id]
+            doomed = [key for key in self._policy.keys()
+                      if key[0] == segment_id and key not in self._pins]
             for key in doomed:
-                del self._pool[key]
+                self._policy.remove(key)
 
     @property
     def resident_pages(self) -> int:
         """Number of frames currently occupied."""
-        return len(self._pool)
+        return len(self._policy)
 
     def hit_rate(self) -> float:
         """Fraction of requests served from the pool (0.0 if none yet)."""
@@ -194,7 +274,8 @@ class BufferManager:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BufferManager(capacity_pages={self.capacity_pages}, "
-            f"page_tuples={self.page_tuples}, resident={self.resident_pages}, "
+            f"page_tuples={self.page_tuples}, policy={self.policy_name!r}, "
+            f"resident={self.resident_pages}, "
             f"hits={self.hits}, misses={self.misses})"
         )
 

@@ -1,0 +1,285 @@
+"""Pluggable page-replacement policies for the simulated buffer pool.
+
+Blok's experiments charge I/O in pages, and which pages stay resident
+between consecutive queries decides the warm-query cost — exactly the
+reuse the cache subsystem exploits.  Three classic policies:
+
+``lru``
+    Least-recently-used, the seed behaviour: one recency queue.
+``slru`` (segmented LRU / 2Q-style)
+    Two recency segments.  New pages enter a *probationary* queue; a
+    re-reference promotes to the *protected* queue (capped at a
+    fraction of the pool, demoting its LRU back to probationary).  One
+    sequential scan of a large cold segment can no longer flush the
+    hot set: scan pages die in probation untouched.
+``clock``
+    Second-chance approximation of LRU: one reference bit per frame
+    and a sweeping hand.  Near-LRU quality at O(1) bookkeeping per
+    touch — the classic engineering trade-off.
+
+Concurrency: a policy does **not** own a lock.  It receives the buffer
+manager's ``_lock`` and stores it under the same attribute name, so
+every ``@guarded_by("_lock")`` mutator below is covered by the very
+lock the manager already holds when it calls in — the
+:mod:`repro.sync` protocol sees one lock, two declaring classes.
+
+Pinning: the manager passes the set of pinned keys to :meth:`victim`;
+a policy must never evict a pinned frame (it skips them and reports
+``None`` when nothing evictable remains).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import BufferError_
+from ..sync import declares_shared_state, guarded_by
+
+Key = tuple  # (segment_id, page_no)
+
+
+class ReplacementPolicy:
+    """Residency container + eviction order for the buffer pool.
+
+    All methods are called with the owning manager's ``_lock`` held.
+    Concrete policies adopt the lock in their *own* ``__init__``
+    (``self._lock = lock``) rather than through ``super()``: the
+    concurrency analysis resolves declarations per class, without
+    inheritance, so each declaring class must bind the lock attribute
+    in its own body.
+    """
+
+    name = "?"
+
+    def __init__(self, lock) -> None:
+        self._lock = lock
+
+    # residency ----------------------------------------------------------
+    def __contains__(self, key: Key) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def keys(self):
+        """Resident keys, coldest first (migration/introspection)."""
+        raise NotImplementedError
+
+    # transitions --------------------------------------------------------
+    def admit(self, key: Key) -> None:
+        """Insert a new (absent) key."""
+        raise NotImplementedError
+
+    def touch(self, key: Key) -> None:
+        """Record a re-reference of a resident key."""
+        raise NotImplementedError
+
+    def victim(self, pinned) -> Key | None:
+        """Remove and return the next eviction victim, skipping pinned
+        keys; ``None`` when every resident frame is pinned."""
+        raise NotImplementedError
+
+    def remove(self, key: Key) -> None:
+        """Drop a resident key (flush / segment eviction)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+@declares_shared_state
+class LRUPolicy(ReplacementPolicy):
+    """One recency queue; evict from the cold end."""
+
+    name = "lru"
+    SHARED_STATE = {"_entries": "_lock"}
+
+    def __init__(self, lock) -> None:
+        self._lock = lock
+        self._entries: OrderedDict[Key, None] = OrderedDict()
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self):
+        return list(self._entries)
+
+    @guarded_by("_lock")
+    def admit(self, key: Key) -> None:
+        self._entries[key] = None
+        self._entries.move_to_end(key)
+
+    @guarded_by("_lock")
+    def touch(self, key: Key) -> None:
+        self._entries.move_to_end(key)
+
+    @guarded_by("_lock")
+    def victim(self, pinned) -> Key | None:
+        for key in self._entries:
+            if key not in pinned:
+                del self._entries[key]
+                return key
+        return None
+
+    @guarded_by("_lock")
+    def remove(self, key: Key) -> None:
+        self._entries.pop(key, None)
+
+    @guarded_by("_lock")
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@declares_shared_state
+class SegmentedLRUPolicy(ReplacementPolicy):
+    """Segmented LRU (2Q-flavoured): probation for newcomers, a capped
+    protected segment for re-referenced pages."""
+
+    name = "slru"
+    SHARED_STATE = {"_probation": "_lock", "_protected": "_lock"}
+
+    def __init__(self, lock, protected_fraction: float = 0.8,
+                 capacity_pages: int | None = None) -> None:
+        self._lock = lock
+        if not 0.0 < protected_fraction < 1.0:
+            raise BufferError_(
+                f"protected_fraction must be in (0, 1), got {protected_fraction}")
+        self.protected_fraction = protected_fraction
+        self.capacity_pages = capacity_pages
+        self._probation: OrderedDict[Key, None] = OrderedDict()
+        self._protected: OrderedDict[Key, None] = OrderedDict()
+
+    def _protected_cap(self) -> int:
+        total = self.capacity_pages
+        if total is None:
+            total = len(self._probation) + len(self._protected)
+        return max(1, int(total * self.protected_fraction))
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._probation or key in self._protected
+
+    def __len__(self) -> int:
+        return len(self._probation) + len(self._protected)
+
+    def keys(self):
+        return list(self._probation) + list(self._protected)
+
+    @guarded_by("_lock")
+    def admit(self, key: Key) -> None:
+        self._probation[key] = None
+        self._probation.move_to_end(key)
+
+    @guarded_by("_lock")
+    def touch(self, key: Key) -> None:
+        if key in self._protected:
+            self._protected.move_to_end(key)
+            return
+        # promotion on re-reference; overflow demotes the protected LRU
+        # back to probation's hot end (it keeps a second chance)
+        self._probation.pop(key, None)
+        self._protected[key] = None
+        self._protected.move_to_end(key)
+        cap = self._protected_cap()
+        while len(self._protected) > cap:
+            demoted, _ = self._protected.popitem(last=False)
+            self._probation[demoted] = None
+            self._probation.move_to_end(demoted)
+
+    @guarded_by("_lock")
+    def victim(self, pinned) -> Key | None:
+        for queue in (self._probation, self._protected):
+            for key in queue:
+                if key not in pinned:
+                    del queue[key]
+                    return key
+        return None
+
+    @guarded_by("_lock")
+    def remove(self, key: Key) -> None:
+        if self._probation.pop(key, None) is None:
+            self._protected.pop(key, None)
+
+    @guarded_by("_lock")
+    def clear(self) -> None:
+        self._probation.clear()
+        self._protected.clear()
+
+
+@declares_shared_state
+class ClockPolicy(ReplacementPolicy):
+    """CLOCK second-chance: a circular queue of frames with one
+    reference bit each; the hand clears bits until it finds a cold,
+    unpinned frame."""
+
+    name = "clock"
+    SHARED_STATE = {"_frames": "_lock"}
+
+    def __init__(self, lock) -> None:
+        self._lock = lock
+        # key -> reference bit; dict order is the circular queue, the
+        # hand is the front (rotation = popitem + re-append)
+        self._frames: OrderedDict[Key, int] = OrderedDict()
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def keys(self):
+        return list(self._frames)
+
+    @guarded_by("_lock")
+    def admit(self, key: Key) -> None:
+        # newcomers start cold: a page never re-referenced is the next
+        # natural victim once the hand reaches it
+        self._frames[key] = 0
+
+    @guarded_by("_lock")
+    def touch(self, key: Key) -> None:
+        self._frames[key] = 1
+
+    @guarded_by("_lock")
+    def victim(self, pinned) -> Key | None:
+        # two full sweeps suffice: the first clears every reference
+        # bit, so the second meets a cold unpinned frame if one exists
+        for _ in range(2 * len(self._frames)):
+            key, ref = self._frames.popitem(last=False)
+            if key in pinned:
+                self._frames[key] = ref
+                continue
+            if ref:
+                self._frames[key] = 0
+                continue
+            return key
+        return None
+
+    @guarded_by("_lock")
+    def remove(self, key: Key) -> None:
+        self._frames.pop(key, None)
+
+    @guarded_by("_lock")
+    def clear(self) -> None:
+        self._frames.clear()
+
+
+#: registry used by BufferManager and DatabaseConfig validation
+POLICIES = {
+    LRUPolicy.name: LRUPolicy,
+    SegmentedLRUPolicy.name: SegmentedLRUPolicy,
+    ClockPolicy.name: ClockPolicy,
+}
+
+
+def make_policy(name: str, lock, capacity_pages: int | None = None) -> ReplacementPolicy:
+    """Instantiate a registered policy sharing the manager's lock."""
+    cls = POLICIES.get(name)
+    if cls is None:
+        raise BufferError_(
+            f"unknown buffer policy {name!r}; have {sorted(POLICIES)}")
+    if cls is SegmentedLRUPolicy:
+        return cls(lock, capacity_pages=capacity_pages)
+    return cls(lock)

@@ -25,8 +25,14 @@ from .result import RankedItem, TopNResult
 
 def combined_topn(sources: list, n: int, agg: AggregateFunction = SUM,
                   h: int = 4, check_every: int = 8,
-                  max_depth: int | None = None) -> TopNResult:
-    """Exact top-N with CA under random/sorted cost ratio ``h``."""
+                  max_depth: int | None = None,
+                  min_check_depth: int = 0) -> TopNResult:
+    """Exact top-N with CA under random/sorted cost ratio ``h``.
+
+    ``min_check_depth`` skips stop-condition evaluations below the
+    given depth (bound-cache seeding; see :func:`repro.topn.nra_topn`
+    for the reuse discipline — membership stays exact for any value).
+    """
     if not sources:
         raise TopNError("combined_topn needs at least one source")
     if h < 1:
@@ -67,6 +73,8 @@ def combined_topn(sources: list, n: int, agg: AggregateFunction = SUM,
 
     with tracer.span("topn.ca", n=n, m=m, agg=agg.name, h=h):
         stop_reason = "exhausted"
+        bound_checks = 0
+        checks_skipped = 0
         while True:
             if max_depth is not None and depth >= max_depth:
                 stop_reason = "max_depth"
@@ -101,6 +109,10 @@ def combined_topn(sources: list, n: int, agg: AggregateFunction = SUM,
             if not active:
                 break
             if depth % check_every == 0:
+                if depth < min_check_depth:
+                    checks_skipped += 1
+                    continue
+                bound_checks += 1
                 stopped = stop_condition()
                 if traced:
                     tracer.event("ca.check", depth=depth, stopped=stopped,
@@ -119,5 +131,6 @@ def combined_topn(sources: list, n: int, agg: AggregateFunction = SUM,
         return TopNResult(
             items, n, strategy="fagin-ca", safe=True,
             stats={"depth": depth, "objects_seen": len(grades),
-                   "completions": completions, "h": h, "stop_reason": stop_reason},
+                   "completions": completions, "h": h, "stop_reason": stop_reason,
+                   "bound_checks": bound_checks, "checks_skipped": checks_skipped},
         )

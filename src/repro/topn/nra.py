@@ -25,13 +25,22 @@ from .result import RankedItem, TopNResult
 
 
 def nra_topn(sources: list, n: int, agg: AggregateFunction = SUM,
-             check_every: int = 16, max_depth: int | None = None) -> TopNResult:
+             check_every: int = 16, max_depth: int | None = None,
+             min_check_depth: int = 0) -> TopNResult:
     """Top-N by sorted access only (NRA).
 
     ``check_every`` controls how often the (relatively expensive) stop
     condition is evaluated; ``max_depth`` optionally caps sorted-access
     depth (the result is then best-effort, still safe in membership if
     the stop condition was met earlier).
+
+    ``min_check_depth`` seeds the stop-condition schedule from the
+    bound cache: checks below that depth are skipped.  Membership stays
+    exact for any value (the conditions that do run are unchanged), but
+    the reported lower bounds are only bit-identical to an unseeded run
+    when the seed comes from the *same* fingerprint and ``n`` — i.e.
+    from a previous run's recorded stop depth, whose skipped checks are
+    exactly the ones that evaluated false.
     """
     if not sources:
         raise TopNError("nra_topn needs at least one source")
@@ -47,6 +56,8 @@ def nra_topn(sources: list, n: int, agg: AggregateFunction = SUM,
         depth = 0
         stopped = False
         stop_reason = "exhausted"
+        bound_checks = 0
+        checks_skipped = 0
         while not stopped:
             if max_depth is not None and depth >= max_depth:
                 stop_reason = "max_depth"
@@ -64,6 +75,10 @@ def nra_topn(sources: list, n: int, agg: AggregateFunction = SUM,
             if not active:
                 break
             if depth % check_every == 0:
+                if depth < min_check_depth:
+                    checks_skipped += 1
+                    continue
+                bound_checks += 1
                 stopped = _stop_condition_met(grades, bottoms, n, agg)
                 if stopped:
                     stop_reason = "bounds"
@@ -88,6 +103,8 @@ def nra_topn(sources: list, n: int, agg: AggregateFunction = SUM,
                 "objects_seen": len(grades),
                 "bottom_aggregate": agg.combine(effective_bottoms),
                 "stop_reason": stop_reason,
+                "bound_checks": bound_checks,
+                "checks_skipped": checks_skipped,
             },
         )
 

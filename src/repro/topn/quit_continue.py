@@ -38,6 +38,9 @@ def quit_continue_topn(
     n: int,
     budget_fraction: float = 0.25,
     strategy: str = "continue",
+    *,
+    resume_from=None,
+    capture_state: bool = False,
 ) -> TopNResult:
     """Unsafe top-N with a postings budget.
 
@@ -45,11 +48,21 @@ def quit_continue_topn(
     volume processed *fully* (with accumulator creation); term order is
     by descending score upper bound, so the budget is spent on the most
     interesting terms first.
+
+    The accumulation phase is independent of ``n`` — only the final
+    tail cut depends on it — so ``capture_state=True`` snapshots the
+    candidate/score arrays into ``stats["resume_state"]`` and
+    ``resume_from`` answers *any* ``n`` by re-cutting the cached
+    arrays, reading no postings at all.  The re-cut is the same
+    deterministic ``topn_tail``, so a resumed answer is identical to a
+    cold run at the new ``n``.
     """
     if strategy not in _STRATEGIES:
         raise TopNError(f"unknown strategy {strategy!r}; have {_STRATEGIES}")
     if not 0.0 < budget_fraction <= 1.0:
         raise TopNError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
+    if resume_from is not None:
+        return _resume_cut(resume_from, tids, model, n, budget_fraction, strategy)
 
     # order terms by interest: highest upper bound first
     ordered = sorted(
@@ -99,14 +112,55 @@ def quit_continue_topn(
         top = kernel.topn_tail(scores, n, descending=True)
         tracer.annotate(quit_reached=quit_reached, terms_full=terms_full,
                         candidates=len(candidates))
+        run_stats = {
+            "terms_total": len(tids),
+            "terms_full": terms_full,
+            "postings_total": total_postings,
+            "postings_full": postings_full,
+            "postings_continued": postings_continued,
+            "candidates": len(candidates),
+            "resumed": False,
+        }
+        result = TopNResult.from_bat(
+            top, n, strategy=f"brown-{strategy}", safe=False, stats=run_stats,
+        )
+        if capture_state:
+            from ..cache.resume import AccumulatorResumeState
+            result.stats["resume_state"] = AccumulatorResumeState(
+                strategy=strategy,
+                budget_fraction=budget_fraction,
+                terms=tuple(sorted(int(t) for t in tids)),
+                candidates=candidates.copy(),
+                scores=accumulator[candidates].copy(),
+                run_stats={k: v for k, v in run_stats.items() if k != "resumed"},
+            )
+        return result
+
+
+def _resume_cut(state, tids, model, n: int, budget_fraction: float,
+                strategy: str) -> TopNResult:
+    """Answer top-``n`` from a cached accumulation snapshot."""
+    del model  # term identity covers the model through the fingerprint
+    if state.strategy != strategy or state.budget_fraction != budget_fraction:
+        raise TopNError(
+            f"resume state was built with strategy={state.strategy!r}/"
+            f"budget={state.budget_fraction}, query asks {strategy!r}/"
+            f"{budget_fraction}")
+    if tuple(sorted(int(t) for t in tids)) != state.terms:
+        raise TopNError("resume state covers a different term set")
+    with tracer.span("topn.quit_continue", n=n, strategy=strategy,
+                     budget_fraction=budget_fraction, terms=len(tids),
+                     resumed=True):
+        candidates = state.candidates
+        # materializing the candidate BAT is the only charged work —
+        # the postings the cold run read stay untouched
+        stats.charge_tuples_written(len(candidates))
+        scores = BAT(np.asarray(state.scores, dtype=np.float64),
+                     head=np.asarray(candidates, dtype=np.int64), head_key=True)
+        top = kernel.topn_tail(scores, n, descending=True)
+        tracer.annotate(candidates=len(candidates))
+        run_stats = dict(state.run_stats)
+        run_stats["resumed"] = True
         return TopNResult.from_bat(
-            top, n, strategy=f"brown-{strategy}", safe=False,
-            stats={
-                "terms_total": len(tids),
-                "terms_full": terms_full,
-                "postings_total": total_postings,
-                "postings_full": postings_full,
-                "postings_continued": postings_continued,
-                "candidates": len(candidates),
-            },
+            top, n, strategy=f"brown-{strategy}", safe=False, stats=run_stats,
         )

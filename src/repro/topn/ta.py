@@ -8,6 +8,22 @@ No unseen object can aggregate above τ (monotonicity), so TA stops as
 soon as the current N-th best score reaches τ.  TA is
 instance-optimal: it stops no later than FA and usually far earlier —
 this is the "upper and lower bound administration" the paper cites.
+
+Incremental ("continue") evaluation
+-----------------------------------
+Because TA completes every object the moment it is first seen, its
+whole state is exact: the seen-object score map, the per-source last
+grades, and the next sorted-access depth.  ``capture_state=True``
+snapshots that frontier into the result's ``stats["resume_state"]``;
+passing it back via ``resume_from`` with a larger ``n`` continues the
+run instead of restarting it.  The resumed run first re-evaluates the
+stop rule *at the saved depth* — a cold run at the larger ``n`` checks
+there too, and because a larger heap's N-th-best never exceeds a
+smaller one's, the cold run can never have stopped earlier than the
+saved frontier.  From that point the depth loop proceeds exactly as
+cold, so the resumed answer is identical to a cold run at the new
+``n`` (including tie order) while paying no repeated sorted or random
+accesses for the saved prefix.
 """
 
 from __future__ import annotations
@@ -19,8 +35,31 @@ from .heap import BoundedTopN
 from .result import TopNResult
 
 
-def threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM) -> TopNResult:
-    """Exact top-N over graded sources with the Threshold Algorithm."""
+def _check_resume(resume_from, n: int, m: int, agg: AggregateFunction) -> None:
+    if getattr(resume_from, "m_sources", None) != m:
+        raise TopNError(
+            f"resume state covers {getattr(resume_from, 'm_sources', '?')} "
+            f"sources, query has {m}")
+    if getattr(resume_from, "agg_name", None) != agg.name:
+        raise TopNError(
+            f"resume state was built with aggregate "
+            f"{getattr(resume_from, 'agg_name', '?')!r}, query uses {agg.name!r}")
+    if n < resume_from.n:
+        raise TopNError(
+            f"resume target n={n} is below the saved frontier's n={resume_from.n}; "
+            "serve shrinking requests from the result cache instead")
+
+
+def threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM, *,
+                   resume_from=None, capture_state: bool = False) -> TopNResult:
+    """Exact top-N over graded sources with the Threshold Algorithm.
+
+    ``resume_from`` continues a previous run's saved frontier (a
+    :class:`~repro.cache.resume.TAResumeState` with the same sources,
+    aggregate, and ``n`` no smaller than the saved one).
+    ``capture_state=True`` stores this run's frontier under
+    ``stats["resume_state"]`` for a later continue.
+    """
     if not sources:
         raise TopNError("threshold_topn needs at least one source")
     if n <= 0:
@@ -28,17 +67,40 @@ def threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM) -> TopNR
     agg.validate_arity(len(sources))
 
     m = len(sources)
-    with tracer.span("topn.ta", n=n, m=m, agg=agg.name):
+    with tracer.span("topn.ta", n=n, m=m, agg=agg.name,
+                     resumed=resume_from is not None):
         traced = tracer.enabled()
         heap = BoundedTopN(n)
-        seen: set[int] = set()
+        # exact aggregate of every object seen under sorted access — the
+        # heap alone is not resumable (it forgets evicted objects)
+        seen_scores: dict[int, float] = {}
         # per-source grade floor once a list is exhausted: 0 (grades are
         # non-negative, and posting-style sources grade absent objects 0)
         last_grades = [0.0] * m
         depth = 0
         random_accesses = 0
+        resumed_from = 0
         stop_reason = "threshold"
-        while True:
+        threshold = 0.0
+        done = False
+        if resume_from is not None:
+            _check_resume(resume_from, n, m, agg)
+            resumed_from = resume_from.n
+            seen_scores = dict(resume_from.seen_scores)
+            for obj, score in seen_scores.items():
+                heap.push(obj, score)
+            last_grades = list(resume_from.last_grades)
+            depth = resume_from.depth_next
+            threshold = agg.combine(last_grades)
+            if resume_from.exhausted:
+                # the saved run drained every source: no unseen objects
+                done, stop_reason = True, "exhausted"
+            elif heap.full and heap.threshold() >= threshold:
+                # re-check the stop rule at the saved depth before reading
+                # deeper — a cold run at this n checks (and may stop) here
+                done = True
+        ranks_read = depth
+        while not done:
             active = False
             for i, source in enumerate(sources):
                 if source.exhausted(depth):
@@ -47,37 +109,47 @@ def threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM) -> TopNR
                 active = True
                 obj, grade = source.sorted_access(depth)
                 last_grades[i] = grade
-                if obj in seen:
+                if obj in seen_scores:
                     continue
-                seen.add(obj)
                 grades = [
                     grade if j == i else other.random_access(obj)
                     for j, other in enumerate(sources)
                 ]
                 random_accesses += m - 1
-                heap.push(obj, agg.combine(grades))
+                score = agg.combine(grades)
+                seen_scores[obj] = score
+                heap.push(obj, score)
             threshold = agg.combine(last_grades)
             if traced:
                 # per-round threshold evolution: τ falls, the heap's
                 # N-th best rises; they crossing is the stop decision
                 tracer.event("ta.round", depth=depth, threshold=threshold,
-                             heap_threshold=heap.threshold(), objects_seen=len(seen))
+                             heap_threshold=heap.threshold(),
+                             objects_seen=len(seen_scores))
+            ranks_read = depth + 1
             if heap.full and heap.threshold() >= threshold:
                 break
             if not active:
                 stop_reason = "exhausted"
                 break
             depth += 1
-        tracer.annotate(stop_reason=stop_reason, depth=depth + 1,
+        tracer.annotate(stop_reason=stop_reason, depth=ranks_read,
                         heap_churn=heap.churn())
-        return TopNResult(
-            heap.items_sorted(), n, strategy="fagin-ta", safe=True,
-            stats={
-                "depth": depth + 1,
-                "objects_seen": len(seen),
-                "random_accesses": random_accesses,
-                "final_threshold": threshold,
-                "stop_reason": stop_reason,
-                "heap_churn": heap.churn(),
-            },
-        )
+        stats = {
+            "depth": ranks_read,
+            "objects_seen": len(seen_scores),
+            "random_accesses": random_accesses,
+            "final_threshold": threshold,
+            "stop_reason": stop_reason,
+            "heap_churn": heap.churn(),
+            "resumed_from": resumed_from,
+        }
+        if capture_state:
+            from ..cache.resume import TAResumeState
+            stats["resume_state"] = TAResumeState(
+                n=n, m_sources=m, agg_name=agg.name, depth_next=ranks_read,
+                last_grades=tuple(last_grades), seen_scores=dict(seen_scores),
+                exhausted=(stop_reason == "exhausted"),
+            )
+        return TopNResult(heap.items_sorted(), n, strategy="fagin-ta",
+                          safe=True, stats=stats)

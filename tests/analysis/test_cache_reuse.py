@@ -1,0 +1,135 @@
+"""The MOA8xx cache-reuse safety family: seeded unsafe reuses must be
+flagged with the exact codes, sound reuses must grant the optimizer's
+``cache_hit`` / ``resume_from`` fast-path plan properties, and any
+violation must withhold both."""
+
+from repro.algebra import make_list, parse
+from repro.analysis import (
+    AnalysisContext,
+    CacheReuseAnalyzer,
+    CacheReuseDeclaration,
+    analyze_expr,
+)
+from repro.optimizer import Optimizer
+
+
+def sound(**overrides):
+    """A fully sound reuse: same epoch/aggregate/fragments/layout,
+    prefix-serving top-10 from a cached top-100."""
+    fields = dict(
+        name="entry",
+        cached_epoch=3, current_epoch=3,
+        cached_aggregate="sum", query_aggregate="sum",
+        cached_fragments=(0, 100), current_fragments=(0, 100),
+        cached_shard_layout=(0, 50), current_shard_layout=(0, 50),
+        cached_n=100, requested_n=10,
+        prefix_safe=True, complete=False, has_resume=False,
+    )
+    fields.update(overrides)
+    return CacheReuseDeclaration(**fields)
+
+
+def codes(declaration):
+    return sorted(code for code, _ in declaration.violations())
+
+
+class TestViolations:
+    def test_sound_reuse_is_clean(self):
+        assert codes(sound()) == []
+
+    def test_stale_epoch_moa801(self):
+        assert codes(sound(cached_epoch=2)) == ["MOA801"]
+
+    def test_aggregate_mismatch_moa802(self):
+        assert codes(sound(query_aggregate="avg")) == ["MOA802"]
+
+    def test_fragment_drift_moa803(self):
+        assert codes(sound(current_fragments=(0, 90))) == ["MOA803"]
+
+    def test_shard_layout_moa804(self):
+        assert codes(sound(current_shard_layout=(0, 25, 50))) == ["MOA804"]
+
+    def test_deep_serve_without_resume_moa805(self):
+        assert codes(sound(requested_n=500)) == ["MOA805"]
+        # resume state makes the deepening sound
+        assert codes(sound(requested_n=500, has_resume=True)) == []
+        # a complete entry serves any depth
+        assert codes(sound(requested_n=500, complete=True)) == []
+
+    def test_non_prefix_safe_exact_n_only(self):
+        assert codes(sound(prefix_safe=False)) == ["MOA805"]
+        assert codes(sound(prefix_safe=False, requested_n=100)) == []
+
+    def test_unknown_fields_skip_checks(self):
+        bare = CacheReuseDeclaration(name="bare")
+        assert codes(bare) == []
+
+    def test_violations_accumulate(self):
+        bad = sound(cached_epoch=0, query_aggregate="max",
+                    current_fragments=(1,), current_shard_layout=(9,),
+                    requested_n=500)
+        assert codes(bad) == ["MOA801", "MOA802", "MOA803", "MOA804", "MOA805"]
+
+
+class TestAnalyzer:
+    def test_diagnostics_carry_exact_codes(self):
+        context = AnalysisContext(cache_reuse=(sound(cached_epoch=1),
+                                               sound(query_aggregate="avg")))
+        diagnostics = analyze_expr(parse("topn(xs, 10)"), context,
+                                   analyzers=[CacheReuseAnalyzer()])
+        assert sorted(d.code for d in diagnostics) == ["MOA801", "MOA802"]
+        assert all(d.severity == "error" for d in diagnostics)
+
+    def test_default_suite_includes_cache_reuse(self):
+        context = AnalysisContext(
+            env_types={"xs": make_list([3, 1, 2]).stype},
+            cache_reuse=(sound(cached_epoch=1),))
+        diagnostics = analyze_expr(parse("topn(xs, 10)"), context)
+        assert "MOA801" in {d.code for d in diagnostics}
+
+    def test_empty_context_yields_nothing(self):
+        assert analyze_expr(parse("xs"), AnalysisContext(),
+                            analyzers=[CacheReuseAnalyzer()]) == []
+
+
+class TestOptimizerFastPath:
+    ENV = {"xs": make_list([5, 2, 9, 1])}
+    EXPR = parse("topn(xs, 3)")
+
+    def test_sound_serve_grants_cache_hit(self):
+        report = Optimizer(cache_reuse=[sound()]).optimize(self.EXPR, self.ENV)
+        assert report.cache_hit
+        assert report.resume_from is None
+        assert "cache_hit" in report.describe()
+
+    def test_resume_grants_resume_from(self):
+        declaration = sound(requested_n=500, has_resume=True)
+        report = Optimizer(cache_reuse=[declaration]).optimize(self.EXPR, self.ENV)
+        assert not report.cache_hit
+        assert report.resume_from == 100
+        assert "resume_from=100" in report.describe()
+
+    def test_violation_withholds_both(self):
+        stale = sound(cached_epoch=1)
+        report = Optimizer(cache_reuse=[stale]).optimize(self.EXPR, self.ENV)
+        assert not report.cache_hit
+        assert report.resume_from is None
+
+    def test_one_bad_declaration_poisons_all(self):
+        report = Optimizer(
+            cache_reuse=[sound(), sound(cached_epoch=0)],
+        ).optimize(self.EXPR, self.ENV)
+        assert not report.cache_hit
+        assert report.resume_from is None
+
+    def test_verify_mode_reports_moa8xx(self):
+        report = Optimizer(
+            cache_reuse=[sound(cached_epoch=1)], verify=True,
+        ).optimize(self.EXPR, self.ENV)
+        assert report.diagnostics is not None
+        assert "MOA801" in report.diagnostics.codes()
+
+    def test_no_declarations_no_properties(self):
+        report = Optimizer().optimize(self.EXPR, self.ENV)
+        assert not report.cache_hit
+        assert report.resume_from is None

@@ -1,0 +1,43 @@
+"""`repro bench-cache` CLI smoke: table and JSON output, exit codes."""
+
+import io
+import json
+
+from repro.cli import main
+
+ARGS = ["--scale", "0.01", "--seed", "5"]
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestBenchCacheCli:
+    def test_table_output(self):
+        code, text = run_cli(ARGS + ["bench-cache", "--queries", "2"])
+        assert code == 0
+        assert "text-warm-repeat" in text
+        assert "qc-resume" in text
+        assert "ok:" in text
+
+    def test_json_output(self):
+        code, text = run_cli(ARGS + ["bench-cache", "--queries", "2", "--json"])
+        assert code == 0
+        payload = json.loads(text)  # must be *valid* JSON (no Infinity)
+        assert payload["ok"] is True
+        labels = {row["label"] for row in payload["rows"]}
+        assert {"text-warm-repeat", "ta-resume", "nra-resume",
+                "ca-resume", "qc-resume"} <= labels
+        for row in payload["rows"]:
+            assert row["mismatches"] == 0
+            if row["charged_warm"] == 0:
+                assert row["reduction"] is None
+
+    def test_resume_n_defaults_above_n(self):
+        code, text = run_cli(ARGS + ["bench-cache", "--queries", "2",
+                                     "--n", "5", "--resume-n", "3", "--json"])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["resume_n"] > payload["n"]

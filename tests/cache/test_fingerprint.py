@@ -1,0 +1,95 @@
+"""The cache key discipline: fingerprints must separate everything
+that can change an answer, and nothing else."""
+
+import dataclasses
+
+import numpy as np
+
+from repro.cache import QueryFingerprint, sources_fingerprint, text_fingerprint
+from repro.cache.fingerprint import source_token
+from repro.mm import ArraySource
+
+
+def base():
+    return QueryFingerprint(kind="text", terms=(1, 2, 3), aggregate="bm25",
+                            fragments=(0, 100), shard_layout=(), epoch=4,
+                            extra=("strategy", "naive"))
+
+
+class TestDigest:
+    def test_deterministic(self):
+        assert base().digest() == base().digest()
+
+    def test_every_field_separates(self):
+        reference = base().digest()
+        variants = [
+            dataclasses.replace(base(), kind="feature"),
+            dataclasses.replace(base(), terms=(1, 2)),
+            dataclasses.replace(base(), aggregate="sum"),
+            dataclasses.replace(base(), fragments=(0, 50)),
+            dataclasses.replace(base(), shard_layout=(0, 10)),
+            dataclasses.replace(base(), epoch=5),
+            dataclasses.replace(base(), extra=("strategy", "indexed")),
+        ]
+        digests = {fp.digest() for fp in variants}
+        assert reference not in digests
+        assert len(digests) == len(variants)
+
+    def test_describe_roundtrip(self):
+        d = base().describe()
+        assert d["digest"] == base().digest()
+        assert d["terms"] == [1, 2, 3]
+        assert d["epoch"] == 4
+
+
+class TestTextFingerprint:
+    def test_term_order_irrelevant(self):
+        a = text_fingerprint([5, 1, 9], "bm25", 0)
+        b = text_fingerprint([9, 5, 1], "bm25", 0)
+        assert a.digest() == b.digest()
+
+    def test_duplicates_kept(self):
+        """A repeated term contributes twice to the score — not the
+        same query as the deduplicated one."""
+        a = text_fingerprint([1, 1, 2], "bm25", 0)
+        b = text_fingerprint([1, 2], "bm25", 0)
+        assert a.digest() != b.digest()
+
+    def test_epoch_and_strategy_separate(self):
+        a = text_fingerprint([1], "bm25", 0)
+        assert a.digest() != text_fingerprint([1], "bm25", 1).digest()
+        assert a.digest() != text_fingerprint([1], "bm25", 0, strategy="indexed").digest()
+
+
+class TestSourceTokens:
+    def test_array_sources_content_addressed(self):
+        grades = np.linspace(0, 1, 10)
+        a = ArraySource(grades.copy(), name="f")
+        b = ArraySource(grades.copy(), name="f")
+        c = ArraySource(grades + 0.001, name="f")
+        assert source_token(a) == source_token(b)
+        assert source_token(a) != source_token(c)
+
+    def test_posting_sources_keyed_by_term_and_model(self):
+        class FakePostings:
+            tid = 7
+
+            class model:
+                name = "bm25"
+
+        assert source_token(FakePostings()) == ("term", 7, "bm25")
+
+    def test_source_order_preserved(self):
+        """Weighted aggregates are not symmetric: source order is
+        part of the key."""
+        x = ArraySource(np.array([0.1, 0.2]), name="x")
+        y = ArraySource(np.array([0.3, 0.4]), name="y")
+        a = sources_fingerprint([x, y], "sum", 0, "ta")
+        b = sources_fingerprint([y, x], "sum", 0, "ta")
+        assert a.digest() != b.digest()
+
+    def test_algorithm_and_kind_separate(self):
+        x = ArraySource(np.array([0.1, 0.2]), name="x")
+        a = sources_fingerprint([x], "sum", 0, "ta")
+        assert a.digest() != sources_fingerprint([x], "sum", 0, "nra").digest()
+        assert a.digest() != sources_fingerprint([x], "sum", 0, "ta", kind="combined").digest()

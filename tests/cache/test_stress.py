@@ -1,0 +1,100 @@
+"""Two-thread cache stress: concurrent lookups, stores and resumes on
+one shared cache must stay linearizable and race-free.
+
+CI runs this file again with ``REPRO_SANITIZE=1`` so the runtime race
+sanitizer checks every shared-state access against the ``repro.sync``
+declarations — zero violations is part of the cache acceptance bar.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.cache import QueryCache, QueryFingerprint, ReplayLog, wrap_sources
+from repro.mm import ArraySource
+from repro.topn import SUM, nra_topn
+from repro.topn.result import RankedItem, TopNResult
+
+THREADS = 2
+ROUNDS = 60
+
+
+def fp(i, epoch=0):
+    return QueryFingerprint(kind="text", terms=(i,), aggregate="bm25", epoch=epoch)
+
+
+def result(n):
+    return TopNResult(items=[RankedItem(i, 1.0 - i / 100) for i in range(n)],
+                      n_requested=n, strategy="naive", safe=True)
+
+
+class TestQueryCacheStress:
+    def test_concurrent_lookup_store_evict(self):
+        cache = QueryCache(max_entries=8)
+        errors = []
+        barrier = threading.Barrier(THREADS)
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for round_no in range(ROUNDS):
+                    key = (tid * ROUNDS + round_no) % 12
+                    cache.store(fp(key), 10, result(10))
+                    served, entry = cache.lookup(fp(key), 5)
+                    if served is not None and served.doc_ids != [0, 1, 2, 3, 4]:
+                        errors.append(("bad prefix", tid, round_no))
+                    cache.note_resume()
+                    if round_no % 10 == 0:
+                        cache.invalidate_below_epoch(0)  # no-op, takes the lock
+            except Exception as exc:  # noqa: BLE001 - surface to the test
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        counters = cache.counters()
+        assert counters["stores"] == THREADS * ROUNDS
+        assert counters["resumes"] == THREADS * ROUNDS
+        assert counters["entries"] <= 8
+
+    def test_concurrent_replay_log_sharing(self):
+        """Two threads resuming through one shared replay log: both
+        must get exactly the cold answer."""
+        matrix = np.random.default_rng(31).random((200, 2))
+
+        def sources():
+            return [ArraySource(matrix[:, j], name=f"s{j}") for j in range(2)]
+
+        cold = nra_topn(sources(), 25, SUM)
+        logs = tuple(ReplayLog() for _ in range(2))
+        nra_topn(wrap_sources(sources(), logs), 5, SUM)  # seed the prefix
+        errors = []
+        barrier = threading.Barrier(THREADS)
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for _ in range(10):
+                    deep = nra_topn(wrap_sources(sources(), logs), 25, SUM)
+                    if deep.doc_ids != cold.doc_ids or deep.scores != cold.scores:
+                        errors.append(("diverged", tid))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_no_sanitizer_violations_recorded(self):
+        """When the runtime sanitizer is armed (CI: REPRO_SANITIZE=1),
+        the stress runs above must have recorded zero violations."""
+        from repro import sync
+
+        if sync.sanitizer_active():
+            assert sync.violations() == ()

@@ -1,0 +1,136 @@
+"""Edge cases for the shared top-N primitives.
+
+Degenerate inputs — a request deeper than the corpus, empty sources,
+score columns with no variation, histograms built over a constant
+column — are exactly where a stopping rule or a tie-break silently
+goes wrong.  Every case pins the behaviour against the sorted
+reference (score desc, obj_id asc).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TopNError
+from repro.mm import ArraySource
+from repro.storage.bat import BAT
+from repro.topn import (
+    SUM,
+    BoundedTopN,
+    ScoreHistogram,
+    fagin_topn,
+    naive_topn_sources,
+    nra_topn,
+    probabilistic_topn,
+    threshold_topn,
+)
+from repro.topn.ca import combined_topn
+
+ENGINES = [naive_topn_sources, fagin_topn, threshold_topn, nra_topn, combined_topn]
+
+
+def make_sources(matrix):
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return [ArraySource(matrix[:, j], name=f"s{j}") for j in range(matrix.shape[1])]
+
+
+class TestHeapEdges:
+    def test_n_zero_accepts_nothing(self):
+        heap = BoundedTopN(0)
+        assert not heap.push(1, 0.9)
+        assert heap.items_sorted() == []
+        assert heap.threshold() == -math.inf
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(TopNError):
+            BoundedTopN(-1)
+
+    def test_n_beyond_offers_keeps_everything(self):
+        heap = BoundedTopN(100)
+        for obj_id, score in enumerate([0.3, 0.1, 0.2]):
+            heap.push(obj_id, score)
+        assert [item.obj_id for item in heap.items_sorted()] == [0, 2, 1]
+        assert not heap.full
+        assert heap.threshold() == -math.inf
+
+    def test_all_equal_scores_tie_break_by_id(self):
+        heap = BoundedTopN(3)
+        for obj_id in [7, 3, 9, 1, 5]:
+            heap.push(obj_id, 0.5)
+        assert [item.obj_id for item in heap.items_sorted()] == [1, 3, 5]
+
+    def test_would_enter_on_exact_tie(self):
+        heap = BoundedTopN(1)
+        heap.push(4, 0.5)
+        # same score: only a smaller id displaces the incumbent
+        assert heap.would_enter(0.5, 2)
+        assert not heap.would_enter(0.5, 4)
+        assert not heap.would_enter(0.5, 9)
+
+
+class TestEnginesDegenerate:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_n_beyond_corpus_returns_full_ranking(self, engine):
+        matrix = np.random.default_rng(3).random((7, 2))
+        result = engine(make_sources(matrix), 50, SUM)
+        reference = naive_topn_sources(make_sources(matrix), 50, SUM)
+        assert len(result.items) == 7
+        assert result.same_ranking(reference)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_empty_sources_return_empty(self, engine):
+        sources = make_sources(np.zeros((0, 2)))
+        result = engine(sources, 5, SUM)
+        assert result.items == []
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_all_equal_scores_certify_id_order(self, engine):
+        """Every engine must resolve a fully tied corpus the same way:
+        ids ascending — the tie-break the conformance suites certify."""
+        sources = make_sources(np.full((12, 3), 0.25))
+        result = engine(sources, 5, SUM)
+        assert [item.obj_id for item in result.items] == [0, 1, 2, 3, 4]
+        assert all(item.score == pytest.approx(0.75) for item in result.items)
+
+
+class TestHistogramDegenerate:
+    def test_constant_scores(self):
+        hist = ScoreHistogram(np.full(50, 0.4))
+        cutoff = hist.cutoff_for(10)
+        assert cutoff == pytest.approx(0.4)
+        # a restart from the only boundary value must terminate
+        assert hist.next_lower_cutoff(cutoff) == -math.inf
+
+    def test_n_beyond_population_falls_back_to_minimum(self):
+        scores = np.linspace(0.1, 0.9, 20)
+        hist = ScoreHistogram(scores)
+        assert hist.cutoff_for(1000) == pytest.approx(0.1)
+
+    def test_tiny_population(self):
+        hist = ScoreHistogram(np.array([0.7]))
+        assert hist.cutoff_for(1) == pytest.approx(0.7)
+
+    def test_empty_and_bad_buckets_rejected(self):
+        with pytest.raises(TopNError):
+            ScoreHistogram(np.array([]))
+        with pytest.raises(TopNError):
+            ScoreHistogram(np.array([0.1, 0.2]), n_buckets=1)
+        with pytest.raises(TopNError):
+            ScoreHistogram(np.array([0.1, 0.2])).cutoff_for(0)
+
+    def test_probabilistic_constant_column_still_exact(self):
+        """Cutoff == every score: the first selection already qualifies
+        the whole column; tie-break and exactness must survive."""
+        scores = np.full(30, 0.6)
+        bat = BAT(scores, tail_sorted=True)
+        result = probabilistic_topn(bat, 5, ScoreHistogram(scores))
+        assert [item.obj_id for item in result.items] == [0, 1, 2, 3, 4]
+        assert result.stats["restarts"] == 0
+
+    def test_probabilistic_n_beyond_population(self):
+        scores = np.linspace(0.0, 1.0, 10)
+        bat = BAT(scores, tail_sorted=True)
+        result = probabilistic_topn(bat, 99, ScoreHistogram(scores))
+        assert len(result.items) == 10
+        assert [item.obj_id for item in result.items] == list(range(9, -1, -1))
