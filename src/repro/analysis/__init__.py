@@ -13,6 +13,9 @@ The correctness tooling around the optimizer (see ``docs/API.md``,
   soundness, ordering, safe-vs-unsafe cut-off classification,
   cardinality, fragment coverage, shard safety of parallel plans)
   plus per-rewrite step checks;
+* :mod:`~repro.analysis.bounds` — the interval-domain abstract
+  interpreter behind ``repro bounds``: certified score intervals at
+  every plan edge and the ``MOA9xx`` bound-certification family;
 * :mod:`~repro.analysis.soundness` — the differential rewrite-rule
   soundness harness and the verified safety-label cache;
 * :mod:`~repro.analysis.lint` — ``repro lint`` entry points and the
@@ -26,6 +29,7 @@ from .analyzers import (
     DEFAULT_ANALYZERS,
     AnalysisContext,
     Analyzer,
+    BoundFlowAnalyzer,
     CacheReuseAnalyzer,
     CacheReuseDeclaration,
     CardinalityAnalyzer,
@@ -40,6 +44,18 @@ from .analyzers import (
     analyze_expr,
     check_rewrite_step,
     classify_cutoffs,
+)
+from .bounds import (
+    BoundCertificate,
+    BoundFlow,
+    BoundSeedDeclaration,
+    PruningDeclaration,
+    ResumeSourceDeclaration,
+    WorstCaseError,
+    analyze_bound_flow,
+    certify,
+    check_bounds_rewrite,
+    derive_bounds,
 )
 from .codes import CODES, SEVERITIES, DiagnosticCode, all_codes, code_info
 from .concurrency import (
@@ -66,8 +82,12 @@ from .diagnostics import (
 )
 from .lint import (
     DEMO_EXPRESSION,
+    SEEDED_UNSOUND_RULES,
+    WIDENING_DEMO_EXPRESSION,
+    UnsafeSelectWidening,
     UnsafeStopAfterPushdown,
     demo_unsafe_rewrite,
+    demo_widening_rewrite,
     lint_expr,
     lint_file,
     lint_text,
@@ -91,6 +111,10 @@ from .soundness import (
 __all__ = [
     "AnalysisContext",
     "Analyzer",
+    "BoundCertificate",
+    "BoundFlow",
+    "BoundFlowAnalyzer",
+    "BoundSeedDeclaration",
     "CODES",
     "CacheReuseAnalyzer",
     "CacheReuseDeclaration",
@@ -110,21 +134,31 @@ __all__ = [
     "ORDER_SENSITIVE_OPS",
     "OrderingAnalyzer",
     "PlanProperties",
+    "PruningDeclaration",
+    "ResumeSourceDeclaration",
     "RuleVerdict",
+    "SEEDED_UNSOUND_RULES",
     "SEVERITIES",
     "ShardDeclaration",
     "ShardSafetyAnalyzer",
     "SoundnessHarness",
     "TypeSoundnessAnalyzer",
+    "UnsafeSelectWidening",
     "UnsafeStopAfterPushdown",
+    "WIDENING_DEMO_EXPRESSION",
     "WORKER_ROOTS",
+    "WorstCaseError",
     "all_codes",
+    "analyze_bound_flow",
     "analyze_effects",
     "analyze_expr",
     "apply_rule_somewhere",
+    "certify",
+    "check_bounds_rewrite",
     "check_package",
     "check_paths",
     "check_rewrite_step",
+    "derive_bounds",
     "classify_cutoffs",
     "clear_verified_cache",
     "cli_payload",
@@ -133,6 +167,7 @@ __all__ = [
     "effect_summary",
     "exit_code_for",
     "demo_unsafe_rewrite",
+    "demo_widening_rewrite",
     "ensure_verified",
     "format_path",
     "infer_module_effects",

@@ -11,7 +11,9 @@ suite covers the verifier's five dimensions:
 * cardinality bounds (:class:`CardinalityAnalyzer`),
 * fragment coverage (:class:`FragmentCoverageAnalyzer`),
 * shard safety of parallel plans (:class:`ShardSafetyAnalyzer`),
-* cache-reuse safety (:class:`CacheReuseAnalyzer`).
+* cache-reuse safety (:class:`CacheReuseAnalyzer`),
+* score-bound certification (:class:`BoundFlowAnalyzer`, backed by the
+  interval abstract interpreter in :mod:`repro.analysis.bounds`).
 
 :func:`check_rewrite_step` applies the cross-rewrite checks (ordering /
 duplicate-semantics preservation, cardinality monotonicity, rule safety
@@ -160,6 +162,25 @@ class AnalysisContext:
     merge_probe: bool = True
     #: proposed cache reuses the plan depends on (MOA8xx checks)
     cache_reuse: tuple = ()
+    #: declared score intervals per environment variable (var name ->
+    #: :class:`~repro.intervals.ScoreInterval`), the bound analyzer's
+    #: source facts
+    score_bounds: Mapping[str, object] = field(default_factory=dict)
+    #: the aggregate the plan's threshold engine combines with (an
+    #: :class:`~repro.topn.aggregates.AggregateFunction` or its name)
+    aggregate: object | None = None
+    #: which threshold engine the plan runs under ("TA", "NRA", "CA",
+    #: "FA", "coordinator"...; None = no threshold administration)
+    threshold_engine: str | None = None
+    #: pruning decisions to certify (MOA902):
+    #: :class:`~repro.analysis.bounds.PruningDeclaration` records
+    pruning: tuple = ()
+    #: seeded threshold bounds to epoch-check (MOA905):
+    #: :class:`~repro.analysis.bounds.BoundSeedDeclaration` records
+    bound_seeds: tuple = ()
+    #: resumed-from-cache frontiers (feedback edges of the bound flow):
+    #: :class:`~repro.analysis.bounds.ResumeSourceDeclaration` records
+    resume_sources: tuple = ()
 
     def properties(self, expr: Expr) -> dict[ExprPath, PlanProperties]:
         return infer_properties(expr, self.env_types, self.registry)
@@ -512,6 +533,25 @@ class CacheReuseAnalyzer(Analyzer):
                 yield make_diagnostic(code, message, (), expr)
 
 
+class BoundFlowAnalyzer(Analyzer):
+    """Score-bound certification (MOA901/902/903/905).
+
+    Runs the interval-domain abstract interpreter of
+    :mod:`repro.analysis.bounds` over the plan and checks every pruning
+    decision the context declares (threshold engine + aggregate,
+    :class:`~repro.analysis.bounds.PruningDeclaration`,
+    :class:`~repro.analysis.bounds.BoundSeedDeclaration`,
+    :class:`~repro.analysis.bounds.ResumeSourceDeclaration`) against
+    the derived flow.  The body lives in the bounds module; the import
+    is deferred because that module builds on this one."""
+
+    name = "bound-flow"
+
+    def analyze(self, expr, context):
+        from .bounds import analyze_bound_flow
+        yield from analyze_bound_flow(expr, context)
+
+
 #: the default suite, in reporting order
 DEFAULT_ANALYZERS: tuple[Analyzer, ...] = (
     TypeSoundnessAnalyzer(),
@@ -521,6 +561,7 @@ DEFAULT_ANALYZERS: tuple[Analyzer, ...] = (
     FragmentCoverageAnalyzer(),
     ShardSafetyAnalyzer(),
     CacheReuseAnalyzer(),
+    BoundFlowAnalyzer(),
 )
 
 
@@ -550,9 +591,10 @@ def check_rewrite_step(
 
     Verifies that the rewrite preserved the result type, did not drop a
     statically known ordering while still promising a LIST (MOA102),
-    did not change duplicate semantics (MOA103), and did not grow the
-    cardinality bound (MOA301).  A rule carrying a non-``safe``
-    declared safety label is surfaced as MOA202.
+    did not change duplicate semantics (MOA103), did not grow the
+    cardinality bound (MOA301), and did not widen the derived score
+    interval (MOA904).  A rule carrying a non-``safe`` declared safety
+    label is surfaced as MOA202.
     """
     context = context or AnalysisContext()
     rule_name = getattr(rule, "name", None) if rule is not None else None
@@ -604,6 +646,9 @@ def check_rewrite_step(
             f"{props_before.max_rows:g} -> {props_after.max_rows:g}",
             (), after, rule=rule_name,
         ))
+
+    from .bounds import check_bounds_rewrite
+    out.extend(check_bounds_rewrite(before, after, context, rule=rule))
 
     declared = getattr(rule, "safety", "safe") if rule is not None else "safe"
     if declared != "safe":

@@ -13,7 +13,11 @@ from this table (``MOA001``...).  Codes are grouped by hundreds:
 * ``MOA7xx`` — concurrency effects and lock discipline of the Python
   codebase itself (the ``repro check`` analyzer);
 * ``MOA8xx`` — cache-reuse safety: whether a cached answer, resume
-  state or bound set may soundly serve the query at hand.
+  state or bound set may soundly serve the query at hand;
+* ``MOA9xx`` — score-bound certification: the interval-domain
+  abstract interpreter (``repro bounds``) derives a certified score
+  interval at every plan edge and flags every pruning decision the
+  derived bounds cannot license.
 
 Tests assert that the table has no duplicate codes and that every code
 emitted anywhere in the analysis package is registered here, so the
@@ -248,6 +252,48 @@ CODES: dict[str, DiagnosticCode] = _build_table(
         "(NRA/CA lower bounds, quality-switched strategies).  Such "
         "entries serve exact-depth repeats only; deeper requests must "
         "resume (frontier or access replay) or recompute.",
+    ),
+    # -- score-bound certification --------------------------------------------
+    DiagnosticCode(
+        "MOA901", "non-monotone aggregate under a threshold engine", "error",
+        "The plan combines graded sources under a threshold-administered "
+        "engine (TA/CA/NRA/FA-style stop rules) with an aggregate that "
+        "does not declare monotonicity.  Every such stop rule argues "
+        "\"no unseen object can beat the bound\" from t's monotonicity; "
+        "without it the stop decision — and the answer — is unsound.",
+    ),
+    DiagnosticCode(
+        "MOA902", "pruning bound not dominated by the derived interval", "error",
+        "A pruning decision asserts an upper bound on the scores of the "
+        "elements it discards, but the bound-flow analyzer's certified "
+        "interval for that edge exceeds the asserted bound: elements "
+        "above the assumed ceiling may exist, so the prune can discard "
+        "true top-N answers.",
+    ),
+    DiagnosticCode(
+        "MOA903", "unsafe quit without a computable worst-case error bound", "error",
+        "An unsafe cut-off (quit/continue-style pruning, an unlicensed "
+        "prefix cut, a fragment-restricted scan) sits on an edge whose "
+        "derived score interval or cardinality bound is unbounded: the "
+        "analyzer cannot attach a finite worst-case rank/score error, so "
+        "the cost-vs-quality trade-off the optimizer is supposed to "
+        "expose does not exist — the quality loss is unquantifiable.",
+    ),
+    DiagnosticCode(
+        "MOA904", "bound widened across a rewrite", "warning",
+        "A rewrite step widened the certified score interval of the plan "
+        "root: the rewritten plan can produce values the original could "
+        "not.  Bound-preserving rules must keep the derived interval "
+        "contained; a widening rule dropped a restriction (the interval "
+        "analogue of the MOA301 cardinality check).",
+    ),
+    DiagnosticCode(
+        "MOA905", "resume/coordinator bounds inconsistent with the fingerprinted epoch", "error",
+        "A declared bound seed (coordinator threshold cache, resume "
+        "frontier) carries a corpus-epoch stamp different from the epoch "
+        "the query is fingerprinted at: the thresholds were measured "
+        "against scores that may have changed, so pruning against them "
+        "is uncertifiable.  Bounds only transfer within one epoch.",
     ),
 )
 

@@ -91,6 +91,28 @@ class Diagnostic:
         expr = f": {self.expr}" if self.expr else ""
         return f"{self.severity:<7} {self.code} at {self.location}{rule} — {self.message}{expr}"
 
+    def to_annotation(self, source: str = "") -> dict:
+        """CI-annotation form of the finding (the shared ``--json``
+        contract of ``repro lint`` / ``check`` / ``bounds``): a flat
+        record a CI step can turn into one ``::error``/``::warning``
+        workflow command.  ``level`` follows the GitHub vocabulary
+        (info renders as ``notice``)."""
+        level = {"error": "error", "warning": "warning"}.get(self.severity, "notice")
+        out = {
+            "level": level,
+            "title": self.code,
+            "message": self.message,
+            "location": self.location,
+        }
+        if source:
+            out["source"] = source
+        if self.site is not None and ":" in self.site:
+            path, _, line = self.site.rpartition(":")
+            if line.isdigit():
+                out["file"] = path
+                out["line"] = int(line)
+        return out
+
 
 def make_diagnostic(
     code: str,
@@ -210,12 +232,19 @@ def exit_code_for(reports) -> int:
 
 
 def cli_payload(command: str, reports, exit_code: int | None = None, **extra) -> dict:
-    """The shared ``--json`` payload for a diagnostics command."""
+    """The shared ``--json`` payload for a diagnostics command.
+
+    ``repro lint`` / ``repro check`` / ``repro bounds`` all emit this
+    shape; ``annotations`` flattens every finding into the CI form of
+    :meth:`Diagnostic.to_annotation`, so one CI step can annotate any
+    command's output without knowing which command produced it."""
     reports = list(reports)
     severities = [r.max_severity for r in reports if r.max_severity is not None]
     payload = {
         "command": command,
         "reports": [r.to_dict() for r in reports],
+        "annotations": [d.to_annotation(source=r.source)
+                        for r in reports for d in r],
         "max_severity": (max(severities, key=severity_rank) if severities else None),
         "exit_code": exit_code_for(reports) if exit_code is None else exit_code,
     }

@@ -5,16 +5,27 @@ returns a :class:`~repro.analysis.diagnostics.DiagnosticReport`;
 :func:`lint_text` parses first; :func:`lint_file` lints every
 expression in a plan file (one expression per line, ``#`` comments).
 
-The module also ships the *seeded unsafe rewrite* the acceptance
-criteria call for: :class:`UnsafeStopAfterPushdown` pushes a
-``stop_after``-style prefix cut below a ``topn`` over an unordered BAG
-— the canonical unsound "optimization" the paper warns about.
-:func:`demo_unsafe_rewrite` applies it and shows the verifier flagging
-the result with stable MOA codes, plus the soundness harness failing
-the rule.
+The module also ships the *seeded unsound rewrites* the acceptance
+criteria call for — negative exemplars the verifier and the soundness
+harness must both reject:
+
+* :class:`UnsafeStopAfterPushdown` pushes a ``stop_after``-style
+  prefix cut below a ``topn`` over an unordered BAG — the canonical
+  unsound "optimization" the paper warns about;
+* :class:`UnsafeSelectWidening` snaps selection bounds outward to
+  coarse histogram buckets while *declaring itself safe* — the lying
+  label the harness catches differentially, and the bound-flow
+  analyzer catches statically: the derived score interval widens
+  across the rewrite (MOA904).
+
+:func:`demo_unsafe_rewrite` / :func:`demo_widening_rewrite` apply them
+and show the verifier flagging the results with stable MOA codes, plus
+the soundness harness failing the rules.
 """
 
 from __future__ import annotations
+
+import math
 
 from dataclasses import dataclass
 
@@ -102,25 +113,73 @@ class UnsafeStopAfterPushdown(RewriteRule):
         return Apply("slice", values[0], 0, n)
 
 
+class UnsafeSelectWidening(RewriteRule):
+    """The second seeded unsound rewrite (negative exemplar).
+
+    Snaps a range-select's bounds outward to multiples of ``BUCKET`` —
+    "align the selection with the histogram buckets" — which admits
+    every element in the widened margins.  The rule *declares itself
+    safe* (the lying label): the soundness harness rejects it
+    differentially (results gain elements), and the bound-flow
+    analyzer rejects it statically — the derived score interval widens
+    from ``[lo, hi]`` to the bucket hull, MOA904.
+    """
+
+    name = "unsafe-select-widening"
+    layer = "logical"
+    safety = "safe"  # deliberately wrong: the harness must catch the lie
+
+    BUCKET = 10
+
+    def apply(self, expr: Apply, context: RuleContext):
+        if expr.op != "select":
+            return None
+        try:
+            values, scalars = expr.split_args(context.env_types, context.registry)
+        except Exception:
+            return None
+        if len(values) != 1 or len(scalars) != 2:
+            return None
+        lo, hi = (getattr(s, "value", s) for s in scalars)
+        if not all(isinstance(b, (int, float)) and not isinstance(b, bool)
+                   for b in (lo, hi)):
+            return None
+        wide_lo = math.floor(lo / self.BUCKET) * self.BUCKET
+        wide_hi = math.ceil(hi / self.BUCKET) * self.BUCKET
+        if (wide_lo, wide_hi) == (lo, hi):
+            return None  # already bucket-aligned: idempotent
+        return Apply("select", values[0], wide_lo, wide_hi)
+
+
+#: every seeded unsound rewrite the harness and verifier must reject
+SEEDED_UNSOUND_RULES = (UnsafeStopAfterPushdown, UnsafeSelectWidening)
+
 #: the expression the demo seeds the unsafe rewrite into: a top-3 over
 #: an (unordered) BAG produced by the paper's Example-1 conversion
 DEMO_EXPRESSION = "topn(projecttobag([5, 1, 4, 4, 3, 2]), 3)"
 
+#: the expression the widening demo seeds: the paper's Example-1 range
+#: select, whose [2, 4] bounds the rule snaps outward to [0, 10]
+WIDENING_DEMO_EXPRESSION = "select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)"
+
 
 @dataclass
 class UnsafeDemo:
-    """Everything ``repro lint --demo-unsafe`` reports."""
+    """Everything ``repro lint --demo-unsafe`` / ``--demo-widening``
+    reports."""
 
     before: Expr
     after: Expr
     report: DiagnosticReport
     verdict: object  # RuleVerdict
+    rule_name: str = UnsafeStopAfterPushdown.name
+    note: str = "stop_after pushed below the BAG's topn"
 
     def render_text(self) -> str:
         lines = [
-            "seeded unsafe rewrite: " + UnsafeStopAfterPushdown.name,
+            "seeded unsafe rewrite: " + self.rule_name,
             f"  before: {self.before}",
-            f"  after : {self.after}   (stop_after pushed below the BAG's topn)",
+            f"  after : {self.after}   ({self.note})",
             "",
             self.report.render_text(),
             "",
@@ -131,7 +190,7 @@ class UnsafeDemo:
 
     def to_dict(self) -> dict:
         return {
-            "rule": UnsafeStopAfterPushdown.name,
+            "rule": self.rule_name,
             "before": str(self.before),
             "after": str(self.after),
             "report": self.report.to_dict(),
@@ -145,9 +204,8 @@ class UnsafeDemo:
         }
 
 
-def demo_unsafe_rewrite(expression: str = DEMO_EXPRESSION) -> UnsafeDemo:
-    """Apply the seeded unsafe stop_after pushdown and lint the result."""
-    rule = UnsafeStopAfterPushdown()
+def _seeded_demo(rule, expression: str, note: str) -> UnsafeDemo:
+    """Apply one seeded unsound rule and lint the result."""
     before = parse(expression)
     context = RuleContext()
     after = apply_rule_somewhere(before, rule, context)
@@ -157,4 +215,21 @@ def demo_unsafe_rewrite(expression: str = DEMO_EXPRESSION) -> UnsafeDemo:
     report.extend(analyze_expr(after, AnalysisContext()))
     report.extend(check_rewrite_step(before, after, AnalysisContext(), rule=rule))
     verdict = SoundnessHarness().verify_rule(rule)
-    return UnsafeDemo(before=before, after=after, report=report, verdict=verdict)
+    return UnsafeDemo(before=before, after=after, report=report,
+                      verdict=verdict, rule_name=rule.name, note=note)
+
+
+def demo_unsafe_rewrite(expression: str = DEMO_EXPRESSION) -> UnsafeDemo:
+    """Apply the seeded unsafe stop_after pushdown and lint the result."""
+    return _seeded_demo(UnsafeStopAfterPushdown(), expression,
+                        "stop_after pushed below the BAG's topn")
+
+
+def demo_widening_rewrite(expression: str = WIDENING_DEMO_EXPRESSION) -> UnsafeDemo:
+    """Apply the seeded select-widening rewrite and lint the result.
+
+    The lint report carries the MOA904 step finding (the derived score
+    interval widened), and the harness verdict fails: the rule's
+    ``safe`` label does not survive differential testing."""
+    return _seeded_demo(UnsafeSelectWidening(), expression,
+                        "selection bounds snapped outward to histogram buckets")

@@ -24,6 +24,7 @@ database's epoch, which is bumped on any mutation that can change
 scores, so stale entries can never hit (and are garbage-collected).
 """
 
+from ..intervals import ThresholdBound
 from .bounds import CoordinatorBounds, ShardBoundInfo
 from .fingerprint import (
     QueryFingerprint,
@@ -51,6 +52,7 @@ __all__ = [
     "ReplaySource",
     "ShardBoundInfo",
     "TAResumeState",
+    "ThresholdBound",
     "replayed_total",
     "source_token",
     "sources_fingerprint",

@@ -22,6 +22,15 @@ evaluator at all (``bound_served``).  Both prunings preserve the
 coordinator's certification argument: a pruned shard is *provably*
 below the final threshold, a served shard is exhausted by construction.
 
+Thresholds are stored as the shared
+:class:`~repro.intervals.ThresholdBound` dataclass — the same record
+the bound-flow analyzer's ``BoundSeedDeclaration`` certifies — stamped
+with the corpus epoch they were measured at.  Reuse at a different
+epoch is unsound (scores may have changed under mutation); the
+:meth:`CoordinatorBounds.seedable_at` gate is the runtime twin of the
+static MOA905 check, and recording at a new epoch purges every stale
+fact first.
+
 All state is lock-guarded: the bound cache is shared through the query
 cache and may be read by concurrent coordinated runs.
 """
@@ -30,6 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..intervals import ThresholdBound
 from ..sync import declares_shared_state, make_lock
 
 
@@ -56,47 +66,83 @@ class CoordinatorBounds:
     """Per-fingerprint shard bound cache (lives inside a cache entry)."""
 
     SHARED_STATE = {
+        "epoch": "_lock",
         "tau_by_n": "_lock",
         "shards": "_lock",
     }
 
-    def __init__(self) -> None:
+    def __init__(self, epoch: int = 0) -> None:
         self._lock = make_lock("cache.bounds")
-        #: recorded final merge thresholds: n -> sort key of n-th item
-        self.tau_by_n: dict[int, tuple] = {}
+        #: corpus epoch every stored fact was measured at
+        self.epoch = epoch
+        #: recorded final merge thresholds: n -> ThresholdBound record
+        self.tau_by_n: dict[int, ThresholdBound] = {}
         #: shard_id -> ShardBoundInfo
         self.shards: dict[int, ShardBoundInfo] = {}
 
-    def record(self, n: int, tau_key: tuple | None, infos) -> None:
+    def seedable_at(self, epoch: int) -> bool:
+        """Whether the stored facts may seed a run at ``epoch``.
+
+        The runtime twin of the static MOA905 check: bounds measured
+        at a different corpus epoch may not seed pruning (scores can
+        change under mutation).  An empty cache is trivially seedable.
+        """
+        with self._lock:
+            if not self.tau_by_n and not self.shards:
+                return True
+            return self.epoch == epoch
+
+    def record(self, n: int, tau_key: tuple | None, infos,
+               epoch: int | None = None) -> None:
         """Store the outcome of one *certified* run at depth ``n``.
 
         ``tau_key`` is the key of the n-th merged item (``None`` when the
         corpus holds fewer than ``n`` candidates — nothing to prune by).
         Shard infos replace older observations for the same shard only
         when they are at least as informative (an exhausted observation
-        is never downgraded to a partial one).
+        is never downgraded to a partial one).  Recording at a *newer*
+        epoch first purges every fact from the old epoch — stale bounds
+        must never outlive the data they were measured on.
         """
         with self._lock:
+            if epoch is not None and epoch != self.epoch:
+                self.tau_by_n.clear()
+                self.shards.clear()
+                self.epoch = epoch
             if tau_key is not None:
-                self.tau_by_n[n] = tau_key
+                self.tau_by_n[n] = ThresholdBound(n=n, key=tau_key,
+                                                  epoch=self.epoch)
             for info in infos:
                 old = self.shards.get(info.shard_id)
                 if old is not None and old.exhausted and not info.exhausted:
                     continue
                 self.shards[info.shard_id] = info
 
-    def threshold_bound(self, n: int) -> tuple | None:
+    def threshold_bound(self, n: int, epoch: int | None = None) -> tuple | None:
         """Tightest sound bound on this run's final ``τ_key(n)``:
-        the best (smallest) cached ``τ_key(n_c)`` over ``n_c ≥ n``."""
+        the best (smallest) cached ``τ_key(n_c)`` over ``n_c ≥ n``.
+        With ``epoch`` given, facts from another epoch yield ``None``."""
         with self._lock:
-            keys = [key for n_c, key in self.tau_by_n.items() if n_c >= n]
+            if epoch is not None and self.tau_by_n and self.epoch != epoch:
+                return None
+            keys = [bound.key for n_c, bound in self.tau_by_n.items()
+                    if n_c >= n]
         return min(keys) if keys else None
 
-    def prunable_shards(self, n: int) -> set[int]:
+    def threshold_records(self) -> tuple[ThresholdBound, ...]:
+        """Every stored threshold as the shared epoch-stamped record
+        (what the analyzer's ``BoundSeedDeclaration`` certifies)."""
+        with self._lock:
+            return tuple(sorted(self.tau_by_n.values(), key=lambda b: b.n))
+
+    def prunable_shards(self, n: int, epoch: int | None = None) -> set[int]:
         """Shards provably unable to contribute to the top-``n``:
         cached best key strictly worse than the threshold bound (or the
-        shard is known empty)."""
-        bound = self.threshold_bound(n)
+        shard is known empty).  With ``epoch`` given, an epoch mismatch
+        prunes nothing."""
+        if epoch is not None and not self.seedable_at(epoch):
+            return set()
+        bound = self.threshold_bound(n, epoch=epoch)
         with self._lock:
             out = set()
             for shard_id, info in self.shards.items():
@@ -119,7 +165,9 @@ class CoordinatorBounds:
         """JSON-able view (for diagnostics and the bench CLI)."""
         with self._lock:
             return {
-                "tau_by_n": {n: list(key) for n, key in self.tau_by_n.items()},
+                "epoch": self.epoch,
+                "tau_by_n": {n: bound.to_dict()
+                             for n, bound in self.tau_by_n.items()},
                 "shards": {
                     shard_id: {
                         "top_key": list(info.top_key) if info.top_key else None,

@@ -9,6 +9,8 @@ Commands
                 paper-vs-measured table
 ``example1``    the paper's Example 1 through the optimizer
 ``lint``        statically verify algebra plans (the plan verifier)
+``bounds``      derive certified score intervals over plans and certify
+                every pruning decision (the MOA9xx bound-flow analyzer)
 ``check``       run the concurrency effect / lock-discipline analyzer
                 over the package (or explicit paths)
 ``profile``     run a query or bench scenario under the execution
@@ -80,9 +82,38 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--demo-unsafe", action="store_true",
                       help="seed the unsafe stop_after pushdown over an "
                            "unordered BAG and show the verifier flagging it")
+    lint.add_argument("--demo-widening", action="store_true",
+                      help="seed the select-widening rewrite (a lying 'safe' "
+                           "label) and show the harness + MOA904 rejecting it")
     lint.add_argument("--verify-rules", action="store_true",
                       help="run the soundness harness over the default "
                            "optimizer rules of all three layers")
+
+    bounds = sub.add_parser(
+        "bounds",
+        help="derive certified score intervals and certify every "
+             "pruning decision (the MOA9xx bound-flow analyzer)",
+        description="Run the interval-domain abstract interpreter over "
+                    "algebra plans: derive a certified score interval "
+                    "[lo, hi] at every plan edge (fixpoint dataflow with "
+                    "widening over resume feedback), render the "
+                    "per-operator bound flow, and certify every pruning "
+                    "decision — MOA901 non-monotone aggregate under a "
+                    "threshold engine, MOA902 undominated pruning bound, "
+                    "MOA903 unsafe quit without a computable worst-case "
+                    "error, MOA905 epoch-stale seeded bounds.  Exit codes "
+                    "and --json schema match repro lint / repro check.",
+    )
+    bounds.add_argument("paths", nargs="*", metavar="PLAN_FILE",
+                        help="plan files, one expression per line (# comments)")
+    bounds.add_argument("--expr", action="append", default=[], metavar="EXPR",
+                        help="analyze this expression (repeatable)")
+    bounds.add_argument("--json", action="store_true",
+                        help="emit reports + certificates as JSON "
+                             "(shared lint/check/bounds schema)")
+    bounds.add_argument("--no-flow", action="store_true",
+                        help="omit the per-operator bound-flow tree from "
+                             "text output")
 
     check = sub.add_parser(
         "check",
@@ -275,14 +306,16 @@ def _cmd_lint(args, out) -> int:
         SoundnessHarness,
         cli_payload,
         demo_unsafe_rewrite,
+        demo_widening_rewrite,
         lint_file,
         lint_text,
     )
     from .errors import ParseError
 
-    if not (args.paths or args.expr or args.demo_unsafe or args.verify_rules):
-        print("repro lint: nothing to lint "
-              "(give PLAN_FILEs, --expr, --demo-unsafe or --verify-rules)", file=out)
+    if not (args.paths or args.expr or args.demo_unsafe or args.demo_widening
+            or args.verify_rules):
+        print("repro lint: nothing to lint (give PLAN_FILEs, --expr, "
+              "--demo-unsafe, --demo-widening or --verify-rules)", file=out)
         return EXIT_USAGE
 
     exit_code = 0
@@ -322,6 +355,17 @@ def _cmd_lint(args, out) -> int:
         if demo.report.has_errors or not demo.verdict.passed:
             exit_code = 1
 
+    if args.demo_widening:
+        demo = demo_widening_rewrite()
+        if args.json:
+            extra["demo_widening"] = demo.to_dict()
+        else:
+            print(demo.render_text(), file=out)
+        # the seeded lying label *should* fail the harness (and MOA904
+        # should land in the report); surface that like any lint run
+        if demo.report.has_errors or not demo.verdict.passed:
+            exit_code = 1
+
     if args.verify_rules:
         from .optimizer import (
             DEFAULT_INTER_OBJECT_RULES,
@@ -353,6 +397,74 @@ def _cmd_lint(args, out) -> int:
     if args.json:
         print(json.dumps(cli_payload("lint", reports, exit_code=exit_code, **extra),
                          indent=2), file=out)
+    return exit_code
+
+
+def _cmd_bounds(args, out) -> int:
+    import json
+
+    from .algebra.parser import parse
+    from .analysis import (
+        EXIT_USAGE,
+        AnalysisContext,
+        DiagnosticReport,
+        certify,
+        cli_payload,
+        exit_code_for,
+    )
+    from .errors import ParseError
+
+    if not (args.paths or args.expr):
+        print("repro bounds: nothing to analyze (give PLAN_FILEs or --expr)",
+              file=out)
+        return EXIT_USAGE
+
+    cases: list[tuple[str, str]] = [(text, text.strip()) for text in args.expr]
+    for path in args.paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                for lineno, raw in enumerate(handle, start=1):
+                    line = raw.split("#", 1)[0].strip()
+                    if line:
+                        cases.append((line, f"{path}:{lineno}"))
+        except OSError as exc:
+            print(f"repro bounds: cannot read {path}: {exc}", file=out)
+            return EXIT_USAGE
+
+    exit_code = 0
+    reports = []
+    certificates = []
+    for text, source in cases:
+        try:
+            expr = parse(text)
+        except ParseError as exc:
+            print(f"repro bounds: {source}: syntax error: {exc}", file=out)
+            exit_code = 1
+            continue
+        certificate = certify(expr, AnalysisContext())
+        report = DiagnosticReport(source=source)
+        report.extend(certificate.diagnostics)
+        reports.append(report)
+        certificates.append((expr, source, certificate))
+        if not certificate.certified:
+            exit_code = 1  # a failed verdict exits 1 (shared contract)
+        if not args.json:
+            print(f"bounds {source}: {certificate.describe()}", file=out)
+            if not args.no_flow:
+                print(certificate.flow.render_text(expr), file=out)
+            for diagnostic in report:
+                print("  " + diagnostic.render(), file=out)
+
+    exit_code = max(exit_code, exit_code_for(reports))
+    if args.json:
+        payload = cli_payload(
+            "bounds", reports, exit_code=exit_code,
+            certificates=[
+                dict(source=source, expr=str(expr), **certificate.to_dict())
+                for expr, source, certificate in certificates
+            ],
+        )
+        print(json.dumps(payload, indent=2), file=out)
     return exit_code
 
 
@@ -561,6 +673,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_example1(args, out)
     if args.command == "lint":
         return _cmd_lint(args, out)
+    if args.command == "bounds":
+        return _cmd_bounds(args, out)
     if args.command == "check":
         return _cmd_check(args, out)
     if args.command == "profile":

@@ -309,13 +309,20 @@ class MMDatabase:
         bounds = None
         if fingerprint is not None:
             bounds = (entry.bounds if entry is not None and entry.bounds is not None
-                      else CoordinatorBounds())
+                      else CoordinatorBounds(epoch=self.epoch))
+            if not bounds.seedable_at(self.epoch):
+                # stale epoch stamp: the fingerprint embeds the epoch, so
+                # this cannot happen through the cache path — but a bound
+                # object must never seed across epochs (MOA905's runtime
+                # twin), so start fresh rather than trust it
+                bounds = CoordinatorBounds(epoch=self.epoch)
         pool = self._parallel_pool()
         started = time.perf_counter()
         with CostCounter.activate() as cost:
             with pool.admit():
                 result = parallel_topn(self.sharded, tids, self.model, n,
-                                       pool=pool, bounds=bounds)
+                                       pool=pool, bounds=bounds,
+                                       epoch=self.epoch)
         elapsed = time.perf_counter() - started
         if fingerprint is not None and result.certified:
             self.cache.store(fingerprint, n, result, prefix_safe=True,

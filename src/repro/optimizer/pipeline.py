@@ -42,6 +42,16 @@ class OptimizationReport:
     #: fast-path plan property: the depth certified resume state
     #: continues from (None = no sound resume declared)
     resume_from: int | None = None
+    #: bound-certification plan property: every pruning decision of the
+    #: chosen plan is dominated by the derived score intervals.  Gates
+    #: TA/CA-style threshold use and coordinator bound seeding; ``None``
+    #: means certification was not run
+    bound_certified: bool | None = None
+    #: machine-checkable worst-case error of an uncertified plan (a
+    #: :class:`repro.analysis.WorstCaseError` or ``None``)
+    worst_case_error: object = None
+    #: the full :class:`repro.analysis.BoundCertificate` (or ``None``)
+    bound_certificate: object = None
 
     @property
     def original_estimate(self) -> PlanEstimate:
@@ -83,6 +93,10 @@ class OptimizationReport:
             lines.append("fast path: cache_hit")
         elif self.resume_from is not None:
             lines.append(f"fast path: resume_from={self.resume_from}")
+        if self.bound_certified is not None:
+            lines.append(f"bound_certified: {self.bound_certified}")
+            if not self.bound_certified and self.worst_case_error is not None:
+                lines.append(f"  {self.worst_case_error.describe()}")
         if self.diagnostics is not None:
             lines.append(self.diagnostics.render_text())
         return "\n".join(lines)
@@ -105,6 +119,12 @@ class Optimizer:
         shards=None,
         merge_probe: bool = True,
         cache_reuse=None,
+        score_bounds=None,
+        aggregate=None,
+        threshold_engine=None,
+        pruning=None,
+        bound_seeds=None,
+        resume_sources=None,
     ) -> None:
         self.registry = registry or default_registry()
         self.cost_model = cost_model or CostModel()
@@ -133,6 +153,18 @@ class Optimizer:
         #: properties, unsound ones become MOA8xx diagnostics in
         #: verify mode
         self.cache_reuse = tuple(cache_reuse or ())
+        #: bound-certification inputs (see repro.analysis.bounds): the
+        #: declared per-source score intervals, the threshold engine +
+        #: aggregate the plan runs under, and the pruning / seeded-bound
+        #: / resume-frontier declarations to certify.  Every optimize()
+        #: call derives the interval flow and stamps the report with the
+        #: ``bound_certified`` plan property
+        self.score_bounds = dict(score_bounds or {})
+        self.aggregate = aggregate
+        self.threshold_engine = threshold_engine
+        self.pruning = tuple(pruning or ())
+        self.bound_seeds = tuple(bound_seeds or ())
+        self.resume_sources = tuple(resume_sources or ())
 
     def optimize(self, expr: Expr, env=None, verify: bool | None = None) -> OptimizationReport:
         """Rewrite ``expr`` through the three layers and pick the
@@ -189,6 +221,8 @@ class Optimizer:
             report = OptimizationReport(expr, chosen, trace, estimates,
                                         parallel=self.parallel)
             self._grant_cache_properties(report)
+            with tracer.span("optimizer.certify_bounds"):
+                self._grant_bound_properties(report, env_types)
             if do_verify:
                 with tracer.span("optimizer.verify"):
                     report.diagnostics = self._verify_report(report, env_types)
@@ -220,12 +254,40 @@ class Optimizer:
                 if report.resume_from is None or m > report.resume_from:
                     report.resume_from = m
 
-    def _verify_report(self, report: OptimizationReport, env_types):
-        """Run the plan verifier over a finished optimization."""
+    def _analysis_context(self, env_types):
         # imported lazily: repro.analysis itself imports the rule
         # framework, so a module-level import would be circular
+        from ..analysis import AnalysisContext
+
+        return AnalysisContext(env_types=env_types, registry=self.registry,
+                               shards=self.shards, parallel=self.parallel,
+                               merge_probe=self.merge_probe,
+                               cache_reuse=self.cache_reuse,
+                               score_bounds=self.score_bounds,
+                               aggregate=self.aggregate,
+                               threshold_engine=self.threshold_engine,
+                               pruning=self.pruning,
+                               bound_seeds=self.bound_seeds,
+                               resume_sources=self.resume_sources)
+
+    def _grant_bound_properties(self, report: OptimizationReport, env_types) -> None:
+        """Stamp the ``bound_certified`` plan property.
+
+        Certification gates the threshold fast paths: only a certified
+        plan may use TA/CA-style pruning thresholds or seed the
+        coordinator's bound cache.  An uncertified plan keeps running —
+        but carries its machine-checkable worst-case error (when one is
+        computable) so the quality trade-off is explicit."""
+        from ..analysis import certify
+
+        certificate = certify(report.optimized, self._analysis_context(env_types))
+        report.bound_certificate = certificate
+        report.bound_certified = certificate.certified
+        report.worst_case_error = certificate.worst_case
+
+    def _verify_report(self, report: OptimizationReport, env_types):
+        """Run the plan verifier over a finished optimization."""
         from ..analysis import (
-            AnalysisContext,
             DiagnosticReport,
             analyze_expr,
             check_rewrite_step,
@@ -233,10 +295,7 @@ class Optimizer:
             make_diagnostic,
         )
 
-        context = AnalysisContext(env_types=env_types, registry=self.registry,
-                                  shards=self.shards, parallel=self.parallel,
-                                  merge_probe=self.merge_probe,
-                                  cache_reuse=self.cache_reuse)
+        context = self._analysis_context(env_types)
         diagnostics = DiagnosticReport(source=str(report.original))
         diagnostics.extend(analyze_expr(report.optimized, context))
 

@@ -232,6 +232,7 @@ def coordinated_topn(
     token: CancelToken | None = None,
     strategy: str = "parallel",
     bounds=None,
+    epoch: int = 0,
 ) -> TopNResult:
     """Run the two-round bounded merge over shard evaluators.
 
@@ -248,6 +249,11 @@ def coordinated_topn(
     ranking are served from the cache without scheduling their
     evaluator (``bound_served``).  Certified outcomes are recorded back
     so consecutive runs keep tightening the bounds.
+
+    ``epoch`` is the corpus epoch this run executes at.  Cached bounds
+    stamped with a *different* epoch seed nothing — the runtime twin of
+    the static MOA905 check (:meth:`CoordinatorBounds.seedable_at`) —
+    and recording this run's outcome purges the stale facts.
     """
     if n < 1:
         raise ParallelError(f"need n >= 1, got {n}")
@@ -272,8 +278,10 @@ def coordinated_topn(
 
     # a cached final threshold from an n at least this deep bounds this
     # run's final τ from above (in key order), so exceeding it proves a
-    # shard's unfetched tail irrelevant before the live pool can
-    cached_bound = bounds.threshold_bound(n) if bounds is not None else None
+    # shard's unfetched tail irrelevant before the live pool can; an
+    # epoch-mismatched cache seeds nothing (MOA905's runtime twin)
+    seedable = bounds is not None and bounds.seedable_at(epoch)
+    cached_bound = bounds.threshold_bound(n, epoch=epoch) if seedable else None
 
     def _tail_prunable(i: int) -> bool:
         if state.prunable(last_key[i]):
@@ -281,8 +289,8 @@ def coordinated_topn(
         return (cached_bound is not None and last_key[i] is not None
                 and last_key[i] >= cached_bound)
 
-    if bounds is not None:
-        prunable_ids = bounds.prunable_shards(n)
+    if seedable:
+        prunable_ids = bounds.prunable_shards(n, epoch=epoch)
         for i, evaluator in enumerate(evaluators):
             ranking = bounds.complete_ranking(evaluator.shard_id)
             if ranking is not None:
@@ -394,7 +402,7 @@ def coordinated_topn(
             if bounds is not None and certified:
                 _record_bounds(bounds, n, items, evaluators, served, precluded,
                                first_key, exhausted, shard_candidates,
-                               full_ranking)
+                               full_ranking, epoch=epoch)
             metrics.counter("parallel.rounds").inc(rounds)
             metrics.counter("parallel.probes").inc(probed)
             metrics.counter("parallel.probes_saved").inc(k - probed)
@@ -429,7 +437,8 @@ def coordinated_topn(
 
 
 def _record_bounds(bounds, n, items, evaluators, served, precluded, first_key,
-                   exhausted, shard_candidates, full_ranking) -> None:
+                   exhausted, shard_candidates, full_ranking,
+                   epoch: int = 0) -> None:
     """Feed a certified run's observations back into the bound cache."""
     from ..cache.bounds import ShardBoundInfo
 
@@ -450,7 +459,7 @@ def _record_bounds(bounds, n, items, evaluators, served, precluded, first_key,
             exhausted=exhausted[i],
             ranking=ranking,
         ))
-    bounds.record(n, tau_key, infos)
+    bounds.record(n, tau_key, infos, epoch=epoch)
 
 
 # -- public entry points ----------------------------------------------------
@@ -466,6 +475,7 @@ def parallel_topn(
     probe: bool = True,
     token: CancelToken | None = None,
     bounds=None,
+    epoch: int = 0,
 ) -> TopNResult:
     """Sharded parallel top-N over an inverted index.
 
@@ -479,7 +489,8 @@ def parallel_topn(
                   for shard in sharded.shards]
     result = coordinated_topn(evaluators, n, pool=pool,
                               round1_fetch=round1_fetch, probe=probe,
-                              token=token, strategy="parallel", bounds=bounds)
+                              token=token, strategy="parallel", bounds=bounds,
+                              epoch=epoch)
     result.stats["shard_skew"] = sharded.skew()
     return result
 
@@ -495,6 +506,7 @@ def parallel_topn_sources(
     probe: bool = True,
     token: CancelToken | None = None,
     bounds=None,
+    epoch: int = 0,
 ) -> TopNResult:
     """Sharded parallel top-N over Fagin-style graded sources: the
     object id space is split into contiguous ranges, one exhaustive
@@ -514,4 +526,4 @@ def parallel_topn_sources(
     return coordinated_topn(evaluators, n, pool=pool,
                             round1_fetch=round1_fetch, probe=probe,
                             token=token, strategy="parallel-sources",
-                            bounds=bounds)
+                            bounds=bounds, epoch=epoch)

@@ -17,7 +17,19 @@ Unsafe (quality traded for speed):
   Brown/INQUERY-style quit & continue term pruning.
 """
 
-from .aggregates import AVG, AggregateFunction, MAX, MIN, SUM, WeightedSum
+from .aggregates import (
+    AVG,
+    BUILTIN_AGGREGATES,
+    AggregateFunction,
+    MAX,
+    MIN,
+    PROD,
+    Product,
+    SUM,
+    UserAggregate,
+    WeightedSum,
+    require_monotone,
+)
 from .ca import combined_topn
 from .fagin import fagin_topn
 from .heap import BoundedTopN
@@ -32,14 +44,19 @@ from .ta import threshold_topn
 __all__ = [
     "AVG",
     "AggregateFunction",
+    "BUILTIN_AGGREGATES",
     "BoundedTopN",
     "MAX",
     "MIN",
+    "PROD",
+    "Product",
     "RankedItem",
     "SUM",
     "ScoreHistogram",
     "TopNResult",
+    "UserAggregate",
     "WeightedSum",
+    "require_monotone",
     "classic_topn",
     "conjunctive_topn",
     "combined_topn",

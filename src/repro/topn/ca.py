@@ -19,7 +19,7 @@ import math
 from ..errors import TopNError
 from ..obs import tracer
 from ..storage import stats
-from .aggregates import AggregateFunction, SUM
+from .aggregates import AggregateFunction, SUM, require_monotone
 from .result import RankedItem, TopNResult
 
 
@@ -39,6 +39,7 @@ def combined_topn(sources: list, n: int, agg: AggregateFunction = SUM,
         raise TopNError(f"cost ratio h must be >= 1, got {h}")
     if n <= 0:
         return TopNResult([], max(n, 0), strategy="fagin-ca", safe=True)
+    require_monotone(agg, "CA")
     agg.validate_arity(len(sources))
 
     m = len(sources)

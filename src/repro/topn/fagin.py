@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..errors import TopNError
 from ..obs import tracer
-from .aggregates import AggregateFunction, SUM
+from .aggregates import AggregateFunction, SUM, require_monotone
 from .heap import BoundedTopN
 from .result import TopNResult
 
@@ -23,6 +23,9 @@ def fagin_topn(sources: list, n: int, agg: AggregateFunction = SUM) -> TopNResul
         raise TopNError("fagin_topn needs at least one source")
     if n <= 0:
         return TopNResult([], max(n, 0), strategy="fagin-fa", safe=True)
+    # FA's phase-1 stop ("N objects seen in every list") certifies the
+    # answer only for monotone t — same precondition as TA/NRA/CA
+    require_monotone(agg, "FA")
     agg.validate_arity(len(sources))
 
     m = len(sources)

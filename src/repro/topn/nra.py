@@ -20,7 +20,7 @@ import math
 
 from ..errors import TopNError
 from ..obs import tracer
-from .aggregates import AggregateFunction, SUM
+from .aggregates import AggregateFunction, SUM, require_monotone
 from .result import RankedItem, TopNResult
 
 
@@ -46,6 +46,7 @@ def nra_topn(sources: list, n: int, agg: AggregateFunction = SUM,
         raise TopNError("nra_topn needs at least one source")
     if n <= 0:
         return TopNResult([], max(n, 0), strategy="fagin-nra", safe=True)
+    require_monotone(agg, "NRA")
     agg.validate_arity(len(sources))
 
     m = len(sources)

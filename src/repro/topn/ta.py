@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from ..errors import TopNError
 from ..obs import tracer
-from .aggregates import AggregateFunction, SUM
+from .aggregates import AggregateFunction, SUM, require_monotone
 from .heap import BoundedTopN
 from .result import TopNResult
 
@@ -64,6 +64,7 @@ def threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM, *,
         raise TopNError("threshold_topn needs at least one source")
     if n <= 0:
         return TopNResult([], max(n, 0), strategy="fagin-ta", safe=True)
+    require_monotone(agg, "TA")
     agg.validate_arity(len(sources))
 
     m = len(sources)

@@ -1,0 +1,98 @@
+"""The ``repro bounds`` subcommand: the shared diagnostics contract."""
+
+import json
+
+from .test_lint_cli import EXAMPLE_PLANS, run_cli
+
+
+class TestBoundsCli:
+    def test_example_plans_certify_clean(self):
+        assert EXAMPLE_PLANS, "examples/plans/*.moa missing"
+        code, output = run_cli("bounds", *EXAMPLE_PLANS)
+        assert code == 0
+        assert "bound-certified" in output
+        assert "not bound-certified" not in output
+
+    def test_flow_tree_rendered_per_operator(self):
+        code, output = run_cli(
+            "bounds", "--expr", "topn(select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4), 2)")
+        assert code == 0
+        assert "$ topn — [2, 4]" in output
+        assert "$.0 select — [2, 4]" in output
+        assert "[1, 5]" in output  # the literal hull below the select
+
+    def test_no_flow_suppresses_the_tree(self):
+        code, output = run_cli("bounds", "--no-flow", "--expr", "topn([3, 1, 2], 2)")
+        assert code == 0
+        assert "$ topn" not in output
+
+    def test_uncertified_plan_exits_nonzero(self):
+        code, output = run_cli("bounds", "--expr", "slice(projecttobag([1, 2]), 0, 1)")
+        assert code == 1
+        assert "not bound-certified" in output
+
+    def test_json_payload_follows_the_shared_contract(self):
+        code, output = run_cli("bounds", "--json", "--expr", "topn([3, 1, 2], 2)")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["command"] == "bounds"
+        assert payload["exit_code"] == 0
+        assert payload["annotations"] == []
+        certificate = payload["certificates"][0]
+        assert certificate["certified"] is True
+        assert certificate["root_interval"] == {"lo": 1.0, "hi": 3.0}
+
+    def test_json_annotations_carry_ci_levels(self):
+        code, output = run_cli("bounds", "--json", "--expr", "slice(xs, 0, 1)")
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["certificates"][0]["certified"] is False
+        annotations = payload["annotations"]
+        assert annotations, "an MOA903 finding must produce CI annotations"
+        assert all(a["level"] in ("error", "warning", "notice") for a in annotations)
+        assert any(a["title"] == "MOA903" for a in annotations)
+
+    def test_computable_tradeoff_is_uncertified_but_annotation_free(self):
+        """A bounded unsafe cut-off denies certification (exit 1) but
+        carries a worst-case error instead of MOA9xx diagnostics."""
+        code, output = run_cli("bounds", "--json", "--expr",
+                               "slice(projecttobag([1, 2]), 0, 1)")
+        assert code == 1
+        payload = json.loads(output)
+        certificate = payload["certificates"][0]
+        assert certificate["certified"] is False
+        assert certificate["worst_case"]["computable"] is True
+        assert payload["annotations"] == []
+
+    def test_nothing_to_analyze_is_usage_error(self):
+        code, output = run_cli("bounds")
+        assert code == 2
+        assert "nothing to analyze" in output
+
+    def test_missing_file_is_usage_error(self):
+        code, output = run_cli("bounds", "no/such/plan.moa")
+        assert code == 2
+
+    def test_syntax_error_reported_without_traceback(self):
+        code, output = run_cli("bounds", "--expr", "topn((")
+        assert code == 1
+        assert "syntax error" in output
+        assert "Traceback" not in output
+
+
+class TestDemoWideningCli:
+    def test_demo_widening_flags_stable_codes(self):
+        code, output = run_cli("lint", "--demo-widening")
+        assert code == 1
+        for expected in ("MOA904", "unsafe-select-widening", "FAIL"):
+            assert expected in output
+
+    def test_demo_widening_json(self):
+        code, output = run_cli("lint", "--demo-widening", "--json")
+        assert code == 1
+        payload = json.loads(output)
+        demo = payload["demo_widening"]
+        assert demo["rule"] == "unsafe-select-widening"
+        assert not demo["verdict"]["passed"]
+        codes = [d["code"] for d in demo["report"]["diagnostics"]]
+        assert "MOA904" in codes
