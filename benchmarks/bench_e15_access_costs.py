@@ -10,6 +10,8 @@ is impossible, CA tracks the best of both — the adaptivity an
 integrated MM optimizer (Step 3) must model.
 """
 
+import math
+
 import pytest
 
 from repro.mm import feature_source, query_near_cluster, texture_features
@@ -19,6 +21,43 @@ from repro.topn import SUM, combined_topn, naive_topn_sources, nra_topn, thresho
 from conftest import BENCH_SCALE, record_table
 
 N_OBJECTS = max(int(20_000 * BENCH_SCALE), 2000)
+
+#: score comparison tolerance: engines may associate float additions
+#: differently (scalar left-to-right fold vs vectorized column fold),
+#: so access-cost conformance must not hang on the last ulp of a score
+REL_TOL, ABS_TOL = 1e-9, 1e-12
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+def ranking_close(result, reference) -> bool:
+    """Tolerance-aware ranking agreement: score multisets match within
+    tolerance, and ids agree exactly except inside a tolerance-tied
+    boundary group (where engine stop order legitimately picks the
+    member)."""
+    if len(result.items) != len(reference.items):
+        return False
+    if not all(_close(a, b) for a, b in zip(sorted(result.scores),
+                                            sorted(reference.scores))):
+        return False
+    boundary = reference.scores[-1]
+    return all(item.obj_id == ref.obj_id
+               for item, ref in zip(result.items, reference.items)
+               if not _close(item.score, boundary))
+
+
+def set_close(result, reference) -> bool:
+    """Tolerance-aware membership: every reference id strictly above
+    the tolerance-tied boundary must be present (boundary members may
+    differ — reported lower bounds break their ties differently)."""
+    if len(result.items) != len(reference.items):
+        return False
+    boundary = reference.scores[-1]
+    must_have = {item.obj_id for item in reference.items
+                 if not _close(item.score, boundary)}
+    return must_have <= set(result.doc_ids)
 
 
 @pytest.fixture(scope="module")
@@ -49,14 +88,14 @@ def test_e15_cost_ratio_sweep(benchmark, spaces):
         naive_result, _, _ = run_with_costs(naive_topn_sources, spaces, 10, 3)
         ta_result, ta_s, ta_r = run_with_costs(threshold_topn, spaces, 10, 3)
         nra_result, nra_s, nra_r = run_with_costs(nra_topn, spaces, 10, 3)
-        assert ta_result.same_ranking(naive_result)
-        assert nra_result.same_set(naive_result)
+        assert ranking_close(ta_result, naive_result)
+        assert set_close(nra_result, naive_result)
         rows = []
         for h in (1, 4, 16, 64):
             ca_result, ca_s, ca_r = run_with_costs(
                 lambda s_, n_, a_: combined_topn(s_, n_, a_, h=h, check_every=8),
                 spaces, 10, 3)
-            assert ca_result.same_set(naive_result)
+            assert set_close(ca_result, naive_result)
             ta_cost = ta_s + h * ta_r
             nra_cost = nra_s + h * nra_r
             ca_cost = ca_s + h * ca_r

@@ -1,0 +1,42 @@
+"""E18 — block-at-a-time vectorized engines vs their scalar oracles.
+
+Paper basis (Section 2): the performance argument Blok inherits from
+MonetDB is block/column-at-a-time evaluation — amortize the per-tuple
+interpretation overhead over whole array slabs.  Our scalar TA/NRA/CA
+walk one posting per Python iteration; the blocked variants
+(:mod:`repro.topn.blocked`) consume scored blocks with per-block score
+upper bounds and do numpy batch work between threshold checks,
+skipping blocks the bounds prune.  This experiment measures that
+wall-clock win with the always-verifying
+:func:`repro.topn.bench.bench_blocks` harness: every blocked ranking
+must be bit-identical (ids and scores, canonical tie order) to the
+scalar answer, so the speedup column is pure interpretation overhead,
+not an accuracy trade.  The acceptance bar is a >=2x win for at least
+one engine at bench scale.
+"""
+
+from repro.topn.bench import bench_blocks
+
+from conftest import BENCH_SCALE, record_table
+
+
+def test_e18_blocked_vs_scalar():
+    report = bench_blocks(scale=max(BENCH_SCALE, 0.05), seed=7,
+                          queries=3, n=10, block_sizes=(16, 128, 1024))
+    rows = []
+    for row in report.rows:
+        rows.append([row.engine, row.block_size, row.queries,
+                     round(row.seconds_scalar, 4),
+                     round(row.seconds_blocked, 4),
+                     round(row.speedup, 2),
+                     row.blocks_read, row.blocks_skipped, row.mismatches])
+    record_table(
+        "E18: blocked vs scalar top-N engines — wall clock by block size",
+        ["engine", "block", "queries", "scalar s", "blocked s", "speedup",
+         "blocks read", "blocks skipped", "mismatches"],
+        rows,
+    )
+    assert report.ok, "a blocked ranking diverged from its scalar oracle"
+    # the tentpole claim: a multi-x win for at least one engine
+    assert report.best_speedup >= 2.0, (
+        f"best blocked speedup {report.best_speedup:.2f}x is below the 2x bar")

@@ -53,6 +53,7 @@ from .bounds import (
     ResumeSourceDeclaration,
     WorstCaseError,
     analyze_bound_flow,
+    block_bound_declarations,
     certify,
     check_bounds_rewrite,
     derive_bounds,
@@ -150,6 +151,7 @@ __all__ = [
     "WorstCaseError",
     "all_codes",
     "analyze_bound_flow",
+    "block_bound_declarations",
     "analyze_effects",
     "analyze_expr",
     "apply_rule_somewhere",

@@ -100,6 +100,24 @@ class BoundSeedDeclaration:
     current_epoch: int
 
 
+def block_bound_declarations(name: str, bounds, current_epoch: int,
+                             ) -> tuple[BoundSeedDeclaration, ...]:
+    """Per-block score upper bounds as seeded-bound declarations.
+
+    ``bounds`` is the epoch-stamped ThresholdBound tuple a blocked
+    source exports (:meth:`repro.storage.blocks.ScoredBlocks.threshold_bounds`);
+    each block bound becomes one :class:`BoundSeedDeclaration` named
+    ``{name}[b{i}]``, so the MOA9xx interpreter certifies block-max
+    pruning with the exact machinery (including the MOA905 staleness
+    gate) it applies to coordinator thresholds: one stale block bound
+    and the plan loses its ``vectorized`` property."""
+    return tuple(
+        BoundSeedDeclaration(name=f"{name}[b{i}]", bound=bound,
+                             current_epoch=current_epoch)
+        for i, bound in enumerate(bounds)
+    )
+
+
 @dataclass(frozen=True)
 class ResumeSourceDeclaration:
     """Declares an environment variable as a resumed-from-cache

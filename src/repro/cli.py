@@ -20,6 +20,9 @@ Commands
                 verified)
 ``bench-cache`` measure the query cache: cold vs warm repeats and
                 top-N resume per engine (exact-match verified)
+``bench-blocks``  compare the block-at-a-time vectorized engines
+                against their scalar oracles across block sizes
+                (exact-match verified)
 
 All commands are deterministic given ``--seed``.
 """
@@ -219,6 +222,26 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "shallow runs")
     bench_cache.add_argument("--json", action="store_true",
                              help="emit the report as JSON")
+
+    bench_blocks = sub.add_parser(
+        "bench-blocks",
+        help="benchmark the block-at-a-time engines against their "
+             "scalar oracles, exact-match verified",
+        description="Run the TA/NRA/CA engine pairs over an E15-style "
+                    "multi-feature workload: the scalar engine once per "
+                    "query, the blocked variant per block size, "
+                    "verifying every blocked ranking is bit-identical "
+                    "(ids and scores, canonical tie order) to the "
+                    "scalar answer.  Exits nonzero on any mismatch.",
+    )
+    bench_blocks.add_argument("--queries", type=int, default=3,
+                              help="number of grade matrices")
+    bench_blocks.add_argument("--n", type=int, default=10, help="top-N size")
+    bench_blocks.add_argument("--block-sizes", type=int, nargs="+",
+                              default=[16, 128, 1024], metavar="B",
+                              help="block sizes to benchmark")
+    bench_blocks.add_argument("--json", action="store_true",
+                              help="emit the report as JSON")
     return parser
 
 
@@ -640,6 +663,21 @@ def _cmd_bench_cache(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench_blocks(args, out) -> int:
+    import json
+
+    from .topn.bench import bench_blocks, render_report
+
+    report = bench_blocks(scale=args.scale, seed=args.seed,
+                          queries=args.queries, n=args.n,
+                          block_sizes=tuple(args.block_sizes))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+    else:
+        print(render_report(report), file=out)
+    return 0 if report.ok else 1
+
+
 def _cmd_example1(args, out) -> int:
     from .algebra import parse
     from .optimizer import Optimizer
@@ -683,4 +721,6 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_bench_parallel(args, out)
     if args.command == "bench-cache":
         return _cmd_bench_cache(args, out)
+    if args.command == "bench-blocks":
+        return _cmd_bench_blocks(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

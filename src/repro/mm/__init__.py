@@ -18,10 +18,17 @@ from .features import (
     query_near_cluster,
     texture_features,
 )
-from .sources import ArraySource, PostingsSource, ScoreSource, feature_source
+from .sources import (
+    ArraySource,
+    BlockedSource,
+    PostingsSource,
+    ScoreSource,
+    feature_source,
+)
 
 __all__ = [
     "ArraySource",
+    "BlockedSource",
     "FeatureSpace",
     "PostingsSource",
     "SIMILARITIES",

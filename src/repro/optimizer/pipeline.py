@@ -42,6 +42,14 @@ class OptimizationReport:
     #: fast-path plan property: the depth certified resume state
     #: continues from (None = no sound resume declared)
     resume_from: int | None = None
+    #: vectorized-execution plan property: the plan may run the
+    #: block-at-a-time engines with block-max pruning, because every
+    #: declared per-block score upper bound was certified by the bound
+    #: interpreter (epoch-fresh, MOA9xx-clean).  ``False`` = blocked
+    #: storage was declared but a block bound failed certification
+    #: (fall back to the scalar oracles); ``None`` = no blocked storage
+    #: declared
+    vectorized: bool | None = None
     #: bound-certification plan property: every pruning decision of the
     #: chosen plan is dominated by the derived score intervals.  Gates
     #: TA/CA-style threshold use and coordinator bound seeding; ``None``
@@ -93,6 +101,8 @@ class OptimizationReport:
             lines.append("fast path: cache_hit")
         elif self.resume_from is not None:
             lines.append(f"fast path: resume_from={self.resume_from}")
+        if self.vectorized is not None:
+            lines.append(f"vectorized: {self.vectorized}")
         if self.bound_certified is not None:
             lines.append(f"bound_certified: {self.bound_certified}")
             if not self.bound_certified and self.worst_case_error is not None:
@@ -124,6 +134,7 @@ class Optimizer:
         threshold_engine=None,
         pruning=None,
         bound_seeds=None,
+        block_bounds=None,
         resume_sources=None,
     ) -> None:
         self.registry = registry or default_registry()
@@ -164,6 +175,11 @@ class Optimizer:
         self.threshold_engine = threshold_engine
         self.pruning = tuple(pruning or ())
         self.bound_seeds = tuple(bound_seeds or ())
+        #: per-block score upper bounds of blocked storage the plan
+        #: wants to prune by (see repro.analysis.block_bound_declarations):
+        #: certified through the same MOA9xx seeded-bound machinery as
+        #: ``bound_seeds``, and granting the ``vectorized`` plan property
+        self.block_bounds = tuple(block_bounds or ())
         self.resume_sources = tuple(resume_sources or ())
 
     def optimize(self, expr: Expr, env=None, verify: bool | None = None) -> OptimizationReport:
@@ -267,7 +283,7 @@ class Optimizer:
                                aggregate=self.aggregate,
                                threshold_engine=self.threshold_engine,
                                pruning=self.pruning,
-                               bound_seeds=self.bound_seeds,
+                               bound_seeds=self.bound_seeds + self.block_bounds,
                                resume_sources=self.resume_sources)
 
     def _grant_bound_properties(self, report: OptimizationReport, env_types) -> None:
@@ -284,6 +300,11 @@ class Optimizer:
         report.bound_certificate = certificate
         report.bound_certified = certificate.certified
         report.worst_case_error = certificate.worst_case
+        if self.block_bounds:
+            # block-max pruning is only as sound as its block bounds:
+            # one stale/uncertified bound and the plan must fall back to
+            # the scalar oracles
+            report.vectorized = bool(certificate.certified)
 
     def _verify_report(self, report: OptimizationReport, env_types):
         """Run the plan verifier over a finished optimization."""

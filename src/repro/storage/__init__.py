@@ -21,6 +21,7 @@ Public surface:
 """
 
 from .bat import BAT
+from .blocks import DocBlocks, ScoredBlocks
 from .buffer import BufferManager, get_buffer_manager, set_buffer_manager
 from .catalog import Catalog
 from .index import HashIndex, SparseIndex
@@ -40,6 +41,8 @@ __all__ = [
     "Catalog",
     "ColumnStatistics",
     "CostCounter",
+    "DocBlocks",
+    "ScoredBlocks",
     "EquiDepthHistogram",
     "HashIndex",
     "SparseIndex",

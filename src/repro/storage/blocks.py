@@ -1,0 +1,208 @@
+"""Blocked posting storage: contiguous numpy blocks with score bounds.
+
+The paper's central performance argument is MonetDB's block-at-a-time
+flattening of the query loop: instead of interpreting one posting per
+iteration, an operator consumes a contiguous array slab per call and
+amortizes the interpretation overhead over the whole block.  This
+module is the storage half of that argument for the top-N engines: a
+graded list (one query term of an inverted index, one feature column)
+is partitioned into fixed-size blocks of parallel ``(doc_id, grade)``
+numpy arrays, each carrying a **precomputed per-block score upper
+bound**.
+
+The bounds are what make block-at-a-time compatible with Fagin-style
+threshold administration (and with WAND-style block-max pruning): a
+whole block whose upper bound falls below the current decision
+threshold can be skipped — or, equivalently, the engine can prove its
+stop rule from the bound without touching the block's payload.  Each
+bound is exposed as an epoch-stamped
+:class:`~repro.intervals.ThresholdBound` at block granularity, so the
+MOA9xx bound interpreter certifies blocked plans with the *same*
+machinery (and the same MOA905 staleness gate) it already applies to
+coordinator thresholds and resume frontiers.
+
+Two layouts, matching the two access disciplines of the engines:
+
+* :class:`ScoredBlocks` — descending-grade order (ties id-ascending,
+  the exact order every scalar sorted-access source uses), for the
+  TA/NRA/CA family;
+* :class:`DocBlocks` — ascending-doc-id order with per-block
+  ``(min_doc, max_doc)`` metadata, for accumulator-style engines
+  (quit/continue) that skip blocks provably containing no admitted
+  document.
+
+Layout classes are passive: cost charging stays at the access sites
+(sources and engines), mirroring how ``BAT`` itself never charges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StorageError
+from ..intervals import ThresholdBound
+
+
+def _check_block_size(block_size: int) -> int:
+    block_size = int(block_size)
+    if block_size < 1:
+        raise StorageError(f"block_size must be >= 1, got {block_size}")
+    return block_size
+
+
+class ScoredBlocks:
+    """A graded list as fixed-size blocks in descending-grade order.
+
+    ``doc_ids``/``grades`` are stored contiguously in the canonical
+    sorted-access order (grade descending, ties doc-id ascending —
+    byte-identical to :class:`~repro.mm.sources.ArraySource` and
+    :class:`~repro.mm.sources.PostingsSource`), partitioned into blocks
+    of ``block_size`` postings; the last block may be short.  Because
+    the order is descending, each block's upper bound equals its first
+    grade, but the bound is computed as an explicit per-block maximum
+    so the containment property ("the bound contains every grade stored
+    in the block") holds by construction, not by a sortedness argument.
+    """
+
+    def __init__(self, doc_ids, grades, block_size: int, *,
+                 presorted: bool = False) -> None:
+        doc_ids = np.asarray(doc_ids, dtype=np.int64)
+        grades = np.asarray(grades, dtype=np.float64)
+        if doc_ids.ndim != 1 or grades.ndim != 1:
+            raise StorageError("doc_ids and grades must be one-dimensional")
+        if len(doc_ids) != len(grades):
+            raise StorageError(
+                f"doc_ids and grades disagree: {len(doc_ids)} vs {len(grades)}")
+        self.block_size = _check_block_size(block_size)
+        if not presorted and len(grades):
+            order = np.lexsort((doc_ids, -grades))
+            doc_ids = doc_ids[order]
+            grades = grades[order]
+        self.doc_ids = doc_ids
+        self.grades = grades
+        if len(grades):
+            self.starts = np.arange(0, len(grades), self.block_size)
+            self.uppers = np.maximum.reduceat(grades, self.starts)
+        else:
+            self.starts = np.empty(0, dtype=np.int64)
+            self.uppers = np.empty(0, dtype=np.float64)
+
+    @property
+    def n_postings(self) -> int:
+        return len(self.doc_ids)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.starts)
+
+    def block_bounds(self, b: int) -> tuple[int, int]:
+        """The rank range ``[start, end)`` block ``b`` covers."""
+        start = int(self.starts[b])
+        return start, min(start + self.block_size, len(self.doc_ids))
+
+    def block(self, b: int) -> tuple[np.ndarray, np.ndarray]:
+        """Block ``b`` as ``(doc_ids, grades)`` array views."""
+        start, end = self.block_bounds(b)
+        return self.doc_ids[start:end], self.grades[start:end]
+
+    def block_upper(self, b: int) -> float:
+        """The precomputed score upper bound of block ``b``."""
+        return float(self.uppers[b])
+
+    def block_of_rank(self, rank: int) -> int:
+        return rank // self.block_size
+
+    def threshold_bounds(self, epoch: int = 0) -> tuple[ThresholdBound, ...]:
+        """The per-block bounds as epoch-stamped ThresholdBound records.
+
+        Bound ``b`` certifies: every posting at rank >= ``start(b)``
+        grades at most ``uppers[b]`` (grades are descending, so the
+        block maximum also caps the whole tail).  ``n`` records the
+        rank the bound holds from, ``key`` the canonical
+        ``(-score, obj_id)`` sort key of the block's best posting —
+        exactly the shape the coordinator's bound cache records, so the
+        MOA9xx interpreter (and its MOA905 epoch gate) consumes blocked
+        bounds with no new machinery.
+        """
+        return tuple(
+            ThresholdBound(
+                n=int(self.starts[b]),
+                key=(-float(self.uppers[b]), int(self.doc_ids[self.starts[b]])),
+                epoch=epoch,
+            )
+            for b in range(self.n_blocks)
+        )
+
+
+class DocBlocks:
+    """A posting list as fixed-size blocks in ascending-doc-id order.
+
+    The accumulator engines (quit/continue) read postings in document
+    order; each block carries ``(min_doc, max_doc)`` plus a score upper
+    bound, so a continue-phase pass can skip blocks that provably
+    contain no admitted document without reading their payload.
+    """
+
+    def __init__(self, doc_ids, grades, block_size: int) -> None:
+        doc_ids = np.asarray(doc_ids, dtype=np.int64)
+        grades = np.asarray(grades, dtype=np.float64)
+        if len(doc_ids) != len(grades):
+            raise StorageError(
+                f"doc_ids and grades disagree: {len(doc_ids)} vs {len(grades)}")
+        self.block_size = _check_block_size(block_size)
+        if len(doc_ids) > 1 and np.any(np.diff(doc_ids) < 0):
+            order = np.argsort(doc_ids, kind="stable")
+            doc_ids = doc_ids[order]
+            grades = grades[order]
+        self.doc_ids = doc_ids
+        self.grades = grades
+        if len(doc_ids):
+            self.starts = np.arange(0, len(doc_ids), self.block_size)
+            ends = np.minimum(self.starts + self.block_size, len(doc_ids))
+            self.min_docs = doc_ids[self.starts]
+            self.max_docs = doc_ids[ends - 1]
+            self.uppers = np.maximum.reduceat(grades, self.starts)
+        else:
+            self.starts = np.empty(0, dtype=np.int64)
+            self.min_docs = np.empty(0, dtype=np.int64)
+            self.max_docs = np.empty(0, dtype=np.int64)
+            self.uppers = np.empty(0, dtype=np.float64)
+
+    @property
+    def n_postings(self) -> int:
+        return len(self.doc_ids)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.starts)
+
+    def block(self, b: int) -> tuple[np.ndarray, np.ndarray]:
+        start = int(self.starts[b])
+        end = min(start + self.block_size, len(self.doc_ids))
+        return self.doc_ids[start:end], self.grades[start:end]
+
+    def overlapping(self, sorted_ids: np.ndarray) -> np.ndarray:
+        """Boolean mask per block: may the block contain any of
+        ``sorted_ids`` (ascending)?  Metadata-only — no payload read —
+        and conservative: ``False`` proves the block holds none of the
+        ids, ``True`` only that the id range overlaps."""
+        if self.n_blocks == 0:
+            return np.empty(0, dtype=bool)
+        if len(sorted_ids) == 0:
+            return np.zeros(self.n_blocks, dtype=bool)
+        lo = np.searchsorted(sorted_ids, self.min_docs, side="left")
+        mask = lo < len(sorted_ids)
+        mask[mask] = sorted_ids[lo[mask]] <= self.max_docs[mask]
+        return mask
+
+    def threshold_bounds(self, epoch: int = 0) -> tuple[ThresholdBound, ...]:
+        """Per-block score bounds as epoch-stamped ThresholdBound
+        records (``n`` is the block's start offset in document order)."""
+        return tuple(
+            ThresholdBound(
+                n=int(self.starts[b]),
+                key=(-float(self.uppers[b]), int(self.min_docs[b])),
+                epoch=epoch,
+            )
+            for b in range(self.n_blocks)
+        )

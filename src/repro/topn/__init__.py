@@ -30,6 +30,7 @@ from .aggregates import (
     WeightedSum,
     require_monotone,
 )
+from .blocked import blocked_combined_topn, blocked_nra_topn, blocked_threshold_topn
 from .ca import combined_topn
 from .fagin import fagin_topn
 from .heap import BoundedTopN
@@ -57,6 +58,9 @@ __all__ = [
     "UserAggregate",
     "WeightedSum",
     "require_monotone",
+    "blocked_combined_topn",
+    "blocked_nra_topn",
+    "blocked_threshold_topn",
     "classic_topn",
     "conjunctive_topn",
     "combined_topn",

@@ -23,9 +23,10 @@ import numpy as np
 from ..errors import TopNError
 from ..ir.invindex import InvertedIndex
 from ..ir.ranking import ScoringModel
-from ..obs import tracer
+from ..obs import metrics, tracer
 from ..storage import kernel, stats
 from ..storage.bat import BAT
+from ..storage.blocks import DocBlocks
 from .result import TopNResult
 
 _STRATEGIES = ("quit", "continue")
@@ -39,6 +40,7 @@ def quit_continue_topn(
     budget_fraction: float = 0.25,
     strategy: str = "continue",
     *,
+    block_size: int | None = None,
     resume_from=None,
     capture_state: bool = False,
 ) -> TopNResult:
@@ -56,6 +58,15 @@ def quit_continue_topn(
     arrays, reading no postings at all.  The re-cut is the same
     deterministic ``topn_tail``, so a resumed answer is identical to a
     cold run at the new ``n``.
+
+    ``block_size`` switches the continue phase to block-at-a-time: each
+    continue-term posting list is viewed as :class:`DocBlocks` (doc-id
+    order, per-block ``(min_doc, max_doc)`` metadata), and blocks whose
+    id range provably contains no admitted document are skipped without
+    reading their payload — the accumulator (and the answer) is
+    bit-identical to the scalar pass, which masks those postings to
+    nothing anyway.  The full phase is already one vectorized
+    accumulation per term, so blocking only changes the continue phase.
     """
     if strategy not in _STRATEGIES:
         raise TopNError(f"unknown strategy {strategy!r}; have {_STRATEGIES}")
@@ -81,6 +92,11 @@ def quit_continue_topn(
         postings_continued = 0
         terms_full = 0
         quit_reached = False
+        # the admitted set is frozen once the budget is exhausted, so
+        # the continue phase can prune against one sorted snapshot
+        admitted_ids = None
+        blocks_read = 0
+        blocks_skipped = 0
         for tid in ordered:
             plen = index.posting_length(tid)
             if not quit_reached and postings_full + plen > budget and terms_full > 0:
@@ -99,12 +115,28 @@ def quit_continue_topn(
                 admitted[doc_ids] = True
                 postings_full += plen
                 terms_full += 1
-            else:
+            elif block_size is None:
                 # continue phase: update existing accumulators only
                 mask = admitted[doc_ids]
                 np.add.at(accumulator, doc_ids[mask], partials[mask])
                 postings_continued += plen
                 stats.charge_comparisons(len(doc_ids))
+            else:
+                # blocked continue phase: skip blocks whose id range
+                # holds no admitted document (metadata-only decision)
+                if admitted_ids is None:
+                    admitted_ids = np.flatnonzero(admitted)
+                blocks = DocBlocks(doc_ids, partials, block_size)
+                overlap = blocks.overlapping(admitted_ids)
+                for b in np.flatnonzero(overlap):
+                    b_docs, b_partials = blocks.block(int(b))
+                    mask = admitted[b_docs]
+                    np.add.at(accumulator, b_docs[mask], b_partials[mask])
+                    stats.charge_comparisons(len(b_docs))
+                read = int(np.count_nonzero(overlap))
+                blocks_read += read
+                blocks_skipped += blocks.n_blocks - read
+                postings_continued += plen
 
         candidates = np.nonzero(admitted)[0]
         stats.charge_tuples_written(len(candidates))
@@ -121,6 +153,13 @@ def quit_continue_topn(
             "candidates": len(candidates),
             "resumed": False,
         }
+        if block_size is not None:
+            run_stats["block_size"] = block_size
+            run_stats["blocks_read"] = blocks_read
+            run_stats["blocks_skipped"] = blocks_skipped
+            if metrics.enabled():
+                metrics.inc("topn.blocks_read", blocks_read)
+                metrics.inc("topn.blocks_skipped", blocks_skipped)
         result = TopNResult.from_bat(
             top, n, strategy=f"brown-{strategy}", safe=False, stats=run_stats,
         )

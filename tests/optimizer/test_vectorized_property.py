@@ -1,0 +1,71 @@
+"""The ``vectorized`` plan property.
+
+The optimizer may let a plan run the blocked (block-at-a-time) engines
+only when every per-block score bound is certified by the MOA9xx bound
+interpreter — the same machinery (and the same MOA905 epoch-staleness
+gate) that already certifies coordinator thresholds.  The property is
+tri-state on :class:`~repro.optimizer.OptimizationReport`:
+
+* ``True`` — block bounds were declared and the certificate holds;
+* ``False`` — block bounds were declared but certification failed
+  (e.g. a stale epoch): the plan must fall back to the scalar oracles;
+* ``None`` — no block bounds were declared (scalar-only plan).
+"""
+
+from repro.algebra import make_list, parse
+from repro.analysis import block_bound_declarations
+from repro.mm import BlockedSource
+from repro.optimizer import Optimizer
+
+
+ENV = {"xs": make_list([0.3, 0.9, 0.1, 0.7])}
+
+
+def block_bounds(epoch: int, current_epoch: int):
+    source = BlockedSource.from_array([0.9, 0.4, 0.8, 0.2, 0.6], block_size=2)
+    return block_bound_declarations(
+        "term:0", source.blocks.threshold_bounds(epoch=epoch),
+        current_epoch=current_epoch)
+
+
+class TestVectorizedProperty:
+    def test_fresh_bounds_certify(self):
+        report = Optimizer(block_bounds=block_bounds(epoch=2, current_epoch=2)) \
+            .optimize(parse("topn(xs, 5)"), env=ENV)
+        assert report.vectorized is True
+        assert report.bound_certified is True
+
+    def test_stale_bounds_fall_back_to_scalar(self):
+        report = Optimizer(block_bounds=block_bounds(epoch=1, current_epoch=2)) \
+            .optimize(parse("topn(xs, 5)"), env=ENV)
+        assert report.vectorized is False
+        assert report.bound_certified is False
+        codes = [d.code for d in report.bound_certificate.diagnostics]
+        assert "MOA905" in codes
+
+    def test_no_block_bounds_means_no_claim(self):
+        report = Optimizer().optimize(parse("topn(xs, 5)"), env=ENV)
+        assert report.vectorized is None
+
+    def test_one_stale_bound_poisons_the_plan(self):
+        """Block-max pruning is only as sound as its weakest bound: a
+        single stale block bound among fresh ones flips the property."""
+        fresh = block_bounds(epoch=5, current_epoch=5)
+        stale = block_bounds(epoch=4, current_epoch=5)[:1]
+        report = Optimizer(block_bounds=fresh + stale) \
+            .optimize(parse("topn(xs, 5)"), env=ENV)
+        assert report.vectorized is False
+
+    def test_describe_mentions_the_property(self):
+        report = Optimizer(block_bounds=block_bounds(epoch=2, current_epoch=2)) \
+            .optimize(parse("topn(xs, 5)"), env=ENV)
+        assert "vectorized: True" in report.describe()
+
+    def test_declarations_are_per_block(self):
+        source = BlockedSource.from_array([0.9, 0.4, 0.8, 0.2, 0.6],
+                                          block_size=2)
+        bounds = source.blocks.threshold_bounds(epoch=1)
+        decls = block_bound_declarations("term:7", bounds, current_epoch=1)
+        assert len(decls) == source.blocks.n_blocks
+        assert [d.name for d in decls] \
+            == [f"term:7[b{i}]" for i in range(len(bounds))]

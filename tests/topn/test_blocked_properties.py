@@ -1,0 +1,182 @@
+"""Property tests for the blocked access path (hypothesis).
+
+Three properties carry the soundness argument of block-max pruning:
+
+* **Containment** — every block's precomputed upper bound contains the
+  block's maximum grade (and therefore every grade in the block), and
+  the exported epoch-stamped :class:`~repro.intervals.ThresholdBound`
+  records certify exactly that interval.
+* **No dropped documents** — on arbitrary grade matrices (including
+  the adversarial tie patterns hypothesis produces) a blocked engine
+  returns the scalar oracle's answer bit for bit, so no block-skip
+  decision ever drops a document the oracle returns.
+* **Warm equals cold** — a cached TA resume state replayed against
+  blocked storage yields the same answer as a cold run, in every
+  direction (scalar-captured -> blocked resume and vice versa).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mm import ArraySource, BlockedSource
+from repro.storage.blocks import DocBlocks, ScoredBlocks
+from repro.topn import (
+    SUM,
+    blocked_combined_topn,
+    blocked_nra_topn,
+    blocked_threshold_topn,
+    combined_topn,
+    nra_topn,
+    threshold_topn,
+)
+
+grades_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, width=32), min_size=0, max_size=200)
+
+matrices = st.lists(
+    st.lists(st.floats(min_value=0.0, max_value=1.0, width=32),
+             min_size=2, max_size=2),
+    min_size=1, max_size=60,
+)
+
+
+def blocked_sources(grid: np.ndarray, block_size: int):
+    return [BlockedSource.from_array(grid[:, j], block_size, name=f"s{j}")
+            for j in range(grid.shape[1])]
+
+
+def scalar_sources(grid: np.ndarray):
+    return [ArraySource(grid[:, j], name=f"s{j}") for j in range(grid.shape[1])]
+
+
+class TestBoundContainment:
+    @settings(max_examples=60, deadline=None)
+    @given(grades=grades_lists, block_size=st.integers(min_value=1, max_value=70))
+    def test_scored_block_upper_contains_block_max(self, grades, block_size):
+        doc_ids = np.arange(len(grades), dtype=np.int64)
+        blocks = ScoredBlocks(doc_ids, grades, block_size)
+        for b in range(blocks.n_blocks):
+            _, block_grades = blocks.block(b)
+            assert blocks.block_upper(b) >= float(block_grades.max())
+
+    @settings(max_examples=60, deadline=None)
+    @given(grades=grades_lists, block_size=st.integers(min_value=1, max_value=70))
+    def test_threshold_bounds_certify_every_grade(self, grades, block_size):
+        """The exported ThresholdBound of block ``b`` certifies the
+        whole tail from its start rank: grades are descending, so every
+        grade at rank >= start lies in the bound's interval."""
+        doc_ids = np.arange(len(grades), dtype=np.int64)
+        blocks = ScoredBlocks(doc_ids, grades, block_size)
+        bounds = blocks.threshold_bounds(epoch=3)
+        assert len(bounds) == blocks.n_blocks
+        for b, bound in enumerate(bounds):
+            start, _ = blocks.block_bounds(b)
+            assert bound.n == start
+            assert bound.epoch == 3
+            interval = bound.interval()
+            for grade in blocks.grades[start:]:
+                assert interval.contains(float(grade))
+
+    @settings(max_examples=60, deadline=None)
+    @given(grades=grades_lists, block_size=st.integers(min_value=1, max_value=70))
+    def test_doc_block_upper_contains_block_max(self, grades, block_size):
+        doc_ids = np.arange(len(grades), dtype=np.int64)
+        blocks = DocBlocks(doc_ids, grades, block_size)
+        for b, bound in enumerate(blocks.threshold_bounds()):
+            _, block_grades = blocks.block(b)
+            assert bound.interval().contains(float(block_grades.max()))
+
+
+class TestNoDroppedDocuments:
+    """Block skipping is invisible: blocked answers are bit-identical
+    to the scalar oracle on arbitrary matrices and block sizes."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrix=matrices, n=st.integers(min_value=1, max_value=12),
+           block_size=st.integers(min_value=1, max_value=70))
+    def test_blocked_ta(self, matrix, n, block_size):
+        grid = np.asarray(matrix, dtype=np.float64)
+        reference = threshold_topn(scalar_sources(grid), n, SUM)
+        result = blocked_threshold_topn(blocked_sources(grid, block_size), n, SUM)
+        assert result.doc_ids == reference.doc_ids
+        assert result.scores == reference.scores
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrix=matrices, n=st.integers(min_value=1, max_value=12),
+           block_size=st.integers(min_value=1, max_value=70))
+    def test_blocked_nra(self, matrix, n, block_size):
+        grid = np.asarray(matrix, dtype=np.float64)
+        reference = nra_topn(scalar_sources(grid), n, SUM, check_every=4)
+        result = blocked_nra_topn(blocked_sources(grid, block_size), n, SUM,
+                                  check_every=4)
+        assert result.doc_ids == reference.doc_ids
+        assert result.scores == reference.scores
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrix=matrices, n=st.integers(min_value=1, max_value=12),
+           block_size=st.integers(min_value=1, max_value=70))
+    def test_blocked_ca(self, matrix, n, block_size):
+        grid = np.asarray(matrix, dtype=np.float64)
+        reference = combined_topn(scalar_sources(grid), n, SUM, h=4,
+                                  check_every=4)
+        result = blocked_combined_topn(blocked_sources(grid, block_size), n,
+                                       SUM, h=4, check_every=4)
+        assert result.doc_ids == reference.doc_ids
+        assert result.scores == reference.scores
+
+
+class TestWarmEqualsCold:
+    """A TA resume state replayed against blocked storage answers as if
+    the run had been cold — in every scalar/blocked direction."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrix=matrices,
+           n_small=st.integers(min_value=1, max_value=5),
+           n_large=st.integers(min_value=6, max_value=12),
+           block_size=st.integers(min_value=1, max_value=70))
+    def test_blocked_capture_blocked_resume(self, matrix, n_small, n_large,
+                                            block_size):
+        grid = np.asarray(matrix, dtype=np.float64)
+        cold = blocked_threshold_topn(blocked_sources(grid, block_size),
+                                      n_large, SUM)
+        first = blocked_threshold_topn(blocked_sources(grid, block_size),
+                                       n_small, SUM, capture_state=True)
+        warm = blocked_threshold_topn(blocked_sources(grid, block_size),
+                                      n_large, SUM,
+                                      resume_from=first.stats["resume_state"])
+        assert warm.doc_ids == cold.doc_ids
+        assert warm.scores == cold.scores
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrix=matrices,
+           n_small=st.integers(min_value=1, max_value=5),
+           n_large=st.integers(min_value=6, max_value=12),
+           block_size=st.integers(min_value=1, max_value=70))
+    def test_scalar_capture_blocked_resume(self, matrix, n_small, n_large,
+                                           block_size):
+        grid = np.asarray(matrix, dtype=np.float64)
+        cold = threshold_topn(scalar_sources(grid), n_large, SUM)
+        first = threshold_topn(scalar_sources(grid), n_small, SUM,
+                               capture_state=True)
+        warm = blocked_threshold_topn(blocked_sources(grid, block_size),
+                                      n_large, SUM,
+                                      resume_from=first.stats["resume_state"])
+        assert warm.doc_ids == cold.doc_ids
+        assert warm.scores == cold.scores
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrix=matrices,
+           n_small=st.integers(min_value=1, max_value=5),
+           n_large=st.integers(min_value=6, max_value=12),
+           block_size=st.integers(min_value=1, max_value=70))
+    def test_blocked_capture_scalar_resume(self, matrix, n_small, n_large,
+                                           block_size):
+        grid = np.asarray(matrix, dtype=np.float64)
+        cold = threshold_topn(scalar_sources(grid), n_large, SUM)
+        first = blocked_threshold_topn(blocked_sources(grid, block_size),
+                                       n_small, SUM, capture_state=True)
+        warm = threshold_topn(scalar_sources(grid), n_large, SUM,
+                              resume_from=first.stats["resume_state"])
+        assert warm.doc_ids == cold.doc_ids
+        assert warm.scores == cold.scores
