@@ -21,14 +21,38 @@ RESULTS_DIR = Path(__file__).parent / "results"
 OUTPUT = Path(__file__).parent.parent / "BENCH_RESULTS.json"
 
 
+#: keys every recorded table must carry (see conftest.record_table)
+REQUIRED_KEYS = ("slug", "title", "headers", "rows")
+
+
 def collect(results_dir: Path = RESULTS_DIR, output: Path = OUTPUT) -> dict:
-    """Merge every ``results/*.json`` table; returns the payload."""
+    """Merge every ``results/*.json`` table; returns the payload.
+
+    A missing, truncated or hand-damaged per-experiment file (an
+    interrupted bench run leaves those behind) is *skipped with a
+    warning* rather than aborting the merge — the other experiments'
+    tables still make it into ``BENCH_RESULTS.json``."""
     tables = []
+    skipped = 0
     for path in sorted(results_dir.glob("*.json")):
-        with open(path) as fh:
-            tables.append(json.load(fh))
+        try:
+            with open(path) as fh:
+                table = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"collect: skipping {path.name}: {exc}", file=sys.stderr)
+            skipped += 1
+            continue
+        missing = [key for key in REQUIRED_KEYS
+                   if not isinstance(table, dict) or key not in table]
+        if missing:
+            print(f"collect: skipping {path.name}: not a recorded table "
+                  f"(missing {', '.join(missing)})", file=sys.stderr)
+            skipped += 1
+            continue
+        tables.append(table)
     payload = {
         "source": "benchmarks/results",
+        "skipped": skipped,
         "tables": tables,
     }
     with open(output, "w") as fh:
@@ -44,7 +68,12 @@ def main() -> int:
               file=sys.stderr)
         return 1
     payload = collect()
-    print(f"merged {len(payload['tables'])} table(s) into {OUTPUT}")
+    note = (f" ({payload['skipped']} unreadable file(s) skipped)"
+            if payload["skipped"] else "")
+    print(f"merged {len(payload['tables'])} table(s) into {OUTPUT}{note}")
+    if not payload["tables"]:
+        print("collect: no readable tables — nothing merged", file=sys.stderr)
+        return 1
     return 0
 
 

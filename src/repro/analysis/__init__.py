@@ -99,6 +99,7 @@ from .properties import (
     infer_properties,
     properties_of,
 )
+from .serve import check_serve, check_serve_paths, epoch_mismatch_diagnostic
 from .soundness import (
     RuleVerdict,
     SoundnessHarness,
@@ -160,6 +161,8 @@ __all__ = [
     "check_package",
     "check_paths",
     "check_rewrite_step",
+    "check_serve",
+    "check_serve_paths",
     "derive_bounds",
     "classify_cutoffs",
     "clear_verified_cache",
@@ -171,6 +174,7 @@ __all__ = [
     "demo_unsafe_rewrite",
     "demo_widening_rewrite",
     "ensure_verified",
+    "epoch_mismatch_diagnostic",
     "format_path",
     "infer_module_effects",
     "infer_package_effects",

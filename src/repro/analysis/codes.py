@@ -17,7 +17,9 @@ from this table (``MOA001``...).  Codes are grouped by hundreds:
 * ``MOA9xx`` — score-bound certification: the interval-domain
   abstract interpreter (``repro bounds``) derives a certified score
   interval at every plan edge and flags every pruning decision the
-  derived bounds cannot license.
+  derived bounds cannot license;
+* ``MOA10xx`` — serve safety: the query service's admission, deadline
+  and resume disciplines (:mod:`repro.analysis.serve`).
 
 Tests assert that the table has no duplicate codes and that every code
 emitted anywhere in the analysis package is registered here, so the
@@ -294,6 +296,40 @@ CODES: dict[str, DiagnosticCode] = _build_table(
         "the query is fingerprinted at: the thresholds were measured "
         "against scores that may have changed, so pruning against them "
         "is uncertifiable.  Bounds only transfer within one epoch.",
+    ),
+    # -- MOA10xx: serve safety ---------------------------------------------
+    DiagnosticCode(
+        "MOA1001", "undeclared shared server state", "error",
+        "A server-side serve class mutates an instance attribute outside "
+        "construction without declaring it in SHARED_STATE.  Service "
+        "objects cross the asyncio-loop/worker-thread boundary by "
+        "construction, so every mutable attribute must carry a lock name "
+        "or confinement marker — otherwise neither repro check nor the "
+        "race sanitizer can vouch for the server.",
+    ),
+    DiagnosticCode(
+        "MOA1002", "resume token redeemed across a corpus epoch", "error",
+        "A client tried to resume an anytime stream with a token issued "
+        "at a different corpus epoch.  The captured frontier (TA state, "
+        "replay logs) certifies score bounds only against the issuing "
+        "epoch's scores; continuing it after a mutation could silently "
+        "serve a wrong top-N.  The serve-side twin of MOA905: the "
+        "registry refuses the resume and emits this diagnostic.",
+    ),
+    DiagnosticCode(
+        "MOA1003", "engine work scheduled outside admission", "error",
+        "A server function schedules engine work on pool threads "
+        "(run_in_executor) without visibly running under an admission "
+        "(no admission parameter, no .admit(...) call).  Such a path "
+        "bypasses both the tenant quota gate and the pool-wide bound — "
+        "a single forgotten call site undoes all multi-tenant isolation.",
+    ),
+    DiagnosticCode(
+        "MOA1004", "executor work without a cancel token", "error",
+        "A server function schedules engine work on pool threads without "
+        "referencing the request's CancelToken.  Deadlines propagate "
+        "only through that token's between-step checks; a pump loop "
+        "that drops it streams past every deadline a client sets.",
     ),
 )
 

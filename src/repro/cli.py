@@ -23,8 +23,15 @@ Commands
 ``bench-blocks``  compare the block-at-a-time vectorized engines
                 against their scalar oracles across block sizes
                 (exact-match verified)
+``serve``       run the asynchronous query service over a synthetic
+                database (length-prefixed JSON frames + HTTP shim)
+``bench-serve`` closed-loop load test of the query service: per-tenant
+                qps and latency percentiles, quota isolation verified
+                (experiment E19)
 
-All commands are deterministic given ``--seed``.
+All commands are deterministic given ``--seed`` (``serve`` and
+``bench-serve`` excepted — wall-clock load generation is inherently
+timing-dependent, though every answer is still exact-match verified).
 """
 
 from __future__ import annotations
@@ -242,6 +249,54 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="block sizes to benchmark")
     bench_blocks.add_argument("--json", action="store_true",
                               help="emit the report as JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asynchronous query service",
+        description="Serve streaming anytime top-N queries over a "
+                    "synthetic database with planted feature spaces.  "
+                    "Speaks the length-prefixed JSON frame protocol "
+                    "and a minimal HTTP shim (GET /healthz, GET "
+                    "/stats, POST /query -> NDJSON) on one port.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=7333,
+                       help="bind port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="executor pool workers")
+    serve.add_argument("--max-concurrent", type=int, default=8,
+                       help="pool-wide concurrent query bound")
+    serve.add_argument("--chunk-depth", type=int, default=32,
+                       help="sorted-access depth of the first streamed "
+                            "chunk (doubles per chunk)")
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="closed-loop load test of the query service, quota "
+             "isolation and exact finals verified (E19)",
+        description="Start a server with a steady and a noisy tenant, "
+                    "drive closed-loop clients through a solo and a "
+                    "mixed phase, and report per-tenant qps and "
+                    "latency percentiles.  Verifies every streamed "
+                    "final against the direct library call, that the "
+                    "noisy tenant is throttled by its token bucket, "
+                    "and that the steady tenant's p99 degrades by at "
+                    "most 2x under the mixed load.  Exits nonzero "
+                    "otherwise.",
+    )
+    bench_serve.add_argument("--duration", type=float, default=2.0,
+                             help="seconds per phase")
+    bench_serve.add_argument("--n", type=int, default=10, help="top-N size")
+    bench_serve.add_argument("--algorithm", default="ta",
+                             choices=["fa", "ta", "nra", "ca"],
+                             help="engine streamed by the load")
+    bench_serve.add_argument("--clients", type=int, default=3,
+                             help="closed-loop clients per tenant")
+    bench_serve.add_argument("--chunk-depth", type=int, default=8,
+                             help="first-chunk depth (small values "
+                                  "stream more anytime chunks)")
+    bench_serve.add_argument("--json", action="store_true",
+                             help="emit the report as JSON")
     return parser
 
 
@@ -504,8 +559,14 @@ def _cmd_check(args, out) -> int:
         effect_summary,
     )
 
+    from .analysis import check_serve, check_serve_paths
+
     try:
         report = check_paths(args.paths) if args.paths else check_package()
+        # the serve-safety pass (MOA10xx) rides along with the MOA7xx run
+        serve_report = (check_serve_paths(args.paths) if args.paths
+                        else check_serve())
+        report.extend(serve_report.diagnostics)
     except OSError as exc:
         print(f"repro check: cannot read source: {exc}", file=out)
         return EXIT_USAGE
@@ -678,6 +739,56 @@ def _cmd_bench_blocks(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args, out) -> int:
+    import signal
+    import threading
+
+    from .mm.features import color_histograms, texture_features
+    from .serve import ServerConfig, ServerThread
+
+    db = _make_database(args)
+    db.add_feature_space(color_histograms(db.collection.n_docs, seed=args.seed))
+    db.add_feature_space(texture_features(db.collection.n_docs, seed=args.seed))
+    config = ServerConfig(host=args.host, port=args.port,
+                          workers=args.workers,
+                          max_concurrent=args.max_concurrent,
+                          chunk_depth=args.chunk_depth)
+    server = ServerThread(db, config)
+    handle = server.start()
+    print(f"repro serve: listening on {handle.host}:{handle.port} "
+          f"(feature spaces: {sorted(db.feature_spaces)}; ctrl-c stops)",
+          file=out, flush=True)
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        server.stop()
+        db.close()
+    print("repro serve: stopped", file=out)
+    return 0
+
+
+def _cmd_bench_serve(args, out) -> int:
+    import json
+
+    from .serve import bench_serve
+    from .serve.bench import render_report
+
+    report = bench_serve(scale=args.scale, seed=args.seed,
+                         duration=args.duration, n=args.n,
+                         algorithm=args.algorithm,
+                         steady_clients=args.clients,
+                         noisy_clients=args.clients,
+                         chunk_depth=args.chunk_depth)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+    else:
+        print(render_report(report), file=out)
+    return 0 if report.ok else 1
+
+
 def _cmd_example1(args, out) -> int:
     from .algebra import parse
     from .optimizer import Optimizer
@@ -723,4 +834,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_bench_cache(args, out)
     if args.command == "bench-blocks":
         return _cmd_bench_blocks(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -404,6 +404,21 @@ class MMDatabase:
                          complete=len(result.items) < n)
         return result
 
+    def feature_sources(self, queries: dict[str, np.ndarray],
+                        measure: str = "l2") -> list:
+        """Graded sources for a multi-feature query, one per named
+        feature space — the building block :meth:`feature_search` and
+        the serve layer's anytime runners share."""
+        sources = []
+        for name, vector in queries.items():
+            if name not in self.feature_spaces:
+                raise WorkloadError(f"unknown feature space {name!r}; "
+                                    f"have {sorted(self.feature_spaces)}")
+            sources.append(feature_source(self.feature_spaces[name],
+                                          np.asarray(vector, dtype=np.float64),
+                                          measure))
+        return sources
+
     def feature_search(self, queries: dict[str, np.ndarray], n: int = 10,
                        algorithm: str = "ta", agg=SUM,
                        measure: str = "l2") -> SearchResult:
@@ -411,12 +426,7 @@ class MMDatabase:
         combined with a Fagin-family algorithm."""
         if algorithm not in _ALGORITHMS:
             raise TopNError(f"unknown algorithm {algorithm!r}; have {sorted(_ALGORITHMS)}")
-        sources = []
-        for name, vector in queries.items():
-            if name not in self.feature_spaces:
-                raise WorkloadError(f"unknown feature space {name!r}; "
-                                    f"have {sorted(self.feature_spaces)}")
-            sources.append(feature_source(self.feature_spaces[name], vector, measure))
+        sources = self.feature_sources(queries, measure)
         started = time.perf_counter()
         with CostCounter.activate() as cost:
             result = self._run_multisource(sources, n, algorithm, agg,

@@ -105,6 +105,44 @@ class QueryCancelledError(ParallelError):
     """A parallel query was cancelled before its result was resolved."""
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the query service layer
+    (:mod:`repro.serve`)."""
+
+
+class ProtocolError(ServeError):
+    """A wire frame was malformed: bad length prefix, oversized frame,
+    invalid JSON, or a request missing required fields."""
+
+
+class QuotaExceededError(ServeError):
+    """A tenant exceeded its token-bucket rate or concurrency quota.
+
+    The rejection is explicit and retryable — ``retry_after`` (seconds,
+    possibly 0.0) hints when the bucket will hold a token again.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ResumeTokenError(ServeError):
+    """A resume token could not be redeemed: unknown/expired token, a
+    session already being served, or a corpus-epoch mismatch (the
+    MOA1002 condition — resuming across epochs could serve stale
+    frontiers as fresh answers).
+
+    ``diagnostic`` carries the MOA diagnostic when one applies.
+    """
+
+    def __init__(self, message: str, code: str = "resume_unknown",
+                 diagnostic=None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.diagnostic = diagnostic
+
+
 class WorkloadError(ReproError):
     """A workload/collection generator received invalid parameters."""
 

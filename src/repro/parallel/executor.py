@@ -31,6 +31,7 @@ counted twice.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
@@ -48,16 +49,42 @@ class CancelToken:
     Tasks observe the token *before* they start; a task already running
     finishes, but its outcome is discarded by the coordinator's sealed
     merge state, so cancellation never corrupts a completed result.
+
+    A token may carry an absolute ``deadline`` (``time.monotonic``
+    seconds): once the clock passes it, :meth:`cancelled` flips to True
+    permanently.  Deadline expiry and explicit :meth:`cancel` are
+    indistinguishable to observers — both mean "stop at the next safe
+    point" — which is exactly what the serve layer's per-request
+    deadline propagation needs.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, deadline: float | None = None) -> None:
         self._event = threading.Event()
+        #: absolute ``time.monotonic`` deadline, or None for no deadline
+        self.deadline = deadline
+
+    @classmethod
+    def with_timeout(cls, seconds: float) -> "CancelToken":
+        """A token that cancels itself ``seconds`` from now."""
+        return cls(deadline=time.monotonic() + seconds)
 
     def cancel(self) -> None:
         self._event.set()
 
     def cancelled(self) -> bool:
-        return self._event.is_set()
+        if self._event.is_set():
+            return True
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            self._event.set()
+            return True
+        return False
+
+    def remaining(self) -> float | None:
+        """Seconds left until the deadline (never negative), or None
+        when the token carries no deadline."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
 
 
 @dataclass
@@ -168,6 +195,13 @@ class ExecutorPool:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    @property
+    def executor(self):
+        """The underlying ``concurrent.futures`` executor (None for the
+        serial pool) — lets the serve layer schedule admitted work on
+        the same bounded worker threads the coordinator uses."""
+        return self._executor
 
     # -- admission control -------------------------------------------------
 

@@ -1,0 +1,289 @@
+"""Closed-loop load generator for the query service (experiment E19).
+
+Two phases over one server:
+
+* **solo** — a steady tenant (generous quota) drives closed-loop
+  clients alone; its p50/p99 are the baseline.
+* **mixed** — a noisy tenant (tiny token bucket, concurrency 1) hammers
+  the same server alongside the steady tenant.  The bucket rejects
+  most of the noisy load at the first admission gate — cheaply, before
+  any engine work — so the steady tenant's latency should survive.
+
+The **isolation ratio** is the steady tenant's mixed-phase p99 over
+its solo-phase p99 (with a small noise floor on the denominator:
+sub-millisecond baselines are below timer resolution).  The report is
+``ok`` when every streamed final matched the direct library call, the
+noisy tenant actually got throttled, at least one pre-final (anytime)
+chunk was streamed, and the ratio stays within the 2x isolation bar.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import QuotaExceededError, ReproError
+from .client import ServeClient, collect
+from .server import ServerConfig, ServerThread
+from .tenants import TenantConfig, percentile
+
+#: denominator floor (ms) for the isolation ratio — p99s below timer
+#: resolution would make the ratio pure noise
+_P99_FLOOR_MS = 2.0
+
+
+@dataclass
+class TenantRow:
+    """One tenant's aggregate over one phase."""
+
+    tenant: str
+    phase: str
+    requests: int = 0
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    mismatches: int = 0
+    chunks: int = 0
+    prefinal_chunks: int = 0
+    seconds: float = 0.0
+    latencies_ms: list = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        return self.completed / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def p50_ms(self) -> float | None:
+        return percentile(sorted(self.latencies_ms), 0.50)
+
+    @property
+    def p99_ms(self) -> float | None:
+        return percentile(sorted(self.latencies_ms), 0.99)
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "phase": self.phase,
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "mismatches": self.mismatches,
+            "chunks": self.chunks,
+            "prefinal_chunks": self.prefinal_chunks,
+            "qps": round(self.qps, 2),
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+
+@dataclass
+class ServeBenchReport:
+    duration: float
+    n: int
+    algorithm: str
+    rows: list = field(default_factory=list)
+
+    def row(self, phase: str, tenant: str) -> TenantRow | None:
+        for row in self.rows:
+            if row.phase == phase and row.tenant == tenant:
+                return row
+        return None
+
+    @property
+    def isolation_ratio(self) -> float | None:
+        solo = self.row("solo", "steady")
+        mixed = self.row("mixed", "steady")
+        if solo is None or mixed is None:
+            return None
+        if solo.p99_ms is None or mixed.p99_ms is None:
+            return None
+        return mixed.p99_ms / max(solo.p99_ms, _P99_FLOOR_MS)
+
+    @property
+    def ok(self) -> bool:
+        if any(row.mismatches or row.errors for row in self.rows):
+            return False
+        steady_solo = self.row("solo", "steady")
+        noisy = self.row("mixed", "noisy")
+        if steady_solo is None or steady_solo.completed == 0:
+            return False
+        if steady_solo.prefinal_chunks < 1:
+            return False  # never actually streamed an anytime prefix
+        if noisy is None or noisy.rejected < 1:
+            return False  # quota never engaged
+        ratio = self.isolation_ratio
+        return ratio is not None and ratio <= 2.0
+
+    def to_dict(self) -> dict:
+        return {
+            "duration_s": self.duration,
+            "n": self.n,
+            "algorithm": self.algorithm,
+            "isolation_ratio": self.isolation_ratio,
+            "ok": self.ok,
+            "tenants": [row.to_dict() for row in self.rows],
+        }
+
+
+def _worker(host: str, port: int, tenant: str, queries: list, expected: list,
+            n: int, algorithm: str, chunk_depth: int, stop_at: float,
+            row: TenantRow) -> None:
+    """One closed-loop client: request, drain, repeat until the clock.
+
+    Accumulates into its own :class:`TenantRow`; rows are merged after
+    join, so no locking here."""
+    client = ServeClient(host, port)
+    index = 0
+    try:
+        while time.monotonic() < stop_at:
+            fq = queries[index % len(queries)]
+            want = expected[index % len(expected)]
+            index += 1
+            row.requests += 1
+            started = time.perf_counter()
+            try:
+                result = collect(client.query(
+                    tenant=tenant, kind="feature", n=n, algorithm=algorithm,
+                    queries=fq, chunk_depth=chunk_depth))
+            except QuotaExceededError as exc:
+                # honor the server's retry_after hint (capped): a
+                # throttled closed-loop client backs off instead of
+                # burning the event loop with doomed requests
+                row.rejected += 1
+                delay = exc.retry_after if exc.retry_after else 0.02
+                time.sleep(min(delay, 0.1))
+                continue
+            except (ReproError, OSError):
+                row.errors += 1
+                client.close()
+                try:
+                    client = ServeClient(host, port)
+                except OSError:
+                    return
+                continue
+            row.latencies_ms.append((time.perf_counter() - started) * 1000.0)
+            row.completed += 1
+            row.chunks += len(result.chunks)
+            row.prefinal_chunks += sum(
+                1 for chunk in result.chunks if not chunk["final"])
+            if not result.complete or result.items != want:
+                row.mismatches += 1
+    finally:
+        client.close()
+
+
+def _run_phase(handle, phase: str, tenants: dict, queries, expected,
+               n: int, algorithm: str, chunk_depth: int,
+               duration: float) -> list:
+    """``tenants`` maps tenant name -> worker count."""
+    rows = []
+    threads = []
+    stop_at = time.monotonic() + duration
+    for tenant, workers in tenants.items():
+        for _ in range(workers):
+            row = TenantRow(tenant=tenant, phase=phase)
+            rows.append(row)
+            threads.append(threading.Thread(
+                target=_worker,
+                args=(handle.host, handle.port, tenant, queries, expected,
+                      n, algorithm, chunk_depth, stop_at, row),
+                name=f"bench-{phase}-{tenant}", daemon=True))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    merged: dict[str, TenantRow] = {}
+    for row in rows:
+        into = merged.setdefault(row.tenant, TenantRow(row.tenant, phase))
+        into.requests += row.requests
+        into.completed += row.completed
+        into.rejected += row.rejected
+        into.errors += row.errors
+        into.mismatches += row.mismatches
+        into.chunks += row.chunks
+        into.prefinal_chunks += row.prefinal_chunks
+        into.latencies_ms.extend(row.latencies_ms)
+        into.seconds = duration
+    return list(merged.values())
+
+
+def bench_serve(
+    scale: float = 0.05,
+    seed: int = 7,
+    duration: float = 2.0,
+    n: int = 10,
+    algorithm: str = "ta",
+    steady_clients: int = 3,
+    noisy_clients: int = 3,
+    dims: int = 8,
+    query_pool: int = 8,
+    chunk_depth: int = 8,
+) -> ServeBenchReport:
+    """Run the two-phase load test; see the module docstring."""
+    from ..core import MMDatabase
+    from ..mm.features import FeatureSpace
+    from ..workloads import SyntheticCollection, trec
+
+    collection = SyntheticCollection.generate(trec.ft_like(scale=scale, seed=seed))
+    rng = np.random.default_rng(seed + 2)
+    db = MMDatabase.from_collection(collection)
+    for name in ("bench_a", "bench_b"):
+        db.add_feature_space(FeatureSpace(name, rng.random((collection.n_docs, dims))))
+
+    queries = [{"bench_a": rng.random(dims), "bench_b": rng.random(dims)}
+               for _ in range(query_pool)]
+    # ground truth straight from the library call the server wraps
+    expected = []
+    for fq in queries:
+        result = db.feature_search(fq, n=n, algorithm=algorithm).result
+        expected.append([[int(item.obj_id), float(item.score)]
+                         for item in result.items])
+
+    config = ServerConfig(
+        tenants=(
+            TenantConfig("steady", rate=20_000.0, burst=5_000.0,
+                         max_concurrent=max(steady_clients, 1)),
+            TenantConfig("noisy", rate=5.0, burst=2.0, max_concurrent=1),
+        ),
+        workers=4,
+        max_concurrent=2 * (steady_clients + noisy_clients) + 2,
+        chunk_depth=chunk_depth,
+    )
+    report = ServeBenchReport(duration=duration, n=n, algorithm=algorithm)
+    server = ServerThread(db, config)
+    handle = server.start()
+    try:
+        report.rows.extend(_run_phase(
+            handle, "solo", {"steady": steady_clients}, queries, expected,
+            n, algorithm, chunk_depth, duration))
+        report.rows.extend(_run_phase(
+            handle, "mixed", {"steady": steady_clients, "noisy": noisy_clients},
+            queries, expected, n, algorithm, chunk_depth, duration))
+    finally:
+        server.stop()
+        db.close()
+    return report
+
+
+def render_report(report: ServeBenchReport) -> str:
+    lines = [f"{'phase':<7} {'tenant':<8} {'req':>6} {'done':>6} {'rej':>6} "
+             f"{'qps':>8} {'p50 ms':>8} {'p99 ms':>8} {'chunks':>7} "
+             f"{'stream':>6} {'bad':>4}"]
+    for row in report.rows:
+        p50 = "-" if row.p50_ms is None else f"{row.p50_ms:.1f}"
+        p99 = "-" if row.p99_ms is None else f"{row.p99_ms:.1f}"
+        lines.append(
+            f"{row.phase:<7} {row.tenant:<8} {row.requests:>6} "
+            f"{row.completed:>6} {row.rejected:>6} {row.qps:>8.1f} "
+            f"{p50:>8} {p99:>8} {row.chunks:>7} {row.prefinal_chunks:>6} "
+            f"{row.mismatches + row.errors:>4}")
+    ratio = report.isolation_ratio
+    ratio_text = "-" if ratio is None else f"x{ratio:.2f}"
+    verdict = ("ok" if report.ok else "FAIL")
+    lines.append(f"isolation ratio (steady p99 mixed/solo): {ratio_text} "
+                 f"[bar: x2.00] -> {verdict}")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Blocking client for the query service.
+
+A thin synchronous counterpart to the asyncio server — enough for
+tests, the load generator and interactive use without pulling an async
+runtime into the caller.  One :class:`ServeClient` owns one socket;
+:meth:`query` / :meth:`resume` return generators of response frames
+(``chunk`` then ``done``, or a single ``error``), and
+:func:`collect` drains a stream into a :class:`StreamResult`.
+
+The client deliberately keeps **no hidden state**: resuming after a
+disconnect is explicit — take ``StreamResult.resume_token`` (or the
+last chunk's token before the connection died) and hand it to
+:meth:`resume` on a *new* client.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+
+from ..errors import ProtocolError, QuotaExceededError, ResumeTokenError, ServeError
+from .protocol import read_frame_sync, write_frame_sync
+
+
+@dataclass
+class StreamResult:
+    """A fully drained query stream."""
+
+    chunks: list = field(default_factory=list)
+    done: dict | None = None
+
+    @property
+    def final(self) -> dict | None:
+        """The last (certified) chunk, if the stream reached one."""
+        for chunk in reversed(self.chunks):
+            if chunk.get("final"):
+                return chunk
+        return None
+
+    @property
+    def items(self) -> list:
+        """``[obj_id, score]`` pairs of the best answer received."""
+        if not self.chunks:
+            return []
+        return self.chunks[-1]["items"]
+
+    @property
+    def resume_token(self) -> str | None:
+        if self.done is not None and "resume_token" in self.done:
+            return self.done["resume_token"]
+        if self.chunks:
+            return self.chunks[-1].get("resume_token")
+        return None
+
+    @property
+    def complete(self) -> bool:
+        return self.done is not None and self.done.get("status") == "complete"
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.QueryServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- requests -----------------------------------------------------------
+
+    def ping(self) -> dict:
+        write_frame_sync(self._sock, {"op": "ping"})
+        return self._expect_one("pong")
+
+    def stats(self) -> dict:
+        write_frame_sync(self._sock, {"op": "stats"})
+        return self._expect_one("stats")
+
+    def query(self, *, tenant: str = "default", kind: str = "feature",
+              n: int = 10, algorithm: str = "ta", agg: str = "sum",
+              queries: dict | None = None, measure: str | None = None,
+              query=None, strategy: str | None = None,
+              chunk_depth: int | None = None,
+              deadline_ms: float | None = None):
+        """Send one query; yields response frames as they arrive."""
+        request = {"op": "query", "tenant": tenant, "kind": kind, "n": n,
+                   "algorithm": algorithm, "agg": agg}
+        if queries is not None:
+            request["queries"] = {name: [float(x) for x in vec]
+                                  for name, vec in queries.items()}
+        if measure is not None:
+            request["measure"] = measure
+        if query is not None:
+            request["query"] = query
+        if strategy is not None:
+            request["strategy"] = strategy
+        if chunk_depth is not None:
+            request["chunk_depth"] = chunk_depth
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
+        write_frame_sync(self._sock, request)
+        return self._stream()
+
+    def resume(self, token: str, *, deadline_ms: float | None = None):
+        """Continue a disconnected stream from its resume token."""
+        request: dict = {"op": "resume", "token": token}
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
+        write_frame_sync(self._sock, request)
+        return self._stream()
+
+    # -- response handling --------------------------------------------------
+
+    def _stream(self):
+        while True:
+            frame = read_frame_sync(self._sock)
+            if frame is None:
+                raise ProtocolError("connection closed mid-stream")
+            yield frame
+            if frame.get("type") in ("done", "error"):
+                return
+
+    def _expect_one(self, expected: str) -> dict:
+        frame = read_frame_sync(self._sock)
+        if frame is None:
+            raise ProtocolError("connection closed before response")
+        if frame.get("type") == "error":
+            raise_error(frame)
+        if frame.get("type") != expected:
+            raise ProtocolError(
+                f"expected {expected!r} frame, got {frame.get('type')!r}")
+        return frame
+
+
+def collect(frames) -> StreamResult:
+    """Drain a frame stream; raises the typed error on ``error``."""
+    result = StreamResult()
+    for frame in frames:
+        kind = frame.get("type")
+        if kind == "chunk":
+            result.chunks.append(frame)
+        elif kind == "done":
+            result.done = frame
+        elif kind == "error":
+            raise_error(frame)
+        else:
+            raise ProtocolError(f"unexpected frame type {kind!r}")
+    return result
+
+
+def raise_error(frame: dict):
+    """Map an ``error`` frame back to the typed exception."""
+    code = frame.get("code", "internal")
+    message = frame.get("message", "server error")
+    if code in ("quota", "admission"):
+        retry_after = frame.get("retry_after_ms")
+        raise QuotaExceededError(
+            message,
+            retry_after=None if retry_after is None else retry_after / 1000.0)
+    if code.startswith("resume_"):
+        raise ResumeTokenError(message, code=code)
+    raise ServeError(f"{code}: {message}")

@@ -1,0 +1,159 @@
+"""Minimal HTTP/1.1 shim over the query service.
+
+For environments where a length-prefixed binary protocol is awkward
+(curl, load balancer health checks), the server can also speak just
+enough HTTP:
+
+* ``GET /healthz`` — liveness, ``200 ok``;
+* ``GET /stats`` — the stats snapshot as a JSON document;
+* ``POST /query`` — body is the same JSON object as a ``query`` frame
+  (without ``op``); the response streams **NDJSON**, one response
+  frame per line (``chunk``* then ``done``, or one ``error``), with
+  ``Connection: close`` delimiting the stream.
+
+This is deliberately not a web framework: no routing tables, no
+keep-alive, no chunked encoding — the shim exists so the anytime
+streaming semantics can be watched with ``curl -N``.  The native frame
+protocol remains the primary interface (resume in particular is only
+exposed there and via ``token`` in a ``POST /query`` body).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..errors import ProtocolError
+
+#: request line + headers above this are rejected outright
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1 * 1024 * 1024
+
+
+async def try_serve_http(server, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter,
+                         first_bytes: bytes) -> bool:
+    """Serve one HTTP exchange if ``first_bytes`` look like HTTP.
+
+    The native protocol's length prefix for any sane frame starts with
+    a NUL byte (frames are far below 16 MiB), while an HTTP request
+    line starts with an ASCII method — so one 4-byte peek
+    disambiguates the two protocols on a shared port."""
+    method = first_bytes.decode("latin-1", errors="replace")
+    if method not in ("GET ", "POST", "HEAD"):
+        return False
+    await _serve_one(server, reader, writer, first_bytes)
+    return True
+
+
+async def _serve_one(server, reader, writer, prefix: bytes) -> None:
+    try:
+        head = prefix + await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+        writer.close()
+        return
+    if len(head) > MAX_HEADER_BYTES:
+        await _respond(writer, 431, {"error": "headers too large"})
+        return
+    request_line, _, header_block = head.partition(b"\r\n")
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        await _respond(writer, 400, {"error": "malformed request line"})
+        return
+    method, path, _version = parts
+    headers = _parse_headers(header_block)
+
+    if method in ("GET", "HEAD") and path == "/healthz":
+        await _respond(writer, 200, {"status": "ok"}, body=method == "GET")
+        return
+    if method in ("GET", "HEAD") and path == "/stats":
+        payload = {"server": server.snapshot(),
+                   "tenants": server.quotas.snapshot(),
+                   "sessions": server.sessions.snapshot()}
+        await _respond(writer, 200, payload, body=method == "GET")
+        return
+    if method == "POST" and path == "/query":
+        await _serve_query(server, reader, writer, headers)
+        return
+    await _respond(writer, 404, {"error": f"no route {method} {path}"})
+
+
+async def _serve_query(server, reader, writer, headers: dict) -> None:
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        await _respond(writer, 400, {"error": "bad Content-Length"})
+        return
+    if not 0 < length <= MAX_BODY_BYTES:
+        await _respond(writer, 400, {
+            "error": f"Content-Length must be in (0, {MAX_BODY_BYTES}]"})
+        return
+    try:
+        body = await reader.readexactly(length)
+        request = json.loads(body.decode("utf-8"))
+        if not isinstance(request, dict):
+            raise ProtocolError("body must be a JSON object")
+    except (asyncio.IncompleteReadError, UnicodeDecodeError,
+            json.JSONDecodeError, ProtocolError) as exc:
+        await _respond(writer, 400, {"error": f"bad body: {exc}"})
+        return
+
+    writer.write(b"HTTP/1.1 200 OK\r\n"
+                 b"Content-Type: application/x-ndjson\r\n"
+                 b"Cache-Control: no-store\r\n"
+                 b"Connection: close\r\n\r\n")
+    ndjson = _NdjsonWriter(writer)
+    token = request.get("token")
+    if token:
+        frame = {"op": "resume", "token": token}
+        if "deadline_ms" in request:
+            frame["deadline_ms"] = request["deadline_ms"]
+    else:
+        frame = dict(request, op="query")
+    try:
+        await server._respond(frame, ndjson)
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    writer.close()
+
+
+class _NdjsonWriter:
+    """Adapter with the StreamWriter surface the server's send path
+    uses (``write`` + ``drain``), emitting one JSON line per frame."""
+
+    def __init__(self, writer) -> None:
+        self._writer = writer
+
+    def write(self, frame_bytes: bytes) -> None:
+        # frame_bytes is a length-prefixed frame; re-emit the JSON body
+        # as one NDJSON line
+        self._writer.write(frame_bytes[4:] + b"\n")
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    def close(self) -> None:
+        self._writer.close()
+
+
+def _parse_headers(block: bytes) -> dict:
+    headers = {}
+    for line in block.split(b"\r\n"):
+        name, sep, value = line.partition(b":")
+        if sep:
+            headers[name.decode("latin-1").strip().lower()] = (
+                value.decode("latin-1").strip())
+    return headers
+
+
+async def _respond(writer, status: int, payload: dict, body: bool = True) -> None:
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+               431: "Request Header Fields Too Large"}
+    doc = json.dumps(payload).encode("utf-8")
+    head = (f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(doc)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+    writer.write(head + (doc if body else b""))
+    await writer.drain()
+    writer.close()

@@ -1,0 +1,143 @@
+"""Wire protocol of the query service: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object.  The same frame layout is
+used in both directions; requests carry an ``op`` field, responses a
+``type`` field.  JSON keeps the protocol inspectable and
+dependency-free; the length prefix keeps it stream-safe (no sniffing
+for document boundaries) and lets the server reject oversized frames
+before parsing them.
+
+Requests
+--------
+``{"op": "ping"}``
+    liveness probe; answered with a ``pong`` frame.
+``{"op": "stats"}``
+    server/tenant statistics snapshot.
+``{"op": "query", "tenant": ..., "kind": "feature"|"text", ...}``
+    run one top-N query; the response is a stream of ``chunk`` frames
+    (anytime answers) terminated by a ``done`` frame.
+``{"op": "resume", "tenant": ..., "token": ...}``
+    continue a disconnected query stream from its resume token.
+
+Responses
+---------
+``chunk``
+    one anytime answer: ``seq``, cumulative ``items`` (``[id, score]``
+    pairs in canonical order), sorted-access ``depth``, ``final`` /
+    ``certified`` flags, the epoch-stamped certified score ``bound``
+    (serialized :class:`~repro.intervals.ThresholdBound`, an upper
+    bound on any unseen object), and the ``resume_token``.
+``done``
+    end of a stream: ``status`` is ``complete`` or ``deadline``; a
+    deadline stop repeats the ``resume_token`` so the client can
+    continue later.
+``error``
+    explicit failure: stable ``code``, human ``message``, ``retryable``
+    flag, optional ``retry_after_ms`` (quota rejections) and ``moa``
+    (diagnostic code, e.g. MOA1002 for a resume-epoch mismatch).
+``pong`` / ``stats``
+    answers to the matching requests.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from ..errors import ProtocolError
+
+#: frames above this parse-free bound are rejected outright — a length
+#: prefix must never be able to make the server allocate unbounded memory
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one frame: 4-byte big-endian length + UTF-8 JSON."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse a frame body; malformed JSON or a non-object is a
+    :class:`ProtocolError` (the connection handler answers it with an
+    ``error`` frame instead of dying)."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+async def read_frame(reader, header: bytes | None = None) -> dict | None:
+    """Read one frame from an ``asyncio.StreamReader``; None on clean
+    EOF at a frame boundary.  ``header`` supplies an already-read
+    4-byte length prefix (the server peeks it to tell native frames
+    from HTTP requests on a shared port)."""
+    import asyncio
+
+    if header is None:
+        try:
+            header = await reader.readexactly(_LEN.size)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    return decode_body(body)
+
+
+def read_frame_sync(sock) -> dict | None:
+    """Blocking-socket counterpart of :func:`read_frame` (client side)."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length)
+    if body is None:
+        return None
+    return decode_body(body)
+
+
+def write_frame_sync(sock, payload: dict) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exact(sock, n: int) -> bytes | None:
+    chunks = []
+    remaining = n
+    while remaining:
+        piece = sock.recv(remaining)
+        if not piece:
+            return None
+        chunks.append(piece)
+        remaining -= len(piece)
+    return b"".join(chunks)
+
+
+def error_frame(code: str, message: str, *, retryable: bool = False,
+                retry_after_ms: float | None = None,
+                moa: str | None = None) -> dict:
+    frame = {"type": "error", "code": code, "message": message,
+             "retryable": retryable}
+    if retry_after_ms is not None:
+        frame["retry_after_ms"] = round(float(retry_after_ms), 3)
+    if moa is not None:
+        frame["moa"] = moa
+    return frame

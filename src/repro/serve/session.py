@@ -1,0 +1,348 @@
+"""Anytime execution state: incremental runners and resume tokens.
+
+The Fagin-family engines are natural **anytime** algorithms — run one
+with a sorted-access budget and you get the best certified answer so
+far plus enough state to continue.  :class:`AnytimeRunner` packages
+that into a ``step()`` iterator the server streams from, one chunk per
+step, with a doubling depth schedule (total work stays within a small
+constant of a single uncapped run):
+
+* **TA** chains frontier snapshots: every step passes the previous
+  step's :class:`~repro.cache.resume.TAResumeState` back with a larger
+  ``max_depth``, so the chain visits exactly the states one uncapped
+  run does and the final chunk is bit-identical to the cold library
+  call (same argument — and same tests — as the cache's TA resume).
+* **NRA / CA** re-run the cold algorithm per step over
+  :class:`~repro.cache.resume.ReplayLog`-memoized sources with a
+  growing depth cap: memoized prefixes make re-runs cheap, and because
+  a replayed source returns the exact floats the cold source did, the
+  first run whose stop reason is not ``max_depth`` *is* the cold
+  result, bit for bit.
+* **FA** has no mid-run frontier to certify, so it answers in a single
+  final chunk (over replay-logged sources, making a post-disconnect
+  re-send cheap).
+
+A disconnected client resumes through :class:`SessionRegistry`: the
+token ``sv1.<id>.<epoch>`` embeds the corpus epoch the stream started
+at, and redeeming it at a different epoch is refused with the MOA1002
+diagnostic — a frontier captured before a corpus mutation must never
+continue as if nothing changed (the serve-side twin of the cache's
+fingerprint epoch and MOA905).
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..cache.resume import ReplayLog, wrap_sources
+from ..errors import ResumeTokenError, TopNError
+from ..intervals import ThresholdBound
+from ..obs import metrics
+from ..sync import declares_shared_state, make_lock
+from ..topn import SUM, combined_topn, fagin_topn, nra_topn, threshold_topn
+
+ALGORITHMS = ("fa", "ta", "nra", "ca")
+
+_TOKEN_PREFIX = "sv1"
+_ids = itertools.count()
+
+
+@dataclass
+class Chunk:
+    """One streamed anytime answer."""
+
+    seq: int
+    #: cumulative ``(obj_id, score)`` prefix in canonical tie order
+    items: list
+    #: sorted-access depth the answer certifies up to
+    depth: int
+    final: bool
+    certified: bool
+    #: epoch-stamped upper bound on any *unseen* object's score
+    bound: ThresholdBound | None
+    epoch: int
+    algorithm: str
+    stats: dict = field(default_factory=dict)
+
+    def to_frame(self, resume_token: str | None) -> dict:
+        frame = {
+            "type": "chunk",
+            "seq": self.seq,
+            "items": [[int(obj), float(score)] for obj, score in self.items],
+            "depth": int(self.depth),
+            "final": self.final,
+            "certified": self.certified,
+            "bound": self.bound.to_dict() if self.bound is not None else None,
+            "epoch": self.epoch,
+            "algorithm": self.algorithm,
+        }
+        if resume_token is not None:
+            frame["resume_token"] = resume_token
+        if self.final:
+            frame["stats"] = _jsonable_stats(self.stats)
+        return frame
+
+
+def _jsonable_stats(stats: dict) -> dict:
+    out = {}
+    for key, value in stats.items():
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            out[key] = value
+    return out
+
+
+@declares_shared_state
+class AnytimeRunner:
+    """Incremental execution of one multi-source top-N query.
+
+    Not itself locked: the owning :class:`ServeSession`'s busy flag
+    serializes ``step()`` calls, so successive steps — even on
+    different pool threads — are separated by the session lock's
+    happens-before edge (hence the ``<barrier>`` declarations), and
+    the replay logs underneath carry their own locks.
+    """
+
+    SHARED_STATE = {
+        "_depth": "<barrier>",
+        "_seq": "<barrier>",
+        "_ta_state": "<barrier>",
+        "_last": "<barrier>",
+    }
+
+    def __init__(self, sources: list, n: int, algorithm: str, agg=SUM,
+                 *, epoch: int = 0, chunk_depth: int = 32) -> None:
+        if algorithm not in ALGORITHMS:
+            raise TopNError(
+                f"unknown algorithm {algorithm!r}; have {sorted(ALGORITHMS)}")
+        if chunk_depth < 1:
+            raise TopNError(f"chunk_depth must be >= 1, got {chunk_depth}")
+        self.n = n
+        self.algorithm = algorithm
+        self.agg = agg
+        self.epoch = epoch
+        if algorithm == "ta":
+            # TA chains exact frontier snapshots; no replay needed
+            self.sources = sources
+        else:
+            logs = [ReplayLog(("serve", i)) for i in range(len(sources))]
+            self.sources = wrap_sources(sources, logs)
+        self._depth = chunk_depth
+        self._seq = 0
+        self._ta_state = None
+        self._last: Chunk | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self._last is not None and self._last.final
+
+    def step(self) -> Chunk:
+        """Run the next budget slice; returns the next chunk (the final
+        chunk again once finished — re-sends after a failed delivery
+        must not re-advance the frontier)."""
+        if self.finished:
+            return self._last
+        if self.algorithm == "fa":
+            result = fagin_topn(self.sources, self.n, self.agg)
+        elif self.algorithm == "ta":
+            result = threshold_topn(self.sources, self.n, self.agg,
+                                    resume_from=self._ta_state,
+                                    capture_state=True,
+                                    max_depth=self._depth)
+            self._ta_state = result.stats.pop("resume_state", None)
+        elif self.algorithm == "nra":
+            result = nra_topn(self.sources, self.n, self.agg,
+                              max_depth=self._depth)
+        else:
+            result = combined_topn(self.sources, self.n, self.agg,
+                                   max_depth=self._depth)
+        stop_reason = result.stats.get("stop_reason", "")
+        final = self.algorithm == "fa" or stop_reason != "max_depth"
+        chunk = Chunk(
+            seq=self._seq,
+            items=[(item.obj_id, item.score) for item in result.items],
+            depth=int(result.stats.get("depth", self._depth)),
+            final=final,
+            certified=final,
+            bound=self._bound(result, final),
+            epoch=self.epoch,
+            algorithm=self.algorithm,
+            stats=result.stats,
+        )
+        self._seq += 1
+        self._last = chunk
+        if not final:
+            self._depth *= 2
+        metrics.inc("serve.chunks")
+        return chunk
+
+    def _bound(self, result, final: bool) -> ThresholdBound | None:
+        """The chunk's certified score bound, epoch-stamped.
+
+        Partial chunks bound the *unseen*: TA's τ and NRA/CA's
+        bottom aggregate both dominate any object never seen under
+        sorted access (monotonicity).  The final chunk's bound is the
+        answer's own n-th sort key — the same shape the coordinator
+        records into :class:`~repro.cache.bounds.CoordinatorBounds`.
+        """
+        if final and result.items:
+            tail = result.items[-1]
+            return ThresholdBound(n=len(result.items),
+                                  key=(-tail.score, tail.obj_id),
+                                  epoch=self.epoch)
+        ceiling = result.stats.get("final_threshold",
+                                   result.stats.get("bottom_aggregate"))
+        if ceiling is None:
+            return None
+        return ThresholdBound(n=len(result.items), key=(-float(ceiling), -1),
+                              epoch=self.epoch)
+
+
+@declares_shared_state
+class ServeSession:
+    """One streamed query's server-side state: the runner plus a busy
+    flag that serializes pumping (a resume while the original
+    connection still streams is refused, not interleaved)."""
+
+    SHARED_STATE = {
+        "busy": "_lock",
+        "delivered": "_lock",
+    }
+
+    def __init__(self, token: str, runner: AnytimeRunner, tenant: str,
+                 epoch: int) -> None:
+        self.token = token
+        self.runner = runner
+        self.tenant = tenant
+        self.epoch = epoch
+        self._lock = make_lock("serve.session")
+        self.busy = False
+        #: chunks successfully drained to a client (resume diagnostics)
+        self.delivered = 0
+
+    def acquire(self) -> bool:
+        with self._lock:
+            if self.busy:
+                return False
+            self.busy = True
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            self.busy = False
+
+    def note_delivered(self) -> None:
+        with self._lock:
+            self.delivered += 1
+
+
+def make_token(epoch: int) -> str:
+    return f"{_TOKEN_PREFIX}.{next(_ids):x}{secrets.token_hex(6)}.{epoch}"
+
+
+def parse_token(token: str) -> tuple[str, int]:
+    """Split a resume token into (session id, issuing epoch)."""
+    parts = str(token).split(".")
+    if len(parts) != 3 or parts[0] != _TOKEN_PREFIX:
+        raise ResumeTokenError(f"malformed resume token {token!r}")
+    try:
+        epoch = int(parts[2])
+    except ValueError:
+        raise ResumeTokenError(f"malformed resume token {token!r}") from None
+    return parts[1], epoch
+
+
+@declares_shared_state
+class SessionRegistry:
+    """Resumable streams by token, LRU-bounded.
+
+    Dropping the least recently pumped session under memory pressure is
+    safe — a dropped token redeems as ``resume_unknown`` and the client
+    restarts cold, which is correct, just slower.
+    """
+
+    SHARED_STATE = {
+        "_sessions": "_lock",
+        "issued": "_lock",
+        "resumed": "_lock",
+        "epoch_mismatches": "_lock",
+    }
+
+    def __init__(self, max_sessions: int = 256) -> None:
+        self.max_sessions = max_sessions
+        self._lock = make_lock("serve.sessions")
+        self._sessions: OrderedDict[str, ServeSession] = OrderedDict()
+        self.issued = 0
+        self.resumed = 0
+        self.epoch_mismatches = 0
+
+    def issue(self, runner: AnytimeRunner, tenant: str, epoch: int) -> ServeSession:
+        token = make_token(epoch)
+        session = ServeSession(token, runner, tenant, epoch)
+        session.acquire()  # born attached to the issuing connection
+        with self._lock:
+            self._sessions[token] = session
+            self.issued += 1
+            while len(self._sessions) > self.max_sessions:
+                evicted_token, evicted = self._sessions.popitem(last=False)
+                if evicted.busy:  # never evict a live stream
+                    self._sessions[evicted_token] = evicted
+                    self._sessions.move_to_end(evicted_token, last=False)
+                    break
+        metrics.set_gauge("serve.sessions", self.size())
+        return session
+
+    def redeem(self, token: str, current_epoch: int) -> ServeSession:
+        """Re-attach to a disconnected stream.
+
+        Epoch is checked *before* the lookup so even an evicted token
+        reports the more actionable failure: resuming across a corpus
+        mutation is the MOA1002 condition and can never be satisfied,
+        while an evicted same-epoch token just means "start over".
+        """
+        _session_id, token_epoch = parse_token(token)
+        if token_epoch != current_epoch:
+            from ..analysis.serve import epoch_mismatch_diagnostic
+
+            with self._lock:
+                self.epoch_mismatches += 1
+            metrics.inc("serve.resume.epoch_mismatch")
+            diagnostic = epoch_mismatch_diagnostic(token_epoch, current_epoch)
+            raise ResumeTokenError(diagnostic.message,
+                                   code="resume_epoch_mismatch",
+                                   diagnostic=diagnostic)
+        with self._lock:
+            session = self._sessions.get(token)
+            if session is not None:
+                self._sessions.move_to_end(token)
+                self.resumed += 1
+        if session is None:
+            raise ResumeTokenError(
+                f"unknown or expired resume token {token!r}; run the query "
+                "again from the start", code="resume_unknown")
+        if not session.acquire():
+            raise ResumeTokenError(
+                f"resume token {token!r} is already being served",
+                code="resume_busy")
+        metrics.inc("serve.resumed")
+        return session
+
+    def drop(self, token: str) -> None:
+        with self._lock:
+            self._sessions.pop(token, None)
+        metrics.set_gauge("serve.sessions", self.size())
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "active": len(self._sessions),
+                "issued": self.issued,
+                "resumed": self.resumed,
+                "epoch_mismatches": self.epoch_mismatches,
+            }

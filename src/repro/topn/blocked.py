@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import TopNError
+from ..errors import QueryCancelledError, TopNError
 from ..obs import metrics, tracer
 from .aggregates import (
     AggregateFunction,
@@ -61,6 +61,18 @@ from .result import RankedItem, TopNResult
 from .ta import _check_resume
 
 _NEVER = np.iinfo(np.int64).max
+
+
+def _check_cancel(cancel, engine: str, depth: int) -> None:
+    """Raise between rounds when the query's cancel token fired — a
+    deadline expiry or an explicit cancel (e.g. the coordinator already
+    resolved, or a serve-layer request deadline propagated down).
+    Checked only at round boundaries, so a stopped run never leaves a
+    partially applied bound administration behind."""
+    if cancel is not None and cancel.cancelled():
+        metrics.inc("topn.cancelled")
+        raise QueryCancelledError(
+            f"{engine} cancelled at sorted-access depth {depth}")
 
 
 def _require_blocked(sources: list, engine: str) -> None:
@@ -181,7 +193,8 @@ def _emit_block_metrics(cursors) -> tuple[int, int]:
 def blocked_threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM,
                            *, block_size: int | None = None,
                            resume_from=None,
-                           capture_state: bool = False) -> TopNResult:
+                           capture_state: bool = False,
+                           cancel=None) -> TopNResult:
     """Block-at-a-time Threshold Algorithm, bit-identical to
     :func:`~repro.topn.ta.threshold_topn`.
 
@@ -253,6 +266,7 @@ def blocked_threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM,
         ranks_read = depth
 
         while not done:
+            _check_cancel(cancel, "blocked_threshold_topn", depth)
             if depth >= max_len:
                 # the scalar engine runs one final inactive round: every
                 # grade floors to 0, τ = t(0..0), and the heap rule gets
@@ -362,7 +376,8 @@ def _ta_stopped(seen, scores, first_seen, depth, n, tau) -> bool:
 def blocked_nra_topn(sources: list, n: int, agg: AggregateFunction = SUM,
                      check_every: int = 16, max_depth: int | None = None,
                      min_check_depth: int = 0, *,
-                     block_size: int | None = None) -> TopNResult:
+                     block_size: int | None = None,
+                     cancel=None) -> TopNResult:
     """Block-at-a-time NRA, bit-identical to
     :func:`~repro.topn.nra.nra_topn`.
 
@@ -389,6 +404,7 @@ def blocked_nra_topn(sources: list, n: int, agg: AggregateFunction = SUM,
             else min(max_depth, state.max_len)
         stopped = False
         for check_at in range(check_every, ingest_end + 1, check_every):
+            _check_cancel(cancel, "blocked_nra_topn", check_at)
             state.ingest_to(check_at)
             if check_at < min_check_depth:
                 checks_skipped += 1
@@ -440,7 +456,8 @@ def blocked_combined_topn(sources: list, n: int, agg: AggregateFunction = SUM,
                           h: int = 4, check_every: int = 8,
                           max_depth: int | None = None,
                           min_check_depth: int = 0, *,
-                          block_size: int | None = None) -> TopNResult:
+                          block_size: int | None = None,
+                          cancel=None) -> TopNResult:
     """Block-at-a-time CA, bit-identical to
     :func:`~repro.topn.ca.combined_topn`.
 
@@ -467,6 +484,7 @@ def blocked_combined_topn(sources: list, n: int, agg: AggregateFunction = SUM,
             else min(max_depth, state.max_len)
         stopped = False
         for event in _event_depths(h, check_every, ingest_end):
+            _check_cancel(cancel, "blocked_combined_topn", event)
             state.ingest_to(event)
             if event % h == 0 and state.objects_seen():
                 completed = state.complete_best(event)

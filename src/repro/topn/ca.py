@@ -133,5 +133,6 @@ def combined_topn(sources: list, n: int, agg: AggregateFunction = SUM,
             items, n, strategy="fagin-ca", safe=True,
             stats={"depth": depth, "objects_seen": len(grades),
                    "completions": completions, "h": h, "stop_reason": stop_reason,
+                   "bottom_aggregate": agg.combine(effective_bottoms()),
                    "bound_checks": bound_checks, "checks_skipped": checks_skipped},
         )

@@ -51,7 +51,8 @@ def _check_resume(resume_from, n: int, m: int, agg: AggregateFunction) -> None:
 
 
 def threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM, *,
-                   resume_from=None, capture_state: bool = False) -> TopNResult:
+                   resume_from=None, capture_state: bool = False,
+                   max_depth: int | None = None) -> TopNResult:
     """Exact top-N over graded sources with the Threshold Algorithm.
 
     ``resume_from`` continues a previous run's saved frontier (a
@@ -59,6 +60,15 @@ def threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM, *,
     aggregate, and ``n`` no smaller than the saved one).
     ``capture_state=True`` stores this run's frontier under
     ``stats["resume_state"]`` for a later continue.
+
+    ``max_depth`` caps the sorted-access depth: the run stops before
+    reading rank ``max_depth`` with ``stats["stop_reason"] ==
+    "max_depth"`` and the best-effort top of everything seen so far
+    (``stats["final_threshold"]`` is then a certified upper bound on
+    any *unseen* object's score).  A capped run's captured state
+    resumes exactly — chaining capped runs with growing depths visits
+    the same states a single uncapped run does, which is how the serve
+    layer streams anytime answers.
     """
     if not sources:
         raise TopNError("threshold_topn needs at least one source")
@@ -102,6 +112,9 @@ def threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM, *,
                 done = True
         ranks_read = depth
         while not done:
+            if max_depth is not None and depth >= max_depth:
+                stop_reason = "max_depth"
+                break
             active = False
             for i, source in enumerate(sources):
                 if source.exhausted(depth):

@@ -23,8 +23,9 @@ def test_codes_are_unique():
 
 
 def test_code_format_is_stable():
+    # three digits for the original families, four for MOA10xx+
     for code in CODES:
-        assert re.fullmatch(r"MOA\d{3}", code), code
+        assert re.fullmatch(r"MOA\d{3,4}", code), code
 
 
 def test_default_severities_are_valid():
@@ -41,7 +42,8 @@ def test_titles_and_descriptions_present():
 def test_expected_codes_registered():
     for code in ("MOA001", "MOA002", "MOA003", "MOA101", "MOA102", "MOA103",
                  "MOA201", "MOA202", "MOA203", "MOA301", "MOA401", "MOA501",
-                 "MOA901", "MOA902", "MOA903", "MOA904", "MOA905"):
+                 "MOA901", "MOA902", "MOA903", "MOA904", "MOA905",
+                 "MOA1001", "MOA1002", "MOA1003", "MOA1004"):
         assert code in CODES
 
 

@@ -11,7 +11,7 @@ from repro.analysis.codes import CODES
 DOCS = Path(__file__).parent.parent.parent / "docs" / "API.md"
 
 DOC_ROW = re.compile(
-    r"^\|\s*`(MOA\d{3})`\s*\|\s*(\w+)\s*\|\s*(.+?)\s*\|\s*$", re.MULTILINE)
+    r"^\|\s*`(MOA\d{3,4})`\s*\|\s*(\w+)\s*\|\s*(.+?)\s*\|\s*$", re.MULTILINE)
 
 
 def doc_rows():
@@ -47,12 +47,15 @@ class TestDocsCoverage:
 
 
 class TestFamilyGrouping:
+    # a code is MOA<family><2-digit member>: MOA101 is family 1,
+    # MOA1001 is family 10
+
     def families_in_docstring(self):
         doc = codes_module.__doc__ or ""
-        return {int(d) for d in re.findall(r"MOA(\d)xx", doc)}
+        return {int(d) for d in re.findall(r"MOA(\d+)xx", doc)}
 
     def families_in_registry(self):
-        return {int(code[3]) for code in CODES}
+        return {int(code[3:-2]) for code in CODES}
 
     def test_docstring_families_match_registry_families(self):
         in_doc = self.families_in_docstring()
@@ -63,8 +66,8 @@ class TestFamilyGrouping:
 
     def test_families_have_no_numbering_gaps(self):
         for family in self.families_in_registry():
-            members = sorted(int(code[4:6]) for code in CODES
-                             if int(code[3]) == family)
+            members = sorted(int(code[-2:]) for code in CODES
+                             if int(code[3:-2]) == family)
             expected = list(range(1, len(members) + 1))
             assert members == expected, (
                 f"MOA{family}xx is not consecutively numbered "

@@ -1,0 +1,139 @@
+"""Deadline-aware cancellation: CancelToken deadlines, blocked-engine
+cancellation between rounds, and the no-dangling-work guarantee."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryCancelledError
+from repro.mm.sources import BlockedSource
+from repro.parallel.executor import CancelToken, ExecutorPool
+from repro.topn import (
+    blocked_combined_topn,
+    blocked_nra_topn,
+    blocked_threshold_topn,
+)
+
+BLOCKED_ENGINES = (blocked_threshold_topn, blocked_nra_topn,
+                   blocked_combined_topn)
+
+
+def make_sources(seed=3, n_objects=256, n_sources=3, block_size=16):
+    rng = np.random.default_rng(seed)
+    return [BlockedSource.from_array(rng.random(n_objects), block_size,
+                                     name=f"s{i}") for i in range(n_sources)]
+
+
+class CountdownToken:
+    """Reports cancelled after ``fuse`` checks — a deterministic stand-in
+    for a deadline expiring mid-run."""
+
+    def __init__(self, fuse: int) -> None:
+        self.fuse = fuse
+        self.checks = 0
+
+    def cancelled(self) -> bool:
+        self.checks += 1
+        return self.checks > self.fuse
+
+
+class TestCancelTokenDeadline:
+    def test_fresh_token_is_not_cancelled(self):
+        token = CancelToken()
+        assert not token.cancelled()
+        assert token.remaining() is None
+
+    def test_explicit_cancel_is_permanent(self):
+        token = CancelToken()
+        token.cancel()
+        assert token.cancelled() and token.cancelled()
+
+    def test_expired_deadline_cancels(self):
+        token = CancelToken.with_timeout(0.0)
+        assert token.cancelled()
+        assert token.remaining() == 0.0
+
+    def test_future_deadline_does_not_cancel_yet(self):
+        token = CancelToken.with_timeout(60.0)
+        assert not token.cancelled()
+        assert 0.0 < token.remaining() <= 60.0
+
+    def test_deadline_expiry_flips_cancelled(self):
+        token = CancelToken(deadline=time.monotonic() + 0.02)
+        assert not token.cancelled()
+        time.sleep(0.03)
+        assert token.cancelled()
+
+    def test_remaining_never_goes_negative(self):
+        token = CancelToken(deadline=time.monotonic() - 10.0)
+        assert token.remaining() == 0.0
+
+
+class TestBlockedEngineCancellation:
+    @pytest.mark.parametrize("engine", BLOCKED_ENGINES)
+    def test_prefired_token_cancels_the_run(self, engine):
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(QueryCancelledError, match="cancelled at"):
+            engine(make_sources(), 10, cancel=token)
+
+    @pytest.mark.parametrize("engine", BLOCKED_ENGINES)
+    def test_midrun_cancellation_raises_between_rounds(self, engine):
+        token = CountdownToken(fuse=1)
+        with pytest.raises(QueryCancelledError, match=engine.__name__):
+            engine(make_sources(), 10, cancel=token)
+        assert token.checks > 1  # the first check passed; a later round hit
+
+    @pytest.mark.parametrize("engine", BLOCKED_ENGINES)
+    def test_no_token_means_no_cancellation(self, engine):
+        result = engine(make_sources(), 5)
+        assert len(result.items) == 5
+
+    @pytest.mark.parametrize("engine", BLOCKED_ENGINES)
+    def test_unfired_token_does_not_change_the_answer(self, engine):
+        plain = engine(make_sources(), 10)
+        tokened = engine(make_sources(), 10, cancel=CancelToken())
+        assert tokened.items == plain.items
+
+
+class TestNoDanglingWork:
+    """After a cancelled run, the pool owes nothing: no queued shard
+    tasks, no in-flight admissions."""
+
+    @pytest.mark.parametrize("kind", ("serial", "thread"))
+    def test_cancelled_run_tasks_leave_no_pending_work(self, kind):
+        with ExecutorPool(workers=2, kind=kind) as pool:
+            token = CancelToken()
+
+            def first():
+                token.cancel()  # cancels everything not yet started
+                return "ran"
+
+            outcomes = pool.run_tasks([first] + [lambda: "late"] * 6,
+                                      token=token)
+            statuses = [outcome.status for outcome in outcomes]
+            assert statuses[0] == "done"
+            assert "cancelled" in statuses
+            assert pool._pending == 0
+            assert pool.in_flight == 0
+
+    def test_deadline_expired_before_start_cancels_everything(self):
+        with ExecutorPool(workers=2, kind="thread") as pool:
+            outcomes = pool.run_tasks([lambda: "never"] * 4,
+                                      token=CancelToken.with_timeout(0.0))
+            assert [o.status for o in outcomes] == ["cancelled"] * 4
+            assert pool._pending == 0
+            assert pool.in_flight == 0
+
+    def test_cancelled_blocked_engine_leaves_admission_clean(self):
+        with ExecutorPool(workers=2, max_queries=1) as pool:
+            token = CancelToken()
+            token.cancel()
+            with pytest.raises(QueryCancelledError):
+                with pool.admit():
+                    blocked_threshold_topn(make_sources(), 10, cancel=token)
+            assert pool.in_flight == 0
+            assert pool._pending == 0
+            with pool.admit():  # the slot is reusable immediately
+                pass

@@ -1,0 +1,46 @@
+"""Shared fixtures for the serve-layer tests: one small database with
+planted feature spaces and one background server over it."""
+
+import numpy as np
+import pytest
+
+from repro.core import MMDatabase
+from repro.mm.features import FeatureSpace
+from repro.serve import ServerConfig, ServerThread
+from repro.workloads import SyntheticCollection, trec
+
+DIMS = 6
+SPACES = ("color", "texture")
+
+
+def build_db(seed: int = 11, dims: int = DIMS) -> MMDatabase:
+    collection = SyntheticCollection.generate(trec.tiny(seed=seed))
+    db = MMDatabase.from_collection(collection)
+    rng = np.random.default_rng(seed + 1)
+    for name in SPACES:
+        db.add_feature_space(
+            FeatureSpace(name, rng.random((collection.n_docs, dims))))
+    return db
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_db()
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def feature_query():
+    rng = np.random.default_rng(23)
+    return {name: rng.random(DIMS) for name in SPACES}
+
+
+@pytest.fixture(scope="module")
+def server(db):
+    """(handle, QueryServer) — the server thread runs in-process, so
+    tests can inspect the live registry and quota manager."""
+    thread = ServerThread(db, ServerConfig(chunk_depth=4))
+    handle = thread.start()
+    yield handle, thread.server
+    thread.stop()

@@ -1,0 +1,118 @@
+"""The MOA10xx serve-safety rules: clean on the real package, firing
+on seeded violations."""
+
+import textwrap
+
+from repro.analysis import check_serve, check_serve_paths, epoch_mismatch_diagnostic
+
+UNDECLARED_STATE = textwrap.dedent("""\
+    class Broken:
+        def __init__(self):
+            self.count = 0
+
+        def bump(self):
+            self.count += 1
+            self.table["k"] = 1
+""")
+
+DECLARED_STATE = textwrap.dedent("""\
+    class Fine:
+        SHARED_STATE = {"count": "_lock", "table": "_lock"}
+
+        def __init__(self):
+            self.count = 0
+
+        def bump(self):
+            self.count += 1
+            self.table["k"] = 1
+""")
+
+NAKED_EXECUTOR = textwrap.dedent("""\
+    async def pump(loop, pool, runner):
+        return await loop.run_in_executor(pool, runner.step)
+""")
+
+DISCIPLINED_EXECUTOR = textwrap.dedent("""\
+    async def pump(loop, pool, runner, cancel, admission):
+        if cancel.cancelled():
+            return None
+        return await loop.run_in_executor(pool, runner.step)
+""")
+
+
+def write_server_module(tmp_path, source):
+    path = tmp_path / "server.py"
+    path.write_text(source)
+    return path
+
+
+def codes(report):
+    return sorted(d.code for d in report.diagnostics)
+
+
+class TestRealPackageIsClean:
+    def test_check_serve_reports_nothing(self):
+        assert check_serve().diagnostics == []
+
+
+class TestMoa1001:
+    def test_undeclared_mutation_fires_per_write(self, tmp_path):
+        path = write_server_module(tmp_path, UNDECLARED_STATE)
+        report = check_serve(tmp_path)
+        assert codes(report) == ["MOA1001", "MOA1001"]
+        assert all("SHARED_STATE" in d.message for d in report.diagnostics)
+        assert report.diagnostics[0].site.startswith(path.name)
+
+    def test_declared_mutation_is_clean(self, tmp_path):
+        write_server_module(tmp_path, DECLARED_STATE)
+        assert check_serve(tmp_path).diagnostics == []
+
+    def test_init_writes_are_construction_not_sharing(self, tmp_path):
+        write_server_module(tmp_path, "class C:\n    def __init__(self):\n"
+                                      "        self.x = 1\n")
+        assert check_serve(tmp_path).diagnostics == []
+
+
+class TestMoa1003And1004:
+    def test_naked_run_in_executor_fires_both(self, tmp_path):
+        write_server_module(tmp_path, NAKED_EXECUTOR)
+        assert codes(check_serve(tmp_path)) == ["MOA1003", "MOA1004"]
+
+    def test_disciplined_call_site_is_clean(self, tmp_path):
+        write_server_module(tmp_path, DISCIPLINED_EXECUTOR)
+        assert check_serve(tmp_path).diagnostics == []
+
+    def test_inline_admit_call_satisfies_1003(self, tmp_path):
+        write_server_module(tmp_path, textwrap.dedent("""\
+            async def pump(loop, pool, runner, cancel):
+                with pool.admit():
+                    return await loop.run_in_executor(pool, runner.step)
+        """))
+        assert check_serve(tmp_path).diagnostics == []
+
+
+class TestScoping:
+    def test_client_side_modules_are_out_of_scope(self, tmp_path):
+        (tmp_path / "client.py").write_text(NAKED_EXECUTOR)
+        (tmp_path / "bench.py").write_text(UNDECLARED_STATE)
+        assert check_serve(tmp_path).diagnostics == []
+
+    def test_explicit_paths_select_server_side_files_only(self, tmp_path):
+        server = write_server_module(tmp_path, NAKED_EXECUTOR)
+        other = tmp_path / "helpers.py"
+        other.write_text(NAKED_EXECUTOR)
+        report = check_serve_paths([server, other])
+        assert codes(report) == ["MOA1003", "MOA1004"]
+
+    def test_explicit_directory_is_scanned(self, tmp_path):
+        write_server_module(tmp_path, UNDECLARED_STATE)
+        assert codes(check_serve_paths([tmp_path])) == ["MOA1001", "MOA1001"]
+
+
+class TestMoa1002Diagnostic:
+    def test_epoch_mismatch_diagnostic_shape(self):
+        diagnostic = epoch_mismatch_diagnostic(3, 5)
+        assert diagnostic.code == "MOA1002"
+        assert diagnostic.site == "serve.resume"
+        assert "epoch 3" in diagnostic.message
+        assert "epoch 5" in diagnostic.message

@@ -1,0 +1,105 @@
+"""Frame layer: length-prefixed JSON, size bounds, malformed input."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    decode_body,
+    encode_frame,
+    error_frame,
+    read_frame_sync,
+    write_frame_sync,
+)
+
+
+def roundtrip(payload):
+    a, b = socket.socketpair()
+    try:
+        write_frame_sync(a, payload)
+        return read_frame_sync(b)
+    finally:
+        a.close()
+        b.close()
+
+
+class TestFrames:
+    def test_roundtrip_preserves_payload(self):
+        payload = {"op": "query", "n": 10, "items": [[1, 0.5], [2, 0.25]],
+                   "nested": {"deep": True, "none": None}}
+        assert roundtrip(payload) == payload
+
+    def test_unicode_survives(self):
+        assert roundtrip({"q": "café ↦ 画像"}) == {"q": "café ↦ 画像"}
+
+    def test_multiple_frames_on_one_socket_stay_separate(self):
+        a, b = socket.socketpair()
+        try:
+            write_frame_sync(a, {"seq": 1})
+            write_frame_sync(a, {"seq": 2})
+            assert read_frame_sync(b) == {"seq": 1}
+            assert read_frame_sync(b) == {"seq": 2}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert read_frame_sync(b) is None
+        finally:
+            b.close()
+
+    def test_encode_layout_is_big_endian_length_prefix(self):
+        frame = encode_frame({"a": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert frame[4:] == b'{"a":1}'
+
+
+class TestBounds:
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(ProtocolError, match="MAX_FRAME_BYTES"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_oversized_length_prefix_rejected_before_allocation(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                read_frame_sync(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestMalformed:
+    def test_garbage_body_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_body(b"{not json")
+
+    def test_non_object_body_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_body(b"[1, 2, 3]")
+
+    def test_invalid_utf8_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_body(b"\xff\xfe{}")
+
+
+class TestErrorFrame:
+    def test_minimal(self):
+        frame = error_frame("bad_request", "nope")
+        assert frame == {"type": "error", "code": "bad_request",
+                         "message": "nope", "retryable": False}
+
+    def test_retry_hint_and_moa(self):
+        frame = error_frame("quota", "slow down", retryable=True,
+                            retry_after_ms=123.4567, moa="MOA1002")
+        assert frame["retryable"] is True
+        assert frame["retry_after_ms"] == 123.457
+        assert frame["moa"] == "MOA1002"

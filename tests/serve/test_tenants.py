@@ -1,0 +1,157 @@
+"""Tenant quotas: token buckets on a virtual clock, concurrency caps,
+and the QuotaManager admission gate."""
+
+import pytest
+
+from repro.errors import QuotaExceededError
+from repro.serve.tenants import (
+    QuotaManager,
+    TenantConfig,
+    TenantState,
+    TokenBucket,
+    percentile,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_retry_after_is_the_deficit_over_the_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.25)
+        assert not bucket.try_acquire()
+
+    def test_retry_after_zero_when_tokens_available(self):
+        bucket = TokenBucket(rate=1.0, burst=5.0, clock=FakeClock())
+        assert bucket.retry_after() == 0.0
+
+
+class TestTenantState:
+    def test_concurrency_cap(self):
+        state = TenantState(TenantConfig("t", max_concurrent=2),
+                            clock=FakeClock())
+        assert state.begin() and state.begin()
+        assert not state.begin()
+        state.end()
+        assert state.begin()
+
+    def test_snapshot_counts_and_percentiles(self):
+        clock = FakeClock()
+        state = TenantState(TenantConfig("t"), clock=clock)
+        state.begin()
+        state.end(latency_ms=10.0)
+        state.begin()
+        state.end(latency_ms=30.0)
+        state.note_rejected("quota")
+        state.note_rejected("concurrency")
+        state.note_chunk()
+        snap = state.snapshot()
+        assert snap["admitted"] == 2
+        assert snap["completed"] == 2
+        assert snap["in_flight"] == 0
+        assert snap["rejected_quota"] == 1
+        assert snap["rejected_concurrency"] == 1
+        assert snap["chunks_streamed"] == 1
+        assert snap["p50_ms"] == 10.0
+        assert snap["p99_ms"] == 30.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(QuotaExceededError, match="invalid tenant config"):
+            TenantState(TenantConfig("t", rate=0.0), clock=FakeClock())
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_nearest_rank(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.99) == 99.0
+
+
+class TestQuotaManager:
+    def make(self, clock=None, **kwargs):
+        return QuotaManager(
+            configs=[TenantConfig("paid", rate=10.0, burst=2.0,
+                                  max_concurrent=1)],
+            clock=clock or FakeClock(), **kwargs)
+
+    def test_admission_is_a_context_holding_the_slot(self):
+        quotas = self.make()
+        with quotas.admit("paid") as state:
+            assert state.in_flight == 1
+            with pytest.raises(QuotaExceededError, match="concurrent"):
+                quotas.admit("paid")
+        assert quotas.tenant("paid").in_flight == 0
+
+    def test_bucket_rejection_carries_retry_after(self):
+        quotas = self.make()
+        quotas.admit("paid").__exit__(None, None, None)
+        quotas.admit("paid").__exit__(None, None, None)
+        with pytest.raises(QuotaExceededError) as exc_info:
+            quotas.admit("paid")
+        assert exc_info.value.retry_after == pytest.approx(0.1)
+
+    def test_admission_records_latency(self):
+        clock = FakeClock()
+        quotas = self.make(clock=clock)
+        admission = quotas.admit("paid")
+        with admission:
+            clock.advance(0.050)
+        assert quotas.tenant("paid").snapshot()["p50_ms"] == pytest.approx(50.0)
+
+    def test_unknown_tenant_gets_default_quota(self):
+        quotas = self.make()
+        with quotas.admit("walk-in") as state:
+            assert state.config.name == "walk-in"
+            assert state.config.rate == TenantConfig("default").rate
+
+    def test_unknown_tenant_rejected_when_closed(self):
+        quotas = self.make(allow_unknown=False)
+        with pytest.raises(QuotaExceededError, match="unknown tenant"):
+            quotas.admit("walk-in")
+
+    def test_snapshot_covers_all_tenants(self):
+        quotas = self.make()
+        quotas.admit("extra").__exit__(None, None, None)
+        snap = quotas.snapshot()
+        assert set(snap) == {"paid", "extra"}
+        assert snap["extra"]["completed"] == 1
