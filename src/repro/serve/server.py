@@ -27,6 +27,7 @@ its cancel token (MOA1004).
 from __future__ import annotations
 
 import asyncio
+import math
 import threading
 from dataclasses import dataclass, field
 
@@ -147,7 +148,11 @@ class QueryServer:
                 try:
                     request = await read_frame(reader, header=first)
                 except ProtocolError as exc:
-                    await self._send(writer, error_frame("bad_request", str(exc)))
+                    try:
+                        await self._send(writer,
+                                         error_frame("bad_request", str(exc)))
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass  # peer sent garbage then reset: nothing to tell
                     break
                 first = None
                 if request is None:
@@ -201,12 +206,17 @@ class QueryServer:
         The two admission gates and the deadline token are all
         constructed here, in one place, so the MOA1003/MOA1004 checks
         (and human readers) can see the whole discipline at once:
-        tenant quota -> pool bound -> CancelToken -> lock-step stream.
+        CancelToken -> tenant quota -> pool bound -> lock-step stream.
+        The deadline is validated *before* admission (a malformed one
+        must not consume a concurrency slot), and the runner — request
+        parsing, vector conversion, source construction — is built
+        *inside* the admitted region, so an over-quota tenant cannot
+        bill that work to the event loop.
         """
         tenant = str(request.get("tenant", "default"))
         try:
-            runner, kind = self._build_runner(request)
-        except (ReproError, ValueError, TypeError) as exc:
+            cancel = self._deadline_token(request)
+        except ProtocolError as exc:
             await self._error(writer, error_frame("bad_request", str(exc)))
             return True
         try:
@@ -217,8 +227,12 @@ class QueryServer:
                 retry_after_ms=None if exc.retry_after is None
                 else exc.retry_after * 1000.0))
             return True
-        cancel = self._deadline_token(request)
         with admission as tenant_state:
+            try:
+                runner, kind = self._build_runner(request)
+            except (ReproError, ValueError, TypeError) as exc:
+                await self._error(writer, error_frame("bad_request", str(exc)))
+                return True
             try:
                 with self.pool.admit():  # gate 2: pool-wide bound
                     session = self.sessions.issue(runner, tenant, runner.epoch)
@@ -234,6 +248,13 @@ class QueryServer:
         if not token:
             await self._error(writer, error_frame(
                 "bad_request", "resume requires a token"))
+            return True
+        try:
+            # validated before redeem/admit: a malformed deadline must
+            # leak neither the session busy flag nor a quota slot
+            cancel = self._deadline_token(request)
+        except ProtocolError as exc:
+            await self._error(writer, error_frame("bad_request", str(exc)))
             return True
         try:
             session = self.sessions.redeem(str(token), self.db.epoch)
@@ -255,7 +276,6 @@ class QueryServer:
                 retry_after_ms=None if exc.retry_after is None
                 else exc.retry_after * 1000.0))
             return True
-        cancel = self._deadline_token(request)
         with admission as tenant_state:
             try:
                 with self.pool.admit():
@@ -289,8 +309,21 @@ class QueryServer:
                     })
                     metrics.inc("serve.deadline_stops")
                     return True
-                chunk = await loop.run_in_executor(self.pool.executor,
-                                                   runner.step)
+                try:
+                    chunk = await loop.run_in_executor(self.pool.executor,
+                                                       runner.step)
+                except Exception as exc:
+                    # engine failure (bad dimensionality surfacing at
+                    # access time, any ReproError): the runner's state
+                    # is suspect, so the session is dropped — a resume
+                    # of its token restarts cold — and the client gets
+                    # an error frame instead of a silent close
+                    self.sessions.drop(session.token)
+                    session.release()
+                    metrics.inc("serve.step_errors")
+                    await self._error(writer, error_frame(
+                        "engine", f"query failed mid-stream: {exc}"))
+                    return True
                 await self._send(writer, chunk.to_frame(session.token))
                 session.note_delivered()
                 tenant_state.note_chunk()
@@ -353,6 +386,11 @@ class QueryServer:
         deadline_ms = request.get("deadline_ms")
         if deadline_ms is None:
             return CancelToken()
+        if (isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or not math.isfinite(deadline_ms)):
+            raise ProtocolError(
+                f"deadline_ms must be a finite number, got {deadline_ms!r}")
         return CancelToken.with_timeout(float(deadline_ms) / 1000.0)
 
     # -- plumbing -----------------------------------------------------------

@@ -285,12 +285,17 @@ class SessionRegistry:
         with self._lock:
             self._sessions[token] = session
             self.issued += 1
-            while len(self._sessions) > self.max_sessions:
-                evicted_token, evicted = self._sessions.popitem(last=False)
-                if evicted.busy:  # never evict a live stream
-                    self._sessions[evicted_token] = evicted
-                    self._sessions.move_to_end(evicted_token, last=False)
-                    break
+            if len(self._sessions) > self.max_sessions:
+                # evict idle sessions in LRU order, skipping past live
+                # streams (never evicted) rather than stopping at a
+                # busy head — otherwise one long stream at the LRU end
+                # would pin every session behind it
+                evictable = [t for t, s in self._sessions.items()
+                             if not s.busy]
+                for evicted_token in evictable:
+                    if len(self._sessions) <= self.max_sessions:
+                        break
+                    del self._sessions[evicted_token]
         metrics.set_gauge("serve.sessions", self.size())
         return session
 

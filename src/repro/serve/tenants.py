@@ -209,16 +209,22 @@ class QuotaManager:
         return state
 
     def tenant(self, name: str) -> TenantState:
+        # get-or-create under one lock hold: two concurrent admits for
+        # the same unknown tenant must share one TenantState, or the
+        # in_flight accounting splits across objects and the
+        # concurrency cap is quietly exceeded
         with self._lock:
             state = self._tenants.get(name)
-        if state is not None:
+            if state is not None:
+                return state
+            if not self.allow_unknown:
+                raise QuotaExceededError(f"unknown tenant {name!r}")
+            config = TenantConfig(name, rate=self.default.rate,
+                                  burst=self.default.burst,
+                                  max_concurrent=self.default.max_concurrent)
+            state = TenantState(config, self._clock)
+            self._tenants[name] = state
             return state
-        if not self.allow_unknown:
-            raise QuotaExceededError(f"unknown tenant {name!r}")
-        replaced = TenantConfig(name, rate=self.default.rate,
-                                burst=self.default.burst,
-                                max_concurrent=self.default.max_concurrent)
-        return self.register(replaced)
 
     def admit(self, name: str):
         """Admit one request for its whole (streaming) lifetime.

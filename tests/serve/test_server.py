@@ -109,6 +109,81 @@ class TestStreaming:
         assert resumed.final is not None
 
 
+class TestDeadlineValidation:
+    def test_malformed_deadline_is_a_bad_request(self, server, feature_query):
+        handle, _ = server
+        with ServeClient(handle.host, handle.port) as client:
+            with pytest.raises(ServeError, match="deadline_ms"):
+                collect(client.query(queries=feature_query, n=3,
+                                     deadline_ms="soon"))
+
+    def test_malformed_deadlines_leak_no_concurrency_slots(self, server,
+                                                           feature_query):
+        # regression: deadline_ms was parsed between quota admit and the
+        # admission context, so each bad value leaked one in_flight slot
+        # until the tenant was permanently capped out
+        handle, query_server = server
+        cap = TenantConfig("default").max_concurrent
+        with ServeClient(handle.host, handle.port) as client:
+            for _ in range(cap + 2):
+                with pytest.raises(ServeError, match="deadline_ms"):
+                    collect(client.query(queries=feature_query, n=3,
+                                         deadline_ms=[100.0]))
+            assert query_server.quotas.tenant("default").in_flight == 0
+            assert collect(client.query(queries=feature_query, n=3)).complete
+
+    def test_malformed_deadline_on_resume_leaves_session_resumable(
+            self, server, feature_query):
+        handle, _ = server
+        with ServeClient(handle.host, handle.port) as client:
+            paused = collect(client.query(queries=feature_query, n=5,
+                                          algorithm="nra", deadline_ms=0.0))
+        with ServeClient(handle.host, handle.port) as client:
+            with pytest.raises(ServeError, match="deadline_ms"):
+                collect(client.resume(paused.resume_token,
+                                      deadline_ms="later"))
+        with ServeClient(handle.host, handle.port) as client:
+            assert collect(client.resume(paused.resume_token)).complete
+
+    def test_nonfinite_deadline_is_a_bad_request(self, server, feature_query):
+        handle, _ = server
+        with ServeClient(handle.host, handle.port) as client:
+            with pytest.raises(ServeError, match="deadline_ms"):
+                collect(client.query(queries=feature_query, n=3,
+                                     deadline_ms=float("nan")))
+
+
+class TestEngineFailureMidStream:
+    def test_engine_error_sends_error_frame_and_frees_the_session(
+            self, server, feature_query, monkeypatch):
+        # regression: a step() exception used to escape _stream, closing
+        # the connection with no error frame and pinning the session
+        # busy in the registry forever
+        from repro.serve.session import AnytimeRunner
+
+        def boom(self):
+            raise RuntimeError("engine exploded")
+
+        handle, query_server = server
+        sessions_before = query_server.sessions.size()
+        monkeypatch.setattr(AnytimeRunner, "step", boom)
+        with ServeClient(handle.host, handle.port) as client:
+            with pytest.raises(ServeError, match="engine exploded"):
+                collect(client.query(queries=feature_query, n=5))
+        monkeypatch.undo()
+        assert query_server.sessions.size() == sessions_before
+        # the error frame is sent from inside the admission context, so
+        # give the server a beat to exit it and release the slot
+        import time
+        deadline = time.monotonic() + 5.0
+        while (query_server.quotas.tenant("default").in_flight
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert query_server.quotas.tenant("default").in_flight == 0
+        with ServeClient(handle.host, handle.port) as client:
+            assert collect(client.query(queries=feature_query, n=3)).complete
+
+
 class TestQuotaEnforcement:
     @pytest.fixture()
     def throttled_server(self):

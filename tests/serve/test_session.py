@@ -171,6 +171,22 @@ class TestSessionRegistry:
             registry.redeem(live.token, 0)
         assert busy_info.value.code == "resume_busy"
 
+    def test_lru_eviction_skips_a_busy_head_to_the_next_idle(self):
+        # regression: eviction used to stop at a busy LRU head, letting
+        # one long-lived stream pin every idle session behind it
+        registry = SessionRegistry(max_sessions=2)
+        live = registry.issue(  # busy: becomes the un-evictable LRU head
+            AnytimeRunner(make_sources(), n=5, algorithm="ta"), "t", 0)
+        idle = issue_released(registry)
+        issue_released(registry)  # overflow: skip `live`, evict `idle`
+        assert registry.size() == 2
+        with pytest.raises(ResumeTokenError) as busy_info:
+            registry.redeem(live.token, 0)
+        assert busy_info.value.code == "resume_busy"
+        with pytest.raises(ResumeTokenError) as gone_info:
+            registry.redeem(idle.token, 0)
+        assert gone_info.value.code == "resume_unknown"
+
     def test_drop_forgets_the_token(self):
         registry = SessionRegistry()
         session = issue_released(registry)

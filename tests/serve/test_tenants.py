@@ -144,6 +144,28 @@ class TestQuotaManager:
             assert state.config.name == "walk-in"
             assert state.config.rate == TenantConfig("default").rate
 
+    def test_concurrent_unknown_tenant_creation_shares_one_state(self):
+        # regression: tenant() used to get under the lock, release it,
+        # then register — two racing admits could each build a distinct
+        # TenantState and split the in_flight accounting between them
+        import threading
+
+        quotas = self.make()
+        barrier = threading.Barrier(8)
+        states = []
+
+        def grab():
+            barrier.wait()
+            states.append(quotas.tenant("walk-in"))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(states) == 8
+        assert all(state is states[0] for state in states)
+
     def test_unknown_tenant_rejected_when_closed(self):
         quotas = self.make(allow_unknown=False)
         with pytest.raises(QuotaExceededError, match="unknown tenant"):
