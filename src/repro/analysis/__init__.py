@@ -22,7 +22,12 @@ The correctness tooling around the optimizer (see ``docs/API.md``,
   seeded unsafe ``stop_after`` pushdown exemplar;
 * :mod:`~repro.analysis.concurrency` — the ``repro check`` pass:
   AST-based effect inference over the Python codebase itself plus a
-  lock-discipline / race analyzer (the ``MOA7xx`` family).
+  lock-discipline / race analyzer (the ``MOA7xx`` family);
+* :mod:`~repro.analysis.lifecycle` — resource-lifecycle & async
+  cancellation safety (the ``MOA11xx`` family): CFG typestate
+  dataflow for acquire/release discipline, await-hazard analysis,
+  and the static lock-order deadlock graph cross-checked against the
+  runtime sanitizer.
 """
 
 from .analyzers import (
@@ -80,6 +85,15 @@ from .diagnostics import (
     make_diagnostic,
     severity_rank,
     subexpr_at,
+)
+from .lifecycle import (
+    build_lock_graph,
+    check_lifecycle,
+    check_lifecycle_paths,
+    crosscheck_lock_order,
+    lock_graph_diagnostics,
+    lock_order_cycles,
+    static_lock_order_edges,
 )
 from .lint import (
     DEMO_EXPRESSION,
@@ -153,16 +167,23 @@ __all__ = [
     "all_codes",
     "analyze_bound_flow",
     "block_bound_declarations",
+    "build_lock_graph",
     "analyze_effects",
     "analyze_expr",
     "apply_rule_somewhere",
     "certify",
     "check_bounds_rewrite",
+    "check_lifecycle",
+    "check_lifecycle_paths",
     "check_package",
     "check_paths",
     "check_rewrite_step",
     "check_serve",
     "check_serve_paths",
+    "crosscheck_lock_order",
+    "lock_graph_diagnostics",
+    "lock_order_cycles",
+    "static_lock_order_edges",
     "derive_bounds",
     "classify_cutoffs",
     "clear_verified_cache",

@@ -19,7 +19,10 @@ from this table (``MOA001``...).  Codes are grouped by hundreds:
   interval at every plan edge and flags every pruning decision the
   derived bounds cannot license;
 * ``MOA10xx`` — serve safety: the query service's admission, deadline
-  and resume disciplines (:mod:`repro.analysis.serve`).
+  and resume disciplines (:mod:`repro.analysis.serve`);
+* ``MOA11xx`` — resource lifecycle and async-cancellation safety: the
+  CFG-dataflow acquire/release typestate analyzer and the static
+  lock-order deadlock graph (:mod:`repro.analysis.lifecycle`).
 
 Tests assert that the table has no duplicate codes and that every code
 emitted anywhere in the analysis package is registered here, so the
@@ -330,6 +333,56 @@ CODES: dict[str, DiagnosticCode] = _build_table(
         "referencing the request's CancelToken.  Deadlines propagate "
         "only through that token's between-step checks; a pump loop "
         "that drops it streams past every deadline a client sets.",
+    ),
+    # -- MOA11xx: resource lifecycle / cancellation safety -------------------
+    DiagnosticCode(
+        "MOA1101", "resource acquired but not released on some path", "error",
+        "A tracked resource (lock, pool slot, tenant admission, session "
+        "busy flag, pin) is acquired, but at least one path out of the "
+        "function — normal return, an exception edge, or an await's "
+        "cancellation edge — exits with it still held and nobody left "
+        "owning it.  This is the PR-8-review bug class: a slot leaked "
+        "per occurrence until the quota or registry is exhausted.  Use "
+        "`with`, a `finally`-guarded release, or pass ownership to a "
+        "helper that releases on every exit.",
+    ),
+    DiagnosticCode(
+        "MOA1102", "release without a matching acquire / double release", "error",
+        "A release site runs where every path reaching it has the "
+        "resource already released (double release) or never acquired "
+        "it.  Releasing twice corrupts slot accounting (a concurrency "
+        "cap of K quietly becomes K+1); releasing what was never "
+        "acquired usually means the pairing logic drifted.",
+    ),
+    DiagnosticCode(
+        "MOA1103", "await while holding a non-async lock", "error",
+        "An `await` point sits between the acquisition and release of a "
+        "synchronous (thread) lock — whether `with lock:` or an "
+        "acquire/`finally`-release pair.  While suspended, the event "
+        "loop cannot run any other coroutine that needs the lock, and a "
+        "cancellation delivered at the await unwinds with the lock's "
+        "critical section half-finished: a cancellation hazard even "
+        "when a `finally` eventually releases.",
+    ),
+    DiagnosticCode(
+        "MOA1104", "held resource escapes its declared scope", "error",
+        "A *held* handle escapes the acquiring function — returned, "
+        "stored on `self` outside the class's declared SHARED_STATE / "
+        "SEALED_BY scope, or written to a global — from a function not "
+        "declared `@acquires` for that kind.  Once the handle outlives "
+        "its frame, no path-local discipline can guarantee the release "
+        "ever runs; either declare the factory or release before "
+        "escaping.",
+    ),
+    DiagnosticCode(
+        "MOA1105", "static lock-order cycle", "error",
+        "The whole-program lock-acquisition graph — built from every "
+        "`with lock:` nesting and one-level call summaries, with lock "
+        "attributes resolved to their `make_lock` names — contains a "
+        "cycle, or an edge leaving a lock its class declares LOCK_LEAF. "
+        "Any cycle the runtime sanitizer could observe as a lock-order "
+        "inversion is a subgraph of this one, so a clean static graph "
+        "certifies deadlock-freedom for the declared locks.",
     ),
 )
 

@@ -1,0 +1,49 @@
+"""Resource-lifecycle & async-cancellation-safety analysis (MOA11xx).
+
+``repro.analysis.lifecycle`` certifies runtime-resource discipline the
+way MOA9xx certifies score bounds: an AST→CFG dataflow tracks
+acquire/release typestates for locks, pool slots, tenant admissions,
+session busy flags and pinned buffer pages through branches,
+exceptions, ``with``/``try/finally`` and await points (MOA1101-1104),
+and a whole-program static lock-acquisition graph is cross-checked
+against the runtime sanitizer's ``lock_order_edges()`` (MOA1105).
+"""
+
+from .analyzer import (
+    FunctionSummary,
+    analyze_function,
+    check_lifecycle,
+    check_lifecycle_paths,
+    lifecycle_root,
+    module_summaries,
+)
+from .cfg import FunctionCFG, build_cfg, module_cfgs
+from .lockgraph import (
+    LockOrderGraph,
+    build_lock_graph,
+    crosscheck_lock_order,
+    lock_graph_diagnostics,
+    lock_order_cycles,
+    static_lock_order_edges,
+)
+from .model import ClassContext, Vocabulary
+
+__all__ = [
+    "ClassContext",
+    "FunctionCFG",
+    "FunctionSummary",
+    "LockOrderGraph",
+    "Vocabulary",
+    "analyze_function",
+    "build_cfg",
+    "build_lock_graph",
+    "check_lifecycle",
+    "check_lifecycle_paths",
+    "crosscheck_lock_order",
+    "lifecycle_root",
+    "lock_graph_diagnostics",
+    "lock_order_cycles",
+    "module_cfgs",
+    "module_summaries",
+    "static_lock_order_edges",
+]

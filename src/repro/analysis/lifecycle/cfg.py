@@ -1,0 +1,700 @@
+"""AST → control-flow graph for the lifecycle analyzer (MOA11xx).
+
+Each function body becomes a graph of basic blocks over five event
+kinds: ``Acquire``, ``Release``, ``Call``, ``Await``, ``Escape``.
+Three modelling decisions do most of the work:
+
+* **one raise site per block** — every may-raise event (a call, an
+  await, an explicit ``raise``, an assert) terminates its block, so an
+  exceptional edge always leaves from a block whose *last* event is
+  the raising one and the pre-raise resource state is exactly the
+  state after the preceding events;
+
+* **handler coverage** — an exceptional edge routes to the innermost
+  enclosing ``try`` *that has handlers*, which we assume cover the
+  raised exception.  Narrower would flood the clean tree with
+  impossible paths; this assumption is what the hypothesis
+  differential test pins down (its generated programs use only bare
+  ``except``, where the assumption is exact);
+
+* **finally/with inlining** — exceptional and early-exit edges pass
+  through a freshly built *unwind chain* that replays, innermost
+  first, every ``with`` release and every ``finally`` body between
+  the raise site and its landing point.  ``with <acquire-call>:``
+  therefore behaves as acquire + guaranteed release on *every* exit
+  edge, which is the whole point of the idiom.
+
+Await points get their own ``cancel`` edge kind: cancellation unwinds
+exactly like an exception, and MOA1103 is precisely "an Await event
+executed while a lock-kind resource is held".
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+from dataclasses import dataclass, field
+
+from .model import (
+    ClassContext,
+    Vocabulary,
+    dotted,
+    function_acquires,
+    function_releases,
+    looks_like_lock,
+)
+
+__all__ = [
+    "Acquire",
+    "Await",
+    "Block",
+    "Call",
+    "Escape",
+    "FunctionCFG",
+    "Release",
+    "build_cfg",
+    "module_cfgs",
+]
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """``handle`` becomes Held.  ``scoped`` acquires are released by
+    the enclosing ``with`` on every exit edge."""
+
+    handle: str
+    kind: str
+    line: int
+    scoped: bool = False
+
+
+@dataclass(frozen=True)
+class Release:
+    """``handle`` becomes Released.  Builder-inserted scope releases
+    (``scoped=True``) are exempt from MOA1102 (they always follow
+    their own acquire by construction)."""
+
+    handle: str
+    line: int
+    scoped: bool = False
+
+
+@dataclass(frozen=True)
+class Call:
+    """A may-raise call.  ``handle_args`` maps positional argument
+    index → handle name, for one-level summary application; empty when
+    the call's resource effect was already emitted directly.
+    ``self_call`` marks ``self.helper(...)`` so summaries can resolve
+    within the enclosing class first."""
+
+    line: int
+    callee: str
+    handle_args: tuple = ()
+    self_call: bool = False
+
+
+@dataclass(frozen=True)
+class Await:
+    """A suspension point; also a cancellation point (``cancel`` edge)."""
+
+    line: int
+
+
+@dataclass(frozen=True)
+class Escape:
+    """A handle leaves the function: returned, stored to an undeclared
+    attribute or global, or rebound while possibly held."""
+
+    handle: str
+    line: int
+    how: str  # "return" | "attr:<name>" | "global:<name>" | "rebound"
+
+
+@dataclass
+class Block:
+    id: int
+    events: list = field(default_factory=list)
+    succs: list = field(default_factory=list)  # (block_id, edge_kind)
+
+
+@dataclass
+class FunctionCFG:
+    name: str
+    qualname: str
+    line: int
+    blocks: list
+    entry: int
+    normal_exit: int
+    exc_exit: int
+    param_names: tuple = ()
+    param_handles: frozenset = frozenset()
+    handle_kinds: dict = field(default_factory=dict)
+    factory_kind: str | None = None
+    releaser_kind: str | None = None
+    is_async: bool = False
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+
+class _WithFrame:
+    __slots__ = ("handles", "line")
+
+    def __init__(self, handles, line):
+        self.handles = handles
+        self.line = line
+
+
+class _FinallyFrame:
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts):
+        self.stmts = stmts
+
+
+class _HandlerFrame:
+    __slots__ = ("entries",)
+
+    def __init__(self, entries):
+        self.entries = entries
+
+
+class _LoopFrame:
+    __slots__ = ("head", "exit")
+
+    def __init__(self, head, exit_):
+        self.head = head
+        self.exit = exit_
+
+
+class _CfgBuilder:
+    def __init__(self, func: ast.AST, vocab: Vocabulary,
+                 class_ctx: ClassContext, qualname: str):
+        self.func = func
+        self.vocab = vocab
+        self.class_ctx = class_ctx
+        self.qualname = qualname
+        self.blocks: list = []
+        self.frames: list = []
+        self.aliases: dict = {}
+        self.handle_kinds: dict = {}
+        self._fresh = itertools.count()
+        self.entry = self._new_block()
+        self.normal_exit = self._new_block()
+        self.exc_exit = self._new_block()
+        self.cur = self.entry
+        args = func.args
+        self.param_names = tuple(
+            a.arg for a in itertools.chain(
+                args.posonlyargs, args.args, args.kwonlyargs))
+        self.self_var = self.param_names[0] if (
+            class_ctx.name and self.param_names) else None
+        self.param_handles = self._scan_param_handles()
+        for name in self.param_handles:
+            self.handle_kinds.setdefault(name, "resource")
+
+    # -- plumbing ------------------------------------------------------
+
+    def _new_block(self) -> int:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def _emit(self, event) -> None:
+        self.blocks[self.cur].events.append(event)
+
+    def _edge(self, src: int, dst: int, kind: str = "normal") -> None:
+        self.blocks[src].succs.append((dst, kind))
+
+    def _scan_param_handles(self) -> frozenset:
+        """Parameters that appear in release position anywhere in the
+        body are caller-owned handles: track them (so helper summaries
+        and double-release checks see them) but never report MOA1101
+        on them — releasing is the caller's obligation, not ours."""
+        params = set(self.param_names)
+        if self.self_var:
+            params.discard(self.self_var)
+        found = set()
+        for node in ast.walk(self.func):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in self.vocab.release:
+                recv = func.value
+                # `session.release()` names the resource itself; with
+                # arguments (`registry.drop(token)`) the receiver is a
+                # manager and the handle travels in the args
+                if (not node.args and isinstance(recv, ast.Name)
+                        and recv.id in params):
+                    found.add(recv.id)
+                for arg in node.args:
+                    if isinstance(arg, ast.Name) and arg.id in params:
+                        found.add(arg.id)
+                    elif (isinstance(arg, ast.Attribute)
+                          and isinstance(arg.value, ast.Name)
+                          and arg.value.id in params):
+                        found.add(arg.value.id)
+        return frozenset(found)
+
+    def _canon(self, name: str) -> str:
+        return self.aliases.get(name, name)
+
+    def _is_handle(self, name: str) -> bool:
+        return self._canon(name) in self.handle_kinds
+
+    def _lock_token(self, node: ast.AST) -> str | None:
+        token = dotted(node)
+        if not token:
+            return None
+        if self.self_var and token.startswith(self.self_var + "."):
+            token = "self." + token[len(self.self_var) + 1:]
+        return token if looks_like_lock(token) else None
+
+    # -- unwinding -----------------------------------------------------
+
+    def _unwind(self, stop_idx: int | None) -> tuple:
+        """Build a fresh chain of blocks replaying, innermost first,
+        the scope releases and finally bodies of every frame strictly
+        inside ``stop_idx`` (all frames when None).  Returns (entry,
+        last) with the last block left unconnected."""
+        saved_cur, saved_frames = self.cur, self.frames
+        entry = self._new_block()
+        self.cur = entry
+        floor = -1 if stop_idx is None else stop_idx
+        for idx in range(len(saved_frames) - 1, floor, -1):
+            frame = saved_frames[idx]
+            if isinstance(frame, _WithFrame):
+                for handle in reversed(frame.handles):
+                    self._emit(Release(handle, frame.line, scoped=True))
+            elif isinstance(frame, _FinallyFrame):
+                # the finally body runs with only the *outer* frames
+                # active: an exception inside it propagates past this try
+                self.frames = list(saved_frames[:idx])
+                self._build_stmts(frame.stmts)
+        last = self.cur
+        self.cur, self.frames = saved_cur, saved_frames
+        return entry, last
+
+    def _innermost(self, frame_type) -> int | None:
+        for idx in range(len(self.frames) - 1, -1, -1):
+            if isinstance(self.frames[idx], frame_type):
+                return idx
+        return None
+
+    def _exception_edge(self, kind: str = "except",
+                        fallthrough: bool = True) -> None:
+        """Route an exception raised by the last event of the current
+        block: unwind to the innermost try-with-handlers (assumed to
+        cover it) or to the exceptional exit.  ``fallthrough=False``
+        (an unconditional ``raise``) leaves no normal continuation."""
+        stop_idx = self._innermost(_HandlerFrame)
+        entry, last = self._unwind(stop_idx)
+        if stop_idx is None:
+            self._edge(last, self.exc_exit)
+        else:
+            for handler_entry in self.frames[stop_idx].entries:
+                self._edge(last, handler_entry)
+        self._edge(self.cur, entry, kind)
+        follow = self._new_block()
+        if fallthrough:
+            self._edge(self.cur, follow)
+        self.cur = follow
+
+    # -- expressions ---------------------------------------------------
+
+    def _visit_expr(self, node) -> None:
+        if node is None or isinstance(node, (ast.Constant, ast.Name)):
+            return
+        if isinstance(node, ast.Await):
+            self._visit_expr(node.value)
+            self._emit(Await(node.lineno))
+            self._exception_edge(kind="cancel")
+            return
+        if isinstance(node, ast.Call):
+            for arg in node.args:
+                self._visit_expr(arg)
+            for kw in node.keywords:
+                self._visit_expr(kw.value)
+            self._process_call(node)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # deferred body
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+
+    def _handle_of_arg(self, arg) -> str | None:
+        if isinstance(arg, ast.Name) and self._is_handle(arg.id):
+            return self._canon(arg.id)
+        if (isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name)
+                and self._is_handle(arg.value.id)):
+            # registry.drop(session.token) releases `session`
+            return self._canon(arg.value.id)
+        return None
+
+    def _process_call(self, node: ast.Call) -> None:
+        """Emit the resource events of one call, then its raise edge."""
+        func = node.func
+        method = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else "")
+        recv = func.value if isinstance(func, ast.Attribute) else None
+        recv_dotted = dotted(recv) if recv is not None else ""
+        line = node.lineno
+        handled = False
+        if method in self.vocab.release or method == "release":
+            released = []
+            if (recv is not None and isinstance(recv, ast.Name)
+                    and self._is_handle(recv.id)):
+                released.append(self._canon(recv.id))
+            elif recv is not None and self._lock_token(recv):
+                released.append(self._lock_token(recv))
+            else:
+                for arg in node.args:
+                    handle = self._handle_of_arg(arg)
+                    if handle is not None:
+                        released.append(handle)
+            for handle in released:
+                self._emit(Release(handle, line))
+                handled = True
+        elif method in self.vocab.keyed_release and recv_dotted:
+            kind = self.vocab.keyed_release[method]
+            handle = f"{kind}@{recv_dotted}"
+            self.handle_kinds.setdefault(handle, kind)
+            self._emit(Release(handle, line))
+            handled = True
+        elif method == "acquire" and recv is not None:
+            token = self._lock_token(recv)
+            if token is not None:
+                # raise edge first: if the acquire call itself raises,
+                # the resource was never taken
+                self._exception_edge()
+                self.handle_kinds.setdefault(token, "lock")
+                self._emit(Acquire(token, "lock", line))
+                return
+        elif method in self.vocab.keyed_acquire and recv_dotted:
+            kind = self.vocab.keyed_acquire[method]
+            handle = f"{kind}@{recv_dotted}"
+            self._exception_edge()
+            self.handle_kinds.setdefault(handle, kind)
+            self._emit(Acquire(handle, kind, line))
+            return
+        handle_args = ()
+        if not handled:
+            pairs = []
+            for idx, arg in enumerate(node.args):
+                handle = self._handle_of_arg(arg)
+                if handle is not None:
+                    pairs.append((idx, handle))
+            handle_args = tuple(pairs)
+        self_call = bool(self.self_var) and recv_dotted == self.self_var
+        self._emit(Call(line, callee=dotted(func) or method,
+                        handle_args=handle_args, self_call=self_call))
+        self._exception_edge()
+
+    def _acquire_kind_of_call(self, node: ast.Call) -> str | None:
+        func = node.func
+        method = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else "")
+        return self.vocab.acquire.get(method)
+
+    # -- statements ----------------------------------------------------
+
+    def _build_stmts(self, stmts) -> None:
+        for stmt in stmts:
+            self._build_stmt(stmt)
+
+    def _build_stmt(self, stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Import, ast.ImportFrom,
+                             ast.Global, ast.Nonlocal, ast.Pass)):
+            return
+        if isinstance(stmt, ast.Expr):
+            self._visit_expr(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign([stmt.target], stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._visit_expr(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            self._return(stmt)
+        elif isinstance(stmt, ast.Raise):
+            self._visit_expr(stmt.exc)
+            self._exception_edge(fallthrough=False)
+        elif isinstance(stmt, ast.Assert):
+            # asserts vanish under -O and model programming errors,
+            # not runtime resource paths: no exceptional edge
+            self._visit_expr(stmt.test)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._loop(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt)
+        elif isinstance(stmt, ast.Break):
+            self._break_continue(target="exit")
+        elif isinstance(stmt, ast.Continue):
+            self._break_continue(target="head")
+        elif isinstance(stmt, ast.Delete):
+            pass
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._visit_expr(child)
+
+    def _assign(self, targets, value) -> None:
+        acquire_kind = None
+        if isinstance(value, ast.Call):
+            acquire_kind = self._acquire_kind_of_call(value)
+        alias_of = None
+        if isinstance(value, ast.Name) and self._is_handle(value.id):
+            alias_of = self._canon(value.id)
+        self._visit_expr(value)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                name = target.id
+                if self._is_handle(name) and alias_of != self._canon(name):
+                    # rebinding a (possibly held) handle loses it
+                    self._emit(Escape(self._canon(name), target.lineno,
+                                      how="rebound"))
+                    self.aliases.pop(name, None)
+                if acquire_kind is not None:
+                    self.handle_kinds[name] = acquire_kind
+                    self.aliases.pop(name, None)
+                    self._emit(Acquire(name, acquire_kind, target.lineno))
+                elif alias_of is not None:
+                    self.aliases[name] = alias_of
+            elif isinstance(target, ast.Attribute):
+                stored = None
+                if isinstance(value, ast.Name) and self._is_handle(value.id):
+                    stored = self._canon(value.id)
+                elif acquire_kind is not None:
+                    stored = f"{acquire_kind}@{dotted(target)}"
+                    self.handle_kinds[stored] = acquire_kind
+                    self._emit(Acquire(stored, acquire_kind, target.lineno))
+                if stored is not None:
+                    attr = target.attr
+                    owner_declared = (
+                        isinstance(target.value, ast.Name)
+                        and target.value.id == self.self_var
+                        and attr in self.class_ctx.declared_attrs)
+                    if owner_declared:
+                        # ownership transfer into declared shared state
+                        self._emit(Release(stored, target.lineno))
+                    else:
+                        self._emit(Escape(stored, target.lineno,
+                                          how=f"attr:{attr}"))
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if (isinstance(element, ast.Name)
+                            and self._is_handle(element.id)):
+                        self._emit(Escape(self._canon(element.id),
+                                          element.lineno, how="rebound"))
+                        self.aliases.pop(element.id, None)
+            elif isinstance(target, ast.Subscript):
+                self._visit_expr(target.value)
+                if isinstance(value, ast.Name) and self._is_handle(value.id):
+                    self._emit(Escape(self._canon(value.id), target.lineno,
+                                      how=f"global:{dotted(target.value)}"))
+
+    def _return(self, stmt: ast.Return) -> None:
+        value = stmt.value
+        self._visit_expr(value)
+        if isinstance(value, ast.Name) and self._is_handle(value.id):
+            self._emit(Escape(self._canon(value.id), stmt.lineno,
+                              how="return"))
+        entry, last = self._unwind(None)
+        self._edge(self.cur, entry)
+        self._edge(last, self.normal_exit)
+        self.cur = self._new_block()  # dead
+
+    def _break_continue(self, target: str) -> None:
+        loop_idx = self._innermost(_LoopFrame)
+        if loop_idx is None:
+            return
+        entry, last = self._unwind(loop_idx)
+        self._edge(self.cur, entry)
+        frame = self.frames[loop_idx]
+        self._edge(last, frame.exit if target == "exit" else frame.head)
+        self.cur = self._new_block()  # dead
+
+    def _if(self, stmt: ast.If) -> None:
+        self._visit_expr(stmt.test)
+        branch_from = self.cur
+        then_entry = self._new_block()
+        self._edge(branch_from, then_entry)
+        self.cur = then_entry
+        self._build_stmts(stmt.body)
+        then_end = self.cur
+        else_entry = self._new_block()
+        self._edge(branch_from, else_entry)
+        self.cur = else_entry
+        self._build_stmts(stmt.orelse)
+        else_end = self.cur
+        join = self._new_block()
+        self._edge(then_end, join)
+        self._edge(else_end, join)
+        self.cur = join
+
+    def _loop(self, stmt) -> None:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_expr(stmt.iter)
+            if isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                if self._is_handle(name):
+                    self._emit(Escape(self._canon(name), stmt.lineno,
+                                      how="rebound"))
+                    self.aliases.pop(name, None)
+        head = self._new_block()
+        exit_ = self._new_block()
+        self._edge(self.cur, head)
+        self.cur = head
+        if isinstance(stmt, ast.While):
+            self._visit_expr(stmt.test)
+        test_end = self.cur
+        body_entry = self._new_block()
+        self._edge(test_end, body_entry)
+        infinite = (isinstance(stmt, ast.While)
+                    and isinstance(stmt.test, ast.Constant)
+                    and bool(stmt.test.value))
+        if not infinite:
+            # `while True:` only exits via break/return — no fall-off
+            # edge, so no phantom leak path out of the loop
+            self._edge(test_end, exit_)
+        self.cur = body_entry
+        self.frames.append(_LoopFrame(head, exit_))
+        self._build_stmts(stmt.body)
+        self.frames.pop()
+        self._edge(self.cur, head)
+        self.cur = exit_
+        if stmt.orelse:
+            self._build_stmts(stmt.orelse)
+
+    def _try(self, stmt: ast.Try) -> None:
+        finally_frame = _FinallyFrame(stmt.finalbody) if stmt.finalbody \
+            else None
+        if finally_frame is not None:
+            self.frames.append(finally_frame)
+        handler_entries = [self._new_block() for _ in stmt.handlers]
+        handler_frame = _HandlerFrame(handler_entries) if stmt.handlers \
+            else None
+        if handler_frame is not None:
+            self.frames.append(handler_frame)
+        self._build_stmts(stmt.body)
+        if handler_frame is not None:
+            self.frames.pop()
+        if stmt.orelse:
+            # else runs only when the body did not raise, and its own
+            # exceptions are NOT caught by this try's handlers
+            self._build_stmts(stmt.orelse)
+        body_end = self.cur
+        handler_ends = []
+        for entry_id, _handler in zip(handler_entries, stmt.handlers):
+            self.cur = entry_id
+            self._build_stmts(_handler.body)
+            handler_ends.append(self.cur)
+        if finally_frame is not None:
+            self.frames.pop()
+        join = self._new_block()
+        for end in [body_end, *handler_ends]:
+            self.cur = end
+            if finally_frame is not None:
+                # inline the finally body on the normal completion path
+                self._build_stmts(stmt.finalbody)
+            self._edge(self.cur, join)
+        self.cur = join
+
+    def _with(self, stmt) -> None:
+        acquired = []
+        for item in stmt.items:
+            ctx = item.context_expr
+            scoped_handle = None
+            if isinstance(ctx, ast.Call):
+                kind = self._acquire_kind_of_call(ctx)
+                self._visit_expr(ctx)
+                if kind is not None:
+                    if isinstance(item.optional_vars, ast.Name):
+                        # NB: `with q.admit() as t:` binds __enter__'s
+                        # result, but for our vocabulary the handle and
+                        # the binding coincide closely enough to pair
+                        handle = item.optional_vars.id
+                    else:
+                        handle = f"{kind}#{next(self._fresh)}"
+                    self.handle_kinds[handle] = kind
+                    self._emit(Acquire(handle, kind, ctx.lineno, scoped=True))
+                    scoped_handle = handle
+            elif isinstance(ctx, ast.Name) and self._is_handle(ctx.id):
+                # `with admission:` — scope-exit releases the held handle
+                scoped_handle = self._canon(ctx.id)
+            elif self._lock_token(ctx):
+                token = self._lock_token(ctx)
+                self.handle_kinds.setdefault(token, "lock")
+                self._emit(Acquire(token, "lock", stmt.lineno, scoped=True))
+                scoped_handle = token
+            else:
+                self._visit_expr(ctx)
+            if scoped_handle is not None:
+                acquired.append(scoped_handle)
+            if isinstance(stmt, ast.AsyncWith):
+                self._emit(Await(stmt.lineno))
+                self._exception_edge(kind="cancel")
+        frame = _WithFrame(acquired, stmt.lineno)
+        self.frames.append(frame)
+        self._build_stmts(stmt.body)
+        self.frames.pop()
+        for handle in reversed(acquired):
+            self._emit(Release(handle, stmt.lineno, scoped=True))
+
+    # -- driver --------------------------------------------------------
+
+    def build(self) -> FunctionCFG:
+        self._build_stmts(self.func.body)
+        self._edge(self.cur, self.normal_exit)
+        return FunctionCFG(
+            name=self.func.name,
+            qualname=self.qualname,
+            line=self.func.lineno,
+            blocks=self.blocks,
+            entry=self.entry,
+            normal_exit=self.normal_exit,
+            exc_exit=self.exc_exit,
+            param_names=self.param_names,
+            param_handles=self.param_handles,
+            handle_kinds=dict(self.handle_kinds),
+            factory_kind=function_acquires(self.func),
+            releaser_kind=function_releases(self.func),
+            is_async=isinstance(self.func, ast.AsyncFunctionDef),
+        )
+
+
+def build_cfg(func, vocab: Vocabulary,
+              class_ctx: ClassContext | None = None,
+              qualname: str | None = None) -> FunctionCFG:
+    """Build the CFG of one (sync or async) function definition."""
+    ctx = class_ctx if class_ctx is not None else ClassContext()
+    name = qualname if qualname is not None else func.name
+    return _CfgBuilder(func, vocab, ctx, name).build()
+
+
+def module_cfgs(tree: ast.Module, vocab: Vocabulary) -> list:
+    """CFGs of every top-level function and method in a module, each
+    paired with its enclosing :class:`ClassContext`."""
+    out = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append((build_cfg(node, vocab), ClassContext()))
+        elif isinstance(node, ast.ClassDef):
+            ctx = ClassContext.from_classdef(node)
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    cfg = build_cfg(member, vocab, ctx,
+                                    qualname=f"{node.name}.{member.name}")
+                    out.append((cfg, ctx))
+    return out

@@ -1,0 +1,494 @@
+"""Whole-program static lock-acquisition graph: MOA1105.
+
+Nodes are the *runtime lock names* handed to
+:func:`repro.sync.make_lock` (``"serve.sessions"``,
+``"parallel.executor"``, …), which is what makes the graph directly
+comparable to the runtime sanitizer's
+:func:`repro.sync.lock_order_edges` observations: both sides speak
+the same vocabulary.
+
+Edge extraction is a linear walk per function keeping the set of
+locks held at each point (``with lock:`` scopes plus statement-form
+``lock.acquire()``/``lock.release()`` pairs):
+
+* acquiring ``B`` while holding ``A`` adds the edge ``A → B``;
+* *calling* ``f()`` while holding ``A`` adds ``A → L`` for every lock
+  ``L`` in the **transitive** acquisition set of ``f`` — resolved by
+  bare callee name (``self.`` calls prefer same-class methods), with
+  a fixpoint closure over the call graph.  This is deliberately a
+  may-analysis: the runtime cross-check only needs the static edge
+  set to be a *superset* of what the sanitizer can ever observe
+  (``metrics.inc`` under the executor lock really does take the
+  metrics registry and counter locks two calls down).
+
+Verdicts: a cycle in the graph (any strongly connected component with
+more than one lock) is a static deadlock — MOA1105; a class declaring
+``LOCK_LEAF = True`` whose lock has outgoing edges broke its leaf
+promise — also MOA1105.  :func:`crosscheck_lock_order` reports every
+runtime-observed edge between statically known locks that the static
+graph missed (the MOA1105 consistency obligation in CI).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..diagnostics import make_diagnostic
+from .model import dotted, looks_like_lock
+
+__all__ = [
+    "LockOrderGraph",
+    "build_lock_graph",
+    "crosscheck_lock_order",
+    "lock_graph_diagnostics",
+    "lock_order_cycles",
+    "static_lock_order_edges",
+]
+
+
+def _make_lock_name(value: ast.AST) -> str | None:
+    """The string argument of a ``make_lock("name")`` call, if any."""
+    if (isinstance(value, ast.Call)
+            and dotted(value.func).rsplit(".", 1)[-1] == "make_lock"
+            and value.args
+            and isinstance(value.args[0], ast.Constant)
+            and isinstance(value.args[0].value, str)):
+        return value.args[0].value
+    return None
+
+
+@dataclass
+class _FunctionFacts:
+    fn_id: str
+    name: str
+    class_name: str | None
+    module: str = ""
+    direct_locks: set = field(default_factory=set)
+    acquisitions: list = field(default_factory=list)  # (lock, line, held)
+    calls: list = field(default_factory=list)  # (leaf, self_call, line, held)
+
+
+#: container/builtin method names never resolved across modules — a
+#: bare-name match on these would wire `self.shards.items()` under one
+#: lock to every `items` method in the tree (same-module and same-class
+#: definitions still resolve, so `Gauge.set` is reachable from the
+#: metrics module's own `set_gauge`)
+GENERIC_CALL_NAMES = frozenset({
+    "abs", "add", "all", "any", "append", "bool", "clear", "copy",
+    "count", "dict", "discard", "enumerate", "extend", "float",
+    "format", "get", "getattr", "hasattr", "hash", "id", "index",
+    "insert", "int", "isinstance", "items", "iter", "join", "keys",
+    "len", "list", "max", "min", "next", "pop", "popitem", "print",
+    "range", "remove", "repr", "round", "set", "setattr",
+    "setdefault", "sort", "sorted", "split", "str", "strip", "sum",
+    "super", "tuple", "type", "update", "values", "vars", "zip",
+})
+
+
+@dataclass
+class LockOrderGraph:
+    """The extracted graph plus everything the verdicts need."""
+
+    edges: dict = field(default_factory=dict)  # (held, acquired) -> site
+    lock_names: set = field(default_factory=set)
+    leaf_locks: dict = field(default_factory=dict)  # name -> declaring site
+
+
+class _Resolver:
+    """Token → runtime lock name, per (module, class) scope."""
+
+    def __init__(self, module_locks: dict, class_locks: dict):
+        self.module_locks = module_locks
+        self.class_locks = class_locks
+
+    def resolve(self, token: str, class_name: str | None) -> str | None:
+        if token.startswith("self."):
+            attrs = self.class_locks.get(class_name, {})
+            return attrs.get(token[len("self."):])
+        if "." not in token:
+            if class_name is not None:
+                name = self.class_locks.get(class_name, {}).get(token)
+                if name is not None:
+                    return name
+            return self.module_locks.get(token)
+        return None
+
+
+def _normalize_self(token: str, self_var: str | None) -> str:
+    if self_var and token.startswith(self_var + "."):
+        return "self." + token[len(self_var) + 1:]
+    return token
+
+
+class _FunctionWalker:
+    """Linear per-function walk tracking the held-lock set."""
+
+    def __init__(self, func, facts: _FunctionFacts, resolver: _Resolver,
+                 self_var: str | None):
+        self.func = func
+        self.facts = facts
+        self.resolver = resolver
+        self.self_var = self_var
+        self.held: list = []
+
+    def _resolve(self, node: ast.AST) -> str | None:
+        token = _normalize_self(dotted(node), self.self_var)
+        if not token or not looks_like_lock(token):
+            return None
+        return self.resolver.resolve(token, self.facts.class_name)
+
+    def _record_acquire(self, name: str | None, line: int) -> None:
+        if name is None:
+            return
+        self.facts.direct_locks.add(name)
+        self.facts.acquisitions.append((name, line, frozenset(self.held)))
+
+    def _collect_calls(self, expr) -> None:
+        if expr is None:
+            return
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                leaf = func.attr
+                recv = dotted(func.value)
+                self_call = bool(
+                    self.self_var and recv == self.self_var)
+                # statement-form lock methods are handled structurally
+                if leaf in ("acquire", "release") and \
+                        self._resolve(func.value) is not None:
+                    continue
+            elif isinstance(func, ast.Name):
+                leaf = func.id
+                self_call = False
+            else:
+                continue
+            self.facts.calls.append(
+                (leaf, self_call, node.lineno, frozenset(self.held)))
+
+    def _stmt_exprs(self, stmt) -> list:
+        return [child for child in ast.iter_child_nodes(stmt)
+                if isinstance(child, ast.expr)]
+
+    def walk(self) -> None:
+        self._visit_stmts(self.func.body)
+
+    def _visit_stmts(self, stmts) -> None:
+        for stmt in stmts:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            entered = []
+            for item in stmt.items:
+                self._collect_calls(item.context_expr)
+                name = self._resolve(item.context_expr)
+                if name is not None:
+                    self._record_acquire(name, stmt.lineno)
+                    self.held.append(name)
+                    entered.append(name)
+            self._visit_stmts(stmt.body)
+            for name in reversed(entered):
+                self.held.remove(name)
+            return
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            func = call.func
+            if isinstance(func, ast.Attribute):
+                name = self._resolve(func.value)
+                if name is not None and func.attr == "acquire":
+                    self._record_acquire(name, stmt.lineno)
+                    self.held.append(name)
+                    return
+                if name is not None and func.attr == "release":
+                    if name in self.held:
+                        self.held.remove(name)
+                    return
+            self._collect_calls(stmt.value)
+            return
+        if isinstance(stmt, ast.Try):
+            self._visit_stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_stmts(handler.body)
+            self._visit_stmts(stmt.orelse)
+            self._visit_stmts(stmt.finalbody)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._collect_calls(stmt.test)
+            self._visit_stmts(stmt.body)
+            self._visit_stmts(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._collect_calls(stmt.iter)
+            self._visit_stmts(stmt.body)
+            self._visit_stmts(stmt.orelse)
+            return
+        for expr in self._stmt_exprs(stmt):
+            self._collect_calls(expr)
+
+
+def _scan_module(path, tree, module_locks, class_locks, guard_of):
+    """First pass over one module: make_lock name tables, LOCK_LEAF
+    declarations, @guarded_by guards."""
+    leaf_decls = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            name = _make_lock_name(stmt.value)
+            if name is not None:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        module_locks[target.id] = name
+        elif isinstance(stmt, ast.ClassDef):
+            attrs = class_locks.setdefault(stmt.name, {})
+            is_leaf = False
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    name = _make_lock_name(node.value)
+                    for target in node.targets:
+                        if (name is not None
+                                and isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)):
+                            attrs[target.attr] = name
+                        elif (name is not None
+                              and isinstance(target, ast.Name)):
+                            attrs[target.id] = name
+                        elif (isinstance(target, ast.Name)
+                              and target.id == "LOCK_LEAF"
+                              and isinstance(node.value, ast.Constant)
+                              and node.value.value is True):
+                            is_leaf = True
+            if is_leaf:
+                for lock_name in attrs.values():
+                    leaf_decls[lock_name] = f"{path.name}:{stmt.lineno}"
+            for member in stmt.body:
+                if isinstance(member, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    guard = _guard_token(member)
+                    if guard is not None:
+                        guard_of[(stmt.name, member.name)] = guard
+    return leaf_decls
+
+
+def _guard_token(func) -> str | None:
+    for decorator in func.decorator_list:
+        if (isinstance(decorator, ast.Call)
+                and dotted(decorator.func).rsplit(".", 1)[-1]
+                == "guarded_by"
+                and decorator.args
+                and isinstance(decorator.args[0], ast.Constant)
+                and isinstance(decorator.args[0].value, str)):
+            return decorator.args[0].value
+    return None
+
+
+def build_lock_graph(trees) -> LockOrderGraph:
+    """Build the graph from ``[(path, ast.Module), ...]`` pairs."""
+    graph = LockOrderGraph()
+    module_locks: dict = {}
+    class_locks: dict = {}
+    guard_of: dict = {}
+    for path, tree in trees:
+        leaf_decls = _scan_module(path, tree, module_locks, class_locks,
+                                  guard_of)
+        graph.leaf_locks.update(leaf_decls)
+    graph.lock_names = set(module_locks.values())
+    for attrs in class_locks.values():
+        graph.lock_names.update(attrs.values())
+    resolver = _Resolver(module_locks, class_locks)
+
+    all_facts: list = []
+    for path, tree in trees:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                all_facts.append(
+                    (path, _walk_one(node, None, None, resolver, path)))
+            elif isinstance(node, ast.ClassDef):
+                self_var = None
+                for member in node.body:
+                    if isinstance(member, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                        args = member.args
+                        params = [*args.posonlyargs, *args.args]
+                        self_var = params[0].arg if params else None
+                        facts = _walk_one(member, node.name, self_var,
+                                          resolver, path)
+                        guard = guard_of.get((node.name, member.name))
+                        if guard is not None:
+                            guarded = resolver.resolve(guard, node.name)
+                            if guarded is not None:
+                                facts.direct_locks.add(guarded)
+                        all_facts.append((path, facts))
+
+    by_name: dict = {}
+    for _path, facts in all_facts:
+        by_name.setdefault(facts.name, []).append(facts)
+    by_class: dict = {}
+    for _path, facts in all_facts:
+        if facts.class_name is not None:
+            by_class[(facts.class_name, facts.name)] = facts
+
+    # transitive acquisition closure over the name-resolved call graph
+    trans = {facts.fn_id: set(facts.direct_locks)
+             for _path, facts in all_facts}
+    changed = True
+    while changed:
+        changed = False
+        for _path, facts in all_facts:
+            bucket = trans[facts.fn_id]
+            before = len(bucket)
+            for leaf, self_call, _line, _held in facts.calls:
+                for callee in _candidates(facts, leaf, self_call,
+                                          by_name, by_class):
+                    bucket |= trans[callee.fn_id]
+            if len(bucket) != before:
+                changed = True
+
+    for path, facts in all_facts:
+        for lock, line, held in facts.acquisitions:
+            for holder in held:
+                _add_edge(graph, holder, lock, path, line)
+        for leaf, self_call, line, held in facts.calls:
+            if not held:
+                continue
+            for callee in _candidates(facts, leaf, self_call,
+                                      by_name, by_class):
+                for lock in trans[callee.fn_id]:
+                    for holder in held:
+                        _add_edge(graph, holder, lock, path, line)
+    return graph
+
+
+def _walk_one(func, class_name, self_var, resolver, path) -> _FunctionFacts:
+    qual = f"{class_name}.{func.name}" if class_name else func.name
+    facts = _FunctionFacts(fn_id=f"{path}:{qual}", name=func.name,
+                           class_name=class_name, module=str(path))
+    _FunctionWalker(func, facts, resolver, self_var).walk()
+    return facts
+
+
+def _candidates(facts, leaf, self_call, by_name, by_class):
+    """Callee resolution ladder: an explicit ``self.`` call resolves
+    in-class; otherwise same-module definitions win; otherwise a
+    global bare-name match — except for generic container/builtin
+    names, which never resolve across modules."""
+    if self_call and (facts.class_name, leaf) in by_class:
+        return [by_class[(facts.class_name, leaf)]]
+    everywhere = by_name.get(leaf, [])
+    local = [cand for cand in everywhere if cand.module == facts.module]
+    if local:
+        return local
+    if leaf in GENERIC_CALL_NAMES:
+        return []
+    return everywhere
+
+
+def _add_edge(graph, holder, lock, path, line) -> None:
+    if holder == lock:
+        return
+    graph.edges.setdefault((holder, lock), f"{path.name}:{line}")
+
+
+# -- verdicts ---------------------------------------------------------------
+
+
+def lock_order_cycles(edges) -> list:
+    """Strongly connected components of size > 1, as sorted lock-name
+    lists (Tarjan)."""
+    adjacency: dict = {}
+    for held, acquired in edges:
+        adjacency.setdefault(held, set()).add(acquired)
+        adjacency.setdefault(acquired, set())
+    index: dict = {}
+    low: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    counter = [0]
+    components: list = []
+
+    def strongconnect(node):
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in adjacency[node]:
+            if succ not in index:
+                strongconnect(succ)
+                low[node] = min(low[node], low[succ])
+            elif succ in on_stack:
+                low[node] = min(low[node], index[succ])
+        if low[node] == index[node]:
+            component = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) > 1:
+                components.append(sorted(component))
+
+    for node in sorted(adjacency):
+        if node not in index:
+            strongconnect(node)
+    return sorted(components)
+
+
+def lock_graph_diagnostics(trees) -> list:
+    """MOA1105 findings for ``[(path, tree), ...]``: static cycles and
+    broken LOCK_LEAF promises."""
+    graph = build_lock_graph(trees)
+    findings = []
+    for cycle in lock_order_cycles(graph.edges):
+        arrows = " -> ".join([*cycle, cycle[0]])
+        sites = sorted(
+            site for (held, acquired), site in graph.edges.items()
+            if held in cycle and acquired in cycle)
+        findings.append(make_diagnostic(
+            "MOA1105",
+            f"static lock-order cycle {arrows}: two threads taking "
+            "these locks in different orders can deadlock; pick one "
+            "global order (first edge at " + (sites[0] if sites else "?")
+            + ")",
+            site=sites[0] if sites else "lockgraph"))
+    for lock_name, decl_site in sorted(graph.leaf_locks.items()):
+        out = sorted(
+            (acquired, site)
+            for (held, acquired), site in graph.edges.items()
+            if held == lock_name)
+        if out:
+            acquired, site = out[0]
+            findings.append(make_diagnostic(
+                "MOA1105",
+                f"lock {lock_name!r} is declared LOCK_LEAF (at "
+                f"{decl_site}) but acquires {acquired!r} while held "
+                f"(at {site}): leaf locks must have no outgoing "
+                "lock-order edges",
+                site=site))
+    return findings
+
+
+def static_lock_order_edges(trees) -> dict:
+    """``{(held, acquired): "file.py:line"}`` — the static twin of
+    :func:`repro.sync.lock_order_edges`."""
+    return dict(build_lock_graph(trees).edges)
+
+
+def crosscheck_lock_order(graph: LockOrderGraph, runtime_edges) -> list:
+    """Runtime-observed edges the static graph missed, restricted to
+    locks the static scan knows about (test-fixture locks created
+    outside the analyzed tree are ignored).  Empty means the static
+    and dynamic views agree."""
+    missing = []
+    for (held, acquired) in sorted(runtime_edges):
+        if held not in graph.lock_names or acquired not in graph.lock_names:
+            continue
+        if held == acquired:
+            continue
+        if (held, acquired) not in graph.edges:
+            missing.append((held, acquired))
+    return missing

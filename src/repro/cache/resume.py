@@ -102,6 +102,11 @@ class ReplayLog:
         "exhausted_at": "_lock",
     }
 
+    #: prefix reads and appends only under "cache.replay": the log is
+    #: shared across resumed runs, so it must never wait on another
+    #: lock while held (checked statically by MOA1105)
+    LOCK_LEAF = True
+
     def __init__(self, token: tuple = ()) -> None:
         #: the source-identity token the log belongs to
         self.token = token

@@ -376,13 +376,25 @@ def _cmd_experiment_e3(args, out) -> int:
     return 0
 
 
-def _cmd_lint(args, out) -> int:
+def _emit_diagnostics_json(out, command: str, reports, exit_code: int,
+                           **extra) -> None:
+    """The one ``--json`` emit path for every diagnostics command
+    (lint / bounds / check).  All of them print exactly
+    ``cli_payload(...)`` — same top-level keys, same annotation
+    records — so CI tooling can consume any of them identically and
+    the schemas cannot drift."""
     import json
 
+    from .analysis import cli_payload
+
+    payload = cli_payload(command, reports, exit_code=exit_code, **extra)
+    print(json.dumps(payload, indent=2), file=out)
+
+
+def _cmd_lint(args, out) -> int:
     from .analysis import (
         EXIT_USAGE,
         SoundnessHarness,
-        cli_payload,
         demo_unsafe_rewrite,
         demo_widening_rewrite,
         lint_file,
@@ -473,21 +485,17 @@ def _cmd_lint(args, out) -> int:
             exit_code = 1
 
     if args.json:
-        print(json.dumps(cli_payload("lint", reports, exit_code=exit_code, **extra),
-                         indent=2), file=out)
+        _emit_diagnostics_json(out, "lint", reports, exit_code, **extra)
     return exit_code
 
 
 def _cmd_bounds(args, out) -> int:
-    import json
-
     from .algebra.parser import parse
     from .analysis import (
         EXIT_USAGE,
         AnalysisContext,
         DiagnosticReport,
         certify,
-        cli_payload,
         exit_code_for,
     )
     from .errors import ParseError
@@ -535,31 +543,29 @@ def _cmd_bounds(args, out) -> int:
 
     exit_code = max(exit_code, exit_code_for(reports))
     if args.json:
-        payload = cli_payload(
-            "bounds", reports, exit_code=exit_code,
+        _emit_diagnostics_json(
+            out, "bounds", reports, exit_code,
             certificates=[
                 dict(source=source, expr=str(expr), **certificate.to_dict())
                 for expr, source, certificate in certificates
             ],
         )
-        print(json.dumps(payload, indent=2), file=out)
     return exit_code
 
 
 def _cmd_check(args, out) -> int:
-    import json
-
     from .analysis import (
         EXIT_CLEAN,
         EXIT_FINDINGS,
         EXIT_USAGE,
+        check_lifecycle,
+        check_lifecycle_paths,
         check_package,
         check_paths,
-        cli_payload,
+        check_serve,
+        check_serve_paths,
         effect_summary,
     )
-
-    from .analysis import check_serve, check_serve_paths
 
     try:
         report = check_paths(args.paths) if args.paths else check_package()
@@ -567,6 +573,10 @@ def _cmd_check(args, out) -> int:
         serve_report = (check_serve_paths(args.paths) if args.paths
                         else check_serve())
         report.extend(serve_report.diagnostics)
+        # ... as does the resource-lifecycle pass (MOA11xx)
+        lifecycle_report = (check_lifecycle_paths(args.paths) if args.paths
+                            else check_lifecycle())
+        report.extend(lifecycle_report.diagnostics)
     except OSError as exc:
         print(f"repro check: cannot read source: {exc}", file=out)
         return EXIT_USAGE
@@ -578,8 +588,7 @@ def _cmd_check(args, out) -> int:
         extra = {}
         if args.effects:
             extra["effects"] = effect_summary(paths=args.paths or None)
-        print(json.dumps(cli_payload("check", [report], exit_code=exit_code,
-                                     **extra), indent=2), file=out)
+        _emit_diagnostics_json(out, "check", [report], exit_code, **extra)
     else:
         print(report.render_text(label="check"), file=out)
     return exit_code

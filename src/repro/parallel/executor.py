@@ -40,7 +40,7 @@ from typing import Callable
 from ..errors import AdmissionRejectedError, ShardingError
 from ..obs import metrics
 from ..storage.stats import CostCounter, active_counters
-from ..sync import declares_shared_state, make_lock
+from ..sync import acquires, declares_shared_state, make_lock
 
 
 class CancelToken:
@@ -209,6 +209,7 @@ class ExecutorPool:
     def in_flight(self) -> int:
         return self._in_flight
 
+    @acquires("slot")
     @contextmanager
     def admit(self):
         """Admit one query for its whole lifetime, or reject it.

@@ -296,9 +296,9 @@ class QueryServer:
         disconnect.  On disconnect the session stays registered, busy
         flag released, for resume."""
         assert admission is not None  # streams only run admitted
-        loop = asyncio.get_running_loop()
-        runner = session.runner
         try:
+            loop = asyncio.get_running_loop()
+            runner = session.runner
             while True:
                 if cancel.cancelled():
                     session.release()
@@ -319,7 +319,6 @@ class QueryServer:
                     # of its token restarts cold — and the client gets
                     # an error frame instead of a silent close
                     self.sessions.drop(session.token)
-                    session.release()
                     metrics.inc("serve.step_errors")
                     await self._error(writer, error_frame(
                         "engine", f"query failed mid-stream: {exc}"))

@@ -41,7 +41,7 @@ from ..cache.resume import ReplayLog, wrap_sources
 from ..errors import ResumeTokenError, TopNError
 from ..intervals import ThresholdBound
 from ..obs import metrics
-from ..sync import declares_shared_state, make_lock
+from ..sync import acquires, declares_shared_state, make_lock, releases
 from ..topn import SUM, combined_topn, fagin_topn, nra_topn, threshold_topn
 
 ALGORITHMS = ("fa", "ta", "nra", "ca")
@@ -211,6 +211,11 @@ class ServeSession:
         "delivered": "_lock",
     }
 
+    #: every critical section under "serve.session" is pure field
+    #: flips — the lifecycle analyzer (MOA1105) verifies no lock is
+    #: ever acquired while this one is held
+    LOCK_LEAF = True
+
     def __init__(self, token: str, runner: AnytimeRunner, tenant: str,
                  epoch: int) -> None:
         self.token = token
@@ -229,6 +234,7 @@ class ServeSession:
             self.busy = True
             return True
 
+    @releases("session")
     def release(self) -> None:
         with self._lock:
             self.busy = False
@@ -278,6 +284,7 @@ class SessionRegistry:
         self.resumed = 0
         self.epoch_mismatches = 0
 
+    @acquires("session")
     def issue(self, runner: AnytimeRunner, tenant: str, epoch: int) -> ServeSession:
         token = make_token(epoch)
         session = ServeSession(token, runner, tenant, epoch)
@@ -299,6 +306,7 @@ class SessionRegistry:
         metrics.set_gauge("serve.sessions", self.size())
         return session
 
+    @acquires("session")
     def redeem(self, token: str, current_epoch: int) -> ServeSession:
         """Re-attach to a disconnected stream.
 
@@ -334,6 +342,7 @@ class SessionRegistry:
         metrics.inc("serve.resumed")
         return session
 
+    @releases("session")
     def drop(self, token: str) -> None:
         with self._lock:
             self._sessions.pop(token, None)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 from ..errors import QuotaExceededError
 from ..obs import metrics
-from ..sync import declares_shared_state, make_lock
+from ..sync import acquires, declares_shared_state, make_lock
 
 #: ring-buffer size for per-tenant latency percentiles (stats op)
 _LATENCY_WINDOW = 512
@@ -69,6 +69,10 @@ class TokenBucket:
         "_tokens": "_lock",
         "_stamp": "_lock",
     }
+
+    #: refill arithmetic only under "serve.bucket": never acquires
+    #: another lock while held (checked statically by MOA1105)
+    LOCK_LEAF = True
 
     def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
         self.rate = float(rate)
@@ -112,6 +116,9 @@ class TenantState:
         "chunks_streamed": "_lock",
         "_latencies_ms": "_lock",
     }
+
+    #: counter bumps and ring-buffer appends only under "serve.tenant"
+    LOCK_LEAF = True
 
     def __init__(self, config: TenantConfig, clock=time.monotonic) -> None:
         config.validate()
@@ -226,6 +233,7 @@ class QuotaManager:
             self._tenants[name] = state
             return state
 
+    @acquires("slot")
     def admit(self, name: str):
         """Admit one request for its whole (streaming) lifetime.
 

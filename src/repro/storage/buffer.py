@@ -38,7 +38,8 @@ to it.
 from __future__ import annotations
 
 from ..errors import BufferError_
-from ..sync import declares_shared_state, guarded_by, make_lock
+from ..sync import acquires, declares_shared_state, guarded_by, make_lock, \
+    releases
 from . import stats
 from .policies import ReplacementPolicy, make_policy
 from ..obs import metrics as _metrics
@@ -151,6 +152,7 @@ class BufferManager:
 
     # -- pinning -------------------------------------------------------------
 
+    @acquires("pin")
     def pin(self, segment_id: int, page_no: int) -> None:
         """Pin a page: it is admitted if absent (uncharged bookkeeping —
         request it first to model the I/O) and exempt from eviction
@@ -161,6 +163,7 @@ class BufferManager:
                 self._policy.admit(key)
             self._pins[key] = self._pins.get(key, 0) + 1
 
+    @releases("pin")
     def unpin(self, segment_id: int, page_no: int) -> None:
         """Release one pin; raises when the page is not pinned."""
         key = (segment_id, page_no)

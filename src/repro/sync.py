@@ -34,6 +34,27 @@ Helpers called with a lock already held declare it::
 Classes with a *seal* discipline (a flag after which an attribute is
 read-only) add ``SEALED_BY = {"attr": "flag_name"}``.
 
+Resource-lifecycle declarations (PR 9) extend the protocol for the
+:mod:`repro.analysis.lifecycle` analyzer (the ``MOA11xx`` family):
+
+* ``@acquires(kind)`` marks a function whose return value is a *held*
+  resource handle of ``kind`` (a factory: ``ExecutorPool.admit`` hands
+  out a pool slot, ``SessionRegistry.issue`` a busy session).  Inside
+  such a factory, handing the held handle out *is* the contract, so
+  the analyzer exempts it from leak/escape reporting for that kind.
+* ``@releases(kind)`` marks the function that gives a handle of
+  ``kind`` back (``ServeSession.release``, ``SessionRegistry.drop``).
+  A call passing a tracked handle (or one of its attributes, e.g.
+  ``session.token``) to a release method transitions it to released.
+* ``LOCK_LEAF = True`` on a class declares its lock a *leaf* in the
+  lock-order graph: no other lock is ever acquired while it is held.
+  The static lock-order pass (MOA1105) verifies the claim — an
+  out-edge from a declared-leaf lock is reported.
+
+Both decorators are pure markers (one attribute set, zero call
+overhead); the analyzer reads them from the AST, so annotated modules
+never need the analyzer importable.
+
 The sanitizer
 -------------
 Disabled by default and free when disabled (classes are not even
@@ -57,19 +78,26 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 __all__ = [
+    "ACQUIRE_METHODS",
     "BARRIER",
     "CONFIG",
+    "KEYED_ACQUIRE_METHODS",
+    "KEYED_RELEASE_METHODS",
     "MARKERS",
+    "RELEASE_METHODS",
+    "RESOURCE_KINDS",
     "RaceViolation",
     "SANITIZE_ENV",
     "THREAD_CONFINED",
     "TrackedLock",
+    "acquires",
     "auto_install",
     "declares_shared_state",
     "guarded_by",
     "install_sanitizer",
     "lock_order_edges",
     "make_lock",
+    "releases",
     "reset_violations",
     "sanitizer_active",
     "uninstall_sanitizer",
@@ -292,6 +320,67 @@ def guarded_by(lock_name: str):
 
         wrapper.__guarded_by__ = lock_name
         return wrapper
+
+    return decorate
+
+
+# -- resource-lifecycle declarations ----------------------------------------
+
+#: resource kinds the lifecycle analyzer tracks as typestates
+RESOURCE_KINDS = ("lock", "slot", "session", "pin")
+
+#: method names that hand out a held handle when their result is bound
+#: (``h = recv.admit(...)`` / ``with recv.admit():``); a *discarded*
+#: result is not an acquisition — ``BufferManager._ensure_capacity``'s
+#: ``self._policy.admit(key)`` is a replacement-policy verb, not a
+#: resource, and only the bound/scoped forms can be paired anyway
+ACQUIRE_METHODS = {
+    "admit": "slot",
+    "issue": "session",
+    "redeem": "session",
+}
+
+#: method names that give a tracked handle back: the handle appears as
+#: the receiver (``session.release()``) or an argument / argument
+#: attribute (``registry.drop(session.token)``)
+RELEASE_METHODS = {
+    "release": "session",
+    "drop": "session",
+}
+
+#: statement-form pairs keyed by their receiver: ``buf.pin(seg, page)``
+#: acquires the receiver-keyed pin resource, ``buf.unpin(...)`` releases
+KEYED_ACQUIRE_METHODS = {"pin": "pin"}
+KEYED_RELEASE_METHODS = {"unpin": "pin"}
+
+
+def acquires(kind: str):
+    """Declare that this function returns a *held* resource handle of
+    ``kind`` — a factory the lifecycle analyzer (MOA11xx) treats as the
+    acquisition site's implementation, exempt from leak/escape
+    reporting for that kind.  Pure marker: sets ``__acquires__``."""
+    if kind not in RESOURCE_KINDS:
+        raise ValueError(
+            f"unknown resource kind {kind!r}; have {RESOURCE_KINDS}")
+
+    def decorate(fn):
+        fn.__acquires__ = kind
+        return fn
+
+    return decorate
+
+
+def releases(kind: str):
+    """Declare that this function releases a handle of ``kind`` passed
+    to it (or owned by its receiver).  Pure marker: sets
+    ``__releases__``; read from the AST by the lifecycle analyzer."""
+    if kind not in RESOURCE_KINDS:
+        raise ValueError(
+            f"unknown resource kind {kind!r}; have {RESOURCE_KINDS}")
+
+    def decorate(fn):
+        fn.__releases__ = kind
+        return fn
 
     return decorate
 

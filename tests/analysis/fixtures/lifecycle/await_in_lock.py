@@ -1,0 +1,26 @@
+"""Seeded MOA1103: awaits while holding a non-async lock.
+
+Both hazard shapes: ``with lock:`` around an await, and the
+acquire/try/await/finally-release idiom.  The suspension point parks
+the coroutine with a thread lock held — every other task touching the
+lock then blocks the event loop, and cancellation at the await leaves
+the critical section via an unexpected path.  Analyzed syntactically,
+never imported.
+"""
+
+
+class ChunkBuffer:
+    async def publish(self, writer):
+        with self._lock:
+            # BUG: suspension (and cancellation) point inside the
+            # critical section
+            await writer.drain()
+
+    async def flush(self, writer):
+        self._lock.acquire()
+        try:
+            # BUG: same hazard, statement form — the finally does run,
+            # but the await still suspends with the lock held
+            await writer.drain()
+        finally:
+            self._lock.release()

@@ -1,0 +1,19 @@
+"""Seeded MOA1101: the PR-8-review engine-exception busy pin.
+
+The session is issued born-busy; the pump releases it only on the
+normal completion path.  An engine exception inside ``step`` escapes
+the loop with the busy flag still set, so the session can never be
+resumed and never evicted — pinned in the registry forever.  Analyzed
+syntactically, never imported.
+"""
+
+
+class LeakyPump:
+    async def stream(self, writer):
+        session = self.sessions.issue(self.runner, "tenant-a", 1)
+        while not self.finished:
+            # BUG: an engine failure here propagates with the session
+            # still pinned busy — no handler drops or releases it
+            chunk = await self.step(session.token)
+            await self.send(writer, chunk)
+        self.sessions.drop(session.token)

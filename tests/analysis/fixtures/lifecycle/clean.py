@@ -1,0 +1,48 @@
+"""Disciplined resource usage: the lifecycle analyzer must report
+nothing here.  Every acquire is scoped by ``with`` or settled in a
+``finally``; locks are never held across awaits; lock order is
+consistent.  Analyzed syntactically, never imported.
+"""
+
+from repro.sync import acquires, make_lock
+
+FIRST_LOCK = make_lock("clean.first")
+SECOND_LOCK = make_lock("clean.second")
+
+
+class TidyServer:
+    def respond(self, request, writer):
+        deadline_ms = float(request.get("deadline_ms", 0.0))
+        admission = self.quotas.admit(request.get("tenant", "default"))
+        with admission as tenant_state:
+            with self.pool.admit():
+                runner = self.build_runner(request, deadline_ms)
+                return self.stream(runner, tenant_state, writer)
+
+    def pump(self, session, writer):
+        try:
+            return self.step(session.token, writer)
+        finally:
+            session.release()
+
+    async def publish(self, writer):
+        with self._lock:
+            frame = self.next_frame()
+        await writer.drain()
+        return frame
+
+    def ordered(self, amount):
+        with FIRST_LOCK:
+            with SECOND_LOCK:
+                self.log(amount)
+
+    def also_ordered(self, amount):
+        with FIRST_LOCK:
+            with SECOND_LOCK:
+                self.log(-amount)
+
+    @acquires("slot")
+    def lease(self, tenant):
+        admission = self.quotas.admit(tenant)
+        # a declared factory may hand its acquisition to the caller
+        return admission

@@ -1,0 +1,27 @@
+"""Seeded MOA1105: a static lock-order cycle.
+
+``credit`` takes ``fixture.accounts`` then ``fixture.audit_lock``;
+``debit`` takes them in the opposite order.  Two threads running one
+each can deadlock.  The same shape at runtime is what
+``repro.sync.lock_order_edges()`` records and the sanitizer flags —
+this module is the static twin.  Analyzed syntactically, never
+imported.
+"""
+
+from repro.sync import make_lock
+
+ACCOUNTS_LOCK = make_lock("fixture.accounts")
+AUDIT_LOCK = make_lock("fixture.audit")
+
+
+class Ledger:
+    def credit(self, amount):
+        with ACCOUNTS_LOCK:
+            with AUDIT_LOCK:
+                self.log(amount)
+
+    def debit(self, amount):
+        # BUG: reversed acquisition order against `credit`
+        with AUDIT_LOCK:
+            with ACCOUNTS_LOCK:
+                self.log(-amount)

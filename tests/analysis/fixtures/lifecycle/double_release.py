@@ -1,0 +1,19 @@
+"""Seeded MOA1102: double release and release-without-acquire.
+
+``finish`` mirrors the pre-PR-9 ``_stream`` engine-error path:
+``drop`` already settles the session, so the following ``release`` is
+a second release of the same resource.  ``cancel`` releases a lock no
+path ever acquired.  Analyzed syntactically, never imported.
+"""
+
+
+class SessionJanitor:
+    def finish(self, session):
+        self.registry.drop(session.token)
+        # BUG: drop settled the session; every path arriving here has
+        # already released it
+        session.release()
+
+    def cancel(self, token):
+        # BUG: no path acquires the lock before this release
+        self._lock.release()

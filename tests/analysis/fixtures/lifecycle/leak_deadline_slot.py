@@ -1,0 +1,21 @@
+"""Seeded MOA1101: the PR-8-review deadline-parse slot leak.
+
+The admission is taken *before* the request's ``deadline_ms`` is
+validated; a malformed value makes ``float(...)`` raise outside the
+``with admission`` context, so the tenant's concurrency slot is never
+returned.  ``max_concurrent`` bad requests = a denied tenant.  This
+module is analyzed syntactically by the lifecycle tests and never
+imported.
+"""
+
+
+class LeakyServer:
+    def respond(self, request, writer):
+        tenant = request.get("tenant", "default")
+        admission = self.quotas.admit(tenant)
+        # BUG: raises on garbage input while the slot is already held
+        # and no with/finally guards it yet
+        deadline_ms = float(request["deadline_ms"])
+        with admission as tenant_state:
+            runner = self.build_runner(request, deadline_ms)
+            return self.stream(runner, tenant_state, writer)

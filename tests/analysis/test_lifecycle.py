@@ -1,0 +1,99 @@
+"""End-to-end tests for the MOA11xx resource-lifecycle analyzer.
+
+The seeded fixture modules under ``fixtures/lifecycle/`` each
+reproduce one bug family — including both PR-8-review findings (the
+deadline-parse slot leak and the engine-exception busy pin) — and the
+analyzer must flag exactly those; the shipped tree and the ``clean``
+fixture must produce nothing.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_lifecycle, check_lifecycle_paths
+from repro.analysis.codes import CODES
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lifecycle"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def codes_by_file(report):
+    out = {}
+    for diag in report.diagnostics:
+        name = diag.site.split(":", 1)[0]
+        out.setdefault(name, []).append(diag.code)
+    return out
+
+
+@pytest.fixture(scope="module")
+def fixture_report():
+    return check_lifecycle_paths([str(FIXTURES)])
+
+
+class TestSeededFixtures:
+    def test_deadline_parse_slot_leak_reseeded(self, fixture_report):
+        """PR-8 review bug (a): admission taken before deadline
+        validation leaks the tenant slot on malformed input."""
+        codes = codes_by_file(fixture_report)
+        assert codes["leak_deadline_slot.py"] == ["MOA1101"]
+
+    def test_engine_exception_busy_pin_reseeded(self, fixture_report):
+        """PR-8 review bug (b): an engine exception escapes the pump
+        with the session still pinned busy."""
+        codes = codes_by_file(fixture_report)
+        assert codes["busy_pin_engine.py"] == ["MOA1101"]
+
+    def test_await_under_lock_flagged(self, fixture_report):
+        codes = codes_by_file(fixture_report)
+        assert codes["await_in_lock.py"] == ["MOA1103", "MOA1103"]
+
+    def test_double_release_flagged(self, fixture_report):
+        codes = codes_by_file(fixture_report)
+        assert codes["double_release.py"] == ["MOA1102", "MOA1102"]
+
+    def test_escaping_handles_flagged(self, fixture_report):
+        codes = codes_by_file(fixture_report)
+        assert codes["escape_handle.py"] == ["MOA1104", "MOA1104"]
+
+    def test_lock_order_cycle_flagged(self, fixture_report):
+        codes = codes_by_file(fixture_report)
+        assert codes["deadlock_order.py"] == ["MOA1105"]
+
+    def test_clean_fixture_produces_nothing(self, fixture_report):
+        codes = codes_by_file(fixture_report)
+        assert "clean.py" not in codes
+
+    def test_no_other_findings(self, fixture_report):
+        assert len(fixture_report.diagnostics) == 9
+
+    def test_findings_use_registered_error_codes(self, fixture_report):
+        for diag in fixture_report.diagnostics:
+            assert diag.code in CODES
+            assert diag.severity == "error"
+            name, _, line = diag.site.partition(":")
+            assert name.endswith(".py") and int(line) > 0
+
+    def test_findings_render_as_annotations(self, fixture_report):
+        for diag in fixture_report.diagnostics:
+            annotation = diag.to_annotation()
+            assert annotation["level"] == "error"
+            assert annotation["line"] >= 1
+
+
+class TestShippedTreeIsClean:
+    def test_whole_package_clean(self):
+        report = check_lifecycle()
+        assert [d.code for d in report.diagnostics] == []
+
+    @pytest.mark.parametrize(
+        "subsystem", ["serve", "parallel", "storage", "cache"])
+    def test_each_annotated_subsystem_clean_standalone(self, subsystem):
+        """Each annotated subsystem also analyzes clean in isolation
+        (summaries restricted to its own files)."""
+        report = check_lifecycle_paths([str(REPO_SRC / subsystem)])
+        assert [d.code for d in report.diagnostics] == []
+
+    def test_report_source_names_the_pass(self):
+        report = check_lifecycle_paths([str(FIXTURES)])
+        assert report.source.startswith("lifecycle")

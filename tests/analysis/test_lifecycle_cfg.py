@@ -1,0 +1,398 @@
+"""Unit tests for the lifecycle CFG builder and dataflow analysis.
+
+Each test analyzes a small source snippet through the same pipeline
+``repro check`` uses (vocabulary scan → ``module_cfgs`` →
+``module_summaries`` → ``analyze_function``) and asserts on the
+finding codes, exercising one CFG construct at a time: branches,
+try/finally unwinding, ``with`` scoping, loops, aliasing, parameter
+handles and one-level call summaries.
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lifecycle import (
+    Vocabulary,
+    analyze_function,
+    build_lock_graph,
+    lock_order_cycles,
+    module_cfgs,
+    module_summaries,
+)
+
+
+def analyze(source):
+    """All finding codes of every function in ``source``, by name."""
+    tree = ast.parse(textwrap.dedent(source))
+    vocab = Vocabulary()
+    vocab.extend_from_tree(tree)
+    pairs = module_cfgs(tree, vocab)
+    summaries = module_summaries(pairs)
+    out = {}
+    for cfg, ctx in pairs:
+        analysis = analyze_function(cfg, ctx, summaries=summaries)
+        out[cfg.qualname] = [f.code for f in analysis.findings]
+    return out
+
+
+class TestBranchesAndScopes:
+    def test_with_scoped_acquire_is_balanced(self):
+        findings = analyze("""
+            def f(self, tenant):
+                with self.quotas.admit(tenant) as state:
+                    return self.run(state)
+        """)
+        assert findings["f"] == []
+
+    def test_release_on_one_branch_only_leaks(self):
+        findings = analyze("""
+            def f(self, cond):
+                h = self.pool.admit()
+                if cond:
+                    h.release()
+        """)
+        assert findings["f"] == ["MOA1101"]
+
+    def test_release_on_both_branches_is_balanced(self):
+        findings = analyze("""
+            def f(self, cond):
+                h = self.pool.admit()
+                if cond:
+                    h.release()
+                else:
+                    h.release()
+        """)
+        assert findings["f"] == []
+
+    def test_try_finally_covers_raising_call(self):
+        findings = analyze("""
+            def f(self):
+                h = self.pool.admit()
+                try:
+                    return self.work(h)
+                finally:
+                    h.release()
+        """)
+        assert findings["f"] == []
+
+    def test_raising_call_before_guard_leaks(self):
+        findings = analyze("""
+            def f(self, request):
+                h = self.pool.admit()
+                deadline = float(request["deadline_ms"])
+                with h:
+                    return self.work(deadline)
+        """)
+        assert findings["f"] == ["MOA1101"]
+
+    def test_acquire_raise_itself_does_not_leak(self):
+        """If the acquire call raises, nothing was acquired — the
+        statement-form idiom must not flag its own raise edge."""
+        findings = analyze("""
+            def f(self, writer):
+                self._lock.acquire()
+                try:
+                    self.flush(writer)
+                finally:
+                    self._lock.release()
+        """)
+        assert findings["f"] == []
+
+    def test_bare_except_swallows_then_release(self):
+        findings = analyze("""
+            def f(self):
+                h = self.pool.admit()
+                try:
+                    self.work(h)
+                except:
+                    pass
+                h.release()
+        """)
+        assert findings["f"] == []
+
+    def test_infinite_loop_has_no_phantom_exit(self):
+        """A ``while True`` loop only exits through ``break``/
+        ``return``; a synthetic test-to-exit edge would fabricate a
+        normal path that skips the in-loop release."""
+        findings = analyze("""
+            def f(self, items):
+                h = self.pool.admit()
+                while True:
+                    h.release()
+                    return items
+        """)
+        assert findings["f"] == []
+
+    def test_guarded_pump_loop_is_balanced(self):
+        findings = analyze("""
+            def f(self):
+                h = self.pool.admit()
+                try:
+                    while True:
+                        done = self.step(h)
+                        if done:
+                            break
+                finally:
+                    h.release()
+        """)
+        assert findings["f"] == []
+
+    def test_unguarded_pump_loop_leaks_on_engine_error(self):
+        """The busy-pin shape: a raising call inside the loop escapes
+        with the resource held."""
+        findings = analyze("""
+            def f(self):
+                h = self.pool.admit()
+                while True:
+                    done = self.step(h)
+                    if done:
+                        break
+                h.release()
+        """)
+        assert findings["f"] == ["MOA1101"]
+
+
+class TestReleaseDiscipline:
+    def test_double_release_on_all_paths(self):
+        findings = analyze("""
+            def f(self):
+                h = self.pool.admit()
+                h.release()
+                h.release()
+        """)
+        assert findings["f"] == ["MOA1102"]
+
+    def test_release_after_partial_release_not_flagged(self):
+        """MOA1102 is a must-analysis: one arriving path still holds
+        the resource, so the site is legitimate."""
+        findings = analyze("""
+            def f(self, cond):
+                h = self.pool.admit()
+                if cond:
+                    h.release()
+                else:
+                    self.note()
+                if not cond:
+                    h.release()
+        """)
+        assert "MOA1102" not in findings["f"]
+
+    def test_alias_release_settles_the_handle(self):
+        findings = analyze("""
+            def f(self):
+                h = self.pool.admit()
+                g = h
+                g.release()
+        """)
+        assert findings["f"] == []
+
+    def test_release_by_token_argument(self):
+        findings = analyze("""
+            def f(self, registry, runner):
+                session = registry.issue(runner, "tenant", 1)
+                registry.drop(session.token)
+        """)
+        assert findings["f"] == []
+
+
+class TestAwaitHazard:
+    def test_await_inside_with_lock(self):
+        findings = analyze("""
+            async def f(self, writer):
+                with self._lock:
+                    await writer.drain()
+        """)
+        assert findings["f"] == ["MOA1103"]
+
+    def test_await_after_lock_released_is_fine(self):
+        findings = analyze("""
+            async def f(self, writer):
+                with self._lock:
+                    frame = self.next_frame()
+                await writer.drain()
+                return frame
+        """)
+        assert findings["f"] == []
+
+    def test_await_holding_slot_is_deliberate_and_allowed(self):
+        findings = analyze("""
+            async def f(self, writer, tenant):
+                with self.quotas.admit(tenant):
+                    await writer.drain()
+        """)
+        assert findings["f"] == []
+
+
+class TestEscapes:
+    def test_return_held_handle_from_non_factory(self):
+        findings = analyze("""
+            def f(self, tenant):
+                h = self.quotas.admit(tenant)
+                return h
+        """)
+        assert findings["f"] == ["MOA1104"]
+
+    def test_declared_factory_may_return_held_handle(self):
+        findings = analyze("""
+            from repro.sync import acquires
+
+            class C:
+                @acquires("slot")
+                def lease(self, tenant):
+                    h = self.quotas.admit(tenant)
+                    return h
+        """)
+        assert findings["C.lease"] == []
+
+    def test_store_on_undeclared_attribute(self):
+        findings = analyze("""
+            class C:
+                def f(self, tenant):
+                    h = self.quotas.admit(tenant)
+                    self.saved = h
+        """)
+        assert findings["C.f"] == ["MOA1104"]
+
+    def test_store_on_declared_shared_state_is_transfer(self):
+        findings = analyze("""
+            class C:
+                SHARED_STATE = {"slot": "_lock"}
+
+                def f(self, tenant):
+                    slot = self.quotas.admit(tenant)
+                    self.slot = slot
+        """)
+        assert findings["C.f"] == []
+
+    def test_rebinding_held_handle_loses_it(self):
+        findings = analyze("""
+            def f(self, tenant):
+                h = self.quotas.admit(tenant)
+                h = self.quotas.admit(tenant)
+                h.release()
+        """)
+        # one finding for the rebind itself, one for the exceptional
+        # path where the second acquire raises with the first held
+        assert findings["f"] == ["MOA1101", "MOA1101"]
+
+
+class TestParamHandlesAndSummaries:
+    def test_releasing_a_parameter_is_not_a_leak(self):
+        findings = analyze("""
+            def f(self, session):
+                try:
+                    return self.step(session.token)
+                finally:
+                    session.release()
+        """)
+        assert findings["f"] == []
+
+    def test_callee_summary_releases_for_caller(self):
+        findings = analyze("""
+            class C:
+                def settle(self, h):
+                    h.release()
+
+                def f(self):
+                    h = self.pool.admit()
+                    self.settle(h)
+        """)
+        assert findings["C.f"] == []
+
+    def test_callee_releasing_on_some_paths_still_leaks(self):
+        findings = analyze("""
+            class C:
+                def settle(self, h, cond):
+                    if cond:
+                        h.release()
+
+                def f(self, cond):
+                    h = self.pool.admit()
+                    self.settle(h, cond)
+        """)
+        # the kept-holding fork leaks on both the normal and the
+        # exceptional exit
+        assert findings["C.f"] == ["MOA1101", "MOA1101"]
+
+    def test_class_scoped_summary_beats_name_collision(self):
+        """Two classes define ``settle``; the self-call must resolve
+        to the summary of its own class."""
+        findings = analyze("""
+            class A:
+                def settle(self, h):
+                    h.release()
+
+                def f(self):
+                    h = self.pool.admit()
+                    self.settle(h)
+
+            class B:
+                def settle(self, h):
+                    self.log(h)
+        """)
+        assert findings["A.f"] == []
+
+
+class TestLockGraph:
+    def _graph(self, source):
+        tree = ast.parse(textwrap.dedent(source))
+        return build_lock_graph([(Path("snippet.py"), tree)])
+
+    def test_opposite_orders_form_a_cycle(self):
+        graph = self._graph("""
+            from repro.sync import make_lock
+
+            A_LOCK = make_lock("t.a")
+            B_LOCK = make_lock("t.b")
+
+            def ab():
+                with A_LOCK:
+                    with B_LOCK:
+                        pass
+
+            def ba():
+                with B_LOCK:
+                    with A_LOCK:
+                        pass
+        """)
+        assert ("t.a", "t.b") in graph.edges
+        assert ("t.b", "t.a") in graph.edges
+        cycles = lock_order_cycles(graph.edges)
+        assert any({"t.a", "t.b"} <= set(c) for c in cycles)
+
+    def test_consistent_order_has_no_cycle(self):
+        graph = self._graph("""
+            from repro.sync import make_lock
+
+            A_LOCK = make_lock("t.a")
+            B_LOCK = make_lock("t.b")
+
+            def one():
+                with A_LOCK:
+                    with B_LOCK:
+                        pass
+
+            def two():
+                with A_LOCK:
+                    with B_LOCK:
+                        pass
+        """)
+        assert lock_order_cycles(graph.edges) == []
+
+    def test_transitive_edge_through_called_function(self):
+        graph = self._graph("""
+            from repro.sync import make_lock
+
+            A_LOCK = make_lock("t.a")
+            B_LOCK = make_lock("t.b")
+
+            def inner_step():
+                with B_LOCK:
+                    pass
+
+            def outer():
+                with A_LOCK:
+                    inner_step()
+        """)
+        assert ("t.a", "t.b") in graph.edges
