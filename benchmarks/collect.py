@@ -31,8 +31,23 @@ def collect(results_dir: Path = RESULTS_DIR, output: Path = OUTPUT) -> dict:
     A missing, truncated or hand-damaged per-experiment file (an
     interrupted bench run leaves those behind) is *skipped with a
     warning* rather than aborting the merge — the other experiments'
-    tables still make it into ``BENCH_RESULTS.json``."""
-    tables = []
+    tables still make it into ``BENCH_RESULTS.json``.
+
+    Tables already in ``BENCH_RESULTS.json`` whose per-experiment file
+    is gone (a partial bench run only regenerates some results) are
+    kept: a fresh run of one experiment updates its table without
+    erasing the others."""
+    existing: dict[str, dict] = {}
+    if output.is_file():
+        try:
+            with open(output) as fh:
+                previous = json.load(fh)
+            for table in previous.get("tables", []):
+                if isinstance(table, dict) and "slug" in table:
+                    existing[table["slug"]] = table
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"collect: ignoring unreadable {output.name}: {exc}",
+                  file=sys.stderr)
     skipped = 0
     for path in sorted(results_dir.glob("*.json")):
         try:
@@ -49,11 +64,11 @@ def collect(results_dir: Path = RESULTS_DIR, output: Path = OUTPUT) -> dict:
                   f"(missing {', '.join(missing)})", file=sys.stderr)
             skipped += 1
             continue
-        tables.append(table)
+        existing[table["slug"]] = table
     payload = {
         "source": "benchmarks/results",
         "skipped": skipped,
-        "tables": tables,
+        "tables": [existing[slug] for slug in sorted(existing)],
     }
     with open(output, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

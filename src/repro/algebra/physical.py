@@ -22,6 +22,7 @@ from typing import Mapping
 import numpy as np
 
 from ..errors import EvaluationError
+from ..obs import tracer
 from ..storage import kernel
 from ..storage.bat import BAT
 from .types import SetType, StructureType, INT, FLOAT
@@ -134,6 +135,10 @@ class RangeSelect(PhysicalOp):
         name, bat = self._pick_column(value, self.column, "select")
         if value.is_atomic_elements:
             out = kernel.select_range(bat, self.lo, self.hi, self.include_lo, self.include_hi)
+            if tracer.enabled():
+                # observed selectivity: the calibration store fits the
+                # cost model's select_selectivity constant from these
+                tracer.event("select.range", rows_in=len(bat), rows_out=len(out))
             return CollectionValue(self.result_type, {ELEM: BAT(
                 out.tail,
                 tail_sorted=out.tail_sorted,
@@ -142,6 +147,8 @@ class RangeSelect(PhysicalOp):
             )})
         selected = kernel.select_range(bat, self.lo, self.hi, self.include_lo, self.include_hi)
         positions = selected.head_array()
+        if tracer.enabled():
+            tracer.event("select.range", rows_in=len(bat), rows_out=len(positions))
         return _apply_positions(value, positions, self.result_type)
 
     def label(self):
@@ -166,6 +173,11 @@ class Convert(PhysicalOp):
             if not value.is_atomic_elements:
                 raise EvaluationError("SET conversion requires atomic elements")
             deduped = kernel.unique_tail(value.bat)
+            if tracer.enabled():
+                # observed dedup ratio: calibrates the cost model's
+                # dedup_ratio constant
+                tracer.event("convert.dedup", rows_in=value.count,
+                             rows_out=len(deduped))
             return CollectionValue(
                 self.result_type,
                 {ELEM: BAT(deduped.tail, tail_sorted=True, tail_key=True)},

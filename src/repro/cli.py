@@ -28,6 +28,16 @@ Commands
 ``bench-serve`` closed-loop load test of the query service: per-tenant
                 qps and latency percentiles, quota isolation verified
                 (experiment E19)
+``calibrate``   fit the adaptive optimizer's cost calibration from
+                tracer exports and/or a self-profiled engine grid,
+                writing a versioned ``calibration.json``
+``explain``     render the adaptive plan choice for one query: the
+                candidate table with estimated vs observed cost,
+                Pareto frontier, certification status, and why the
+                winner won
+``bench-adaptive``  adaptive per-query engine choice vs the static
+                single-engine policies on a mixed workload, exactness
+                and certification verified (experiment E20)
 
 All commands are deterministic given ``--seed`` (``serve`` and
 ``bench-serve`` excepted — wall-clock load generation is inherently
@@ -41,6 +51,24 @@ import sys
 
 from .core import MMDatabase, QuerySession
 from .storage import CostCounter
+
+
+def _add_bench_flags(parser, *, queries=None,
+                     queries_help="number of generated queries",
+                     n=10, n_help="top-N size",
+                     json_help="emit the report as JSON"):
+    """The flag trio every ``bench-*`` subcommand shares.
+
+    One definition instead of five copy-pasted blocks: ``--queries``
+    (when the bench takes one), ``--n`` and ``--json`` always get the
+    same spellings and types here, so the bench CLIs cannot drift
+    apart flag by flag (a test snapshots the option strings)."""
+    if queries is not None:
+        parser.add_argument("--queries", type=int, default=queries,
+                            help=queries_help)
+    parser.add_argument("--n", type=int, default=n, help=n_help)
+    parser.add_argument("--json", action="store_true", help=json_help)
+    return parser
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -197,16 +225,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8],
                        metavar="K", help="shard counts to benchmark")
-    bench.add_argument("--queries", type=int, default=10,
-                       help="number of generated queries")
-    bench.add_argument("--n", type=int, default=10, help="top-N size")
     bench.add_argument("--kind", default="thread",
                        choices=["serial", "thread", "process"],
                        help="executor pool kind")
     bench.add_argument("--workers", type=int, default=4,
                        help="executor pool workers")
-    bench.add_argument("--json", action="store_true",
-                       help="emit the report as JSON")
+    _add_bench_flags(bench, queries=10)
 
     bench_cache = sub.add_parser(
         "bench-cache",
@@ -220,15 +244,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     "reductions.  Exits nonzero on any mismatch or a "
                     "warm repeat below the 5x reduction bar.",
     )
-    bench_cache.add_argument("--queries", type=int, default=10,
-                             help="number of generated queries")
-    bench_cache.add_argument("--n", type=int, default=10,
-                             help="shallow top-N size")
     bench_cache.add_argument("--resume-n", type=int, default=100,
                              help="deep top-N size resumed from the "
                                   "shallow runs")
-    bench_cache.add_argument("--json", action="store_true",
-                             help="emit the report as JSON")
+    _add_bench_flags(bench_cache, queries=10, n_help="shallow top-N size")
 
     bench_blocks = sub.add_parser(
         "bench-blocks",
@@ -241,14 +260,11 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(ids and scores, canonical tie order) to the "
                     "scalar answer.  Exits nonzero on any mismatch.",
     )
-    bench_blocks.add_argument("--queries", type=int, default=3,
-                              help="number of grade matrices")
-    bench_blocks.add_argument("--n", type=int, default=10, help="top-N size")
     bench_blocks.add_argument("--block-sizes", type=int, nargs="+",
                               default=[16, 128, 1024], metavar="B",
                               help="block sizes to benchmark")
-    bench_blocks.add_argument("--json", action="store_true",
-                              help="emit the report as JSON")
+    _add_bench_flags(bench_blocks, queries=3,
+                     queries_help="number of grade matrices")
 
     serve = sub.add_parser(
         "serve",
@@ -286,7 +302,6 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench_serve.add_argument("--duration", type=float, default=2.0,
                              help="seconds per phase")
-    bench_serve.add_argument("--n", type=int, default=10, help="top-N size")
     bench_serve.add_argument("--algorithm", default="ta",
                              choices=["fa", "ta", "nra", "ca"],
                              help="engine streamed by the load")
@@ -295,8 +310,103 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--chunk-depth", type=int, default=8,
                              help="first-chunk depth (small values "
                                   "stream more anytime chunks)")
-    bench_serve.add_argument("--json", action="store_true",
-                             help="emit the report as JSON")
+    _add_bench_flags(bench_serve)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit the adaptive optimizer's cost calibration from "
+             "tracer exports (or a self-profiled engine grid)",
+        description="Ingest span exports written by `repro profile "
+                    "--export` (schema_version-validated; damaged or "
+                    "unknown-version records are skipped with a "
+                    "warning), optionally self-profile the Fagin-family "
+                    "engine grid over the synthetic workload classes, "
+                    "fit cost-model constants plus per-engine stopping "
+                    "predictors, and write a versioned calibration.json "
+                    "for `repro explain` / `repro bench-adaptive`.",
+    )
+    calibrate.add_argument("traces", nargs="*", metavar="TRACE_JSONL",
+                           help="profile exports to ingest (none = "
+                                "self-profile only)")
+    calibrate.add_argument("--self-profile", action="store_true",
+                           help="additionally trace the engine grid over "
+                                "the synthetic workload classes (implied "
+                                "when no trace files are given)")
+    calibrate.add_argument("--output", "-o", default="calibration.json",
+                           metavar="PATH", help="where to write the fitted "
+                                                "calibration")
+    calibrate.add_argument("--objects", type=int, default=800,
+                           help="objects per self-profiled corpus")
+    calibrate.add_argument("--sources", type=int, default=3,
+                           help="graded sources per self-profiled query")
+    calibrate.add_argument("--n", type=int, default=10,
+                           help="top-N size of self-profiled queries")
+    calibrate.add_argument("--json", action="store_true",
+                           help="also print the fitted calibration as JSON")
+
+    explain = sub.add_parser(
+        "explain",
+        help="render the adaptive plan choice: candidate table, "
+             "est-vs-observed cost, certification, why the winner won",
+        description="Enumerate every candidate plan for one query "
+                    "(Fagin-family engines, blocked variants, the "
+                    "unsafe budgeted cut-off), cost them with the "
+                    "calibrated model, execute each for its observed "
+                    "charged cost and overlap@N, and render the table "
+                    "with the Pareto frontier and the MOA verifier / "
+                    "MOA9xx bound-certification verdicts.  Scenarios: "
+                    "'example1' (the paper's Example 1 rewrite choice) "
+                    "and 'topn' (a multi-feature middleware query).  "
+                    "--json emits the shared lint/bounds/check "
+                    "diagnostics payload plus an 'explain' object.",
+    )
+    explain.add_argument("scenario", choices=["example1", "topn"])
+    explain.add_argument("--calibration", metavar="PATH",
+                         help="calibration.json from `repro calibrate` "
+                              "(default: uncalibrated analytic priors)")
+    explain.add_argument("--quality-floor", type=float, default=1.0,
+                         help="minimum predicted overlap@N a candidate "
+                              "must offer (1.0 = exact plans only)")
+    explain.add_argument("--corpus", default="uniform",
+                         choices=["uniform", "skewed", "correlated", "sparse"],
+                         help="workload class (scenario: topn)")
+    explain.add_argument("--n", type=int, default=10, help="top-N size")
+    explain.add_argument("--objects", type=int, default=800,
+                         help="synthetic objects (scenario: topn)")
+    explain.add_argument("--sources", type=int, default=3,
+                         help="graded sources (scenario: topn)")
+    explain.add_argument("--block-size", type=int, default=None, metavar="B",
+                         help="also enumerate the blocked engine variants "
+                              "at this block size (scenario: topn)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the shared diagnostics payload plus "
+                              "the explain object")
+
+    bench_adaptive = sub.add_parser(
+        "bench-adaptive",
+        help="benchmark the adaptive per-query engine choice against "
+             "the static single-engine policies (E20)",
+        description="Train a calibration on a disjoint split (or reuse "
+                    "one from `repro calibrate`), then run a mixed "
+                    "workload of uniform / skewed / correlated / sparse "
+                    "corpora under each static always-one-engine policy "
+                    "and under the adaptive policy, all measured with "
+                    "the same charged-cost functional.  Verifies every "
+                    "answer is exact and every adaptively chosen plan "
+                    "is verifier-clean and bound-certified; exits "
+                    "nonzero when adaptive misses the per-class "
+                    "tolerance or fails to beat at least two statics.",
+    )
+    bench_adaptive.add_argument("--train-queries", type=int, default=4,
+                                help="training queries per workload class")
+    bench_adaptive.add_argument("--tolerance", type=float, default=1.05,
+                                help="allowed adaptive/best-static cost "
+                                     "ratio per class")
+    bench_adaptive.add_argument("--calibration", metavar="PATH",
+                                help="reuse a fitted calibration.json "
+                                     "instead of training")
+    _add_bench_flags(bench_adaptive, queries=5,
+                     queries_help="test queries per workload class")
     return parser
 
 
@@ -798,6 +908,109 @@ def _cmd_bench_serve(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_calibrate(args, out) -> int:
+    import json
+
+    from .errors import CalibrationError
+    from .optimizer.adaptive import CalibrationStore, train_calibration
+
+    store = CalibrationStore()
+    warnings = []
+    ingested = skipped = 0
+    for path in args.traces:
+        try:
+            stats = store.ingest_jsonl(path)
+        except OSError as exc:
+            print(f"calibrate: cannot read {path}: {exc}", file=out)
+            return 2
+        ingested += stats.ingested
+        skipped += stats.skipped
+        warnings.extend(stats.warnings)
+    for warning in warnings:
+        print(f"calibrate: warning: {warning}", file=out)
+    try:
+        if args.self_profile or not args.traces:
+            calibration = train_calibration(
+                store=store, seed=args.seed, objects=args.objects,
+                sources=args.sources, n=args.n)
+        else:
+            calibration = store.fit()
+    except CalibrationError as exc:
+        print(f"calibrate: {exc}", file=out)
+        return 2
+    calibration.save(args.output)
+    meta = calibration.meta
+    print(f"calibrate: {meta.get('observations', 0)} engine observations "
+          f"({ingested} records ingested, {skipped} skipped), "
+          f"weights {'fitted' if meta.get('weights_fitted') else 'defaulted'}, "
+          f"engines: {', '.join(sorted(calibration.engines)) or 'none'}",
+          file=out)
+    print(f"calibration written to {args.output}", file=out)
+    if args.json:
+        print(json.dumps(calibration.to_json(), indent=2), file=out)
+    return 0
+
+
+def _cmd_explain(args, out) -> int:
+    from .errors import CalibrationError
+    from .optimizer.adaptive import Calibration, explain_example1, explain_topn
+
+    calibration = None
+    if args.calibration:
+        try:
+            calibration = Calibration.load(args.calibration)
+        except OSError as exc:
+            print(f"explain: cannot read {args.calibration}: {exc}", file=out)
+            return 2
+        except CalibrationError as exc:
+            print(f"explain: {exc}", file=out)
+            return 2
+    if args.scenario == "example1":
+        report = explain_example1(calibration=calibration)
+    else:
+        report = explain_topn(corpus=args.corpus, n=args.n,
+                              objects=args.objects, sources=args.sources,
+                              seed=args.seed, block_size=args.block_size,
+                              quality_floor=args.quality_floor,
+                              calibration=calibration)
+    exit_code = 0 if report.ok else 1
+    if args.json:
+        _emit_diagnostics_json(out, "explain", [report.diagnostics],
+                               exit_code, explain=report.to_dict())
+    else:
+        print(report.render_text(), file=out)
+    return exit_code
+
+
+def _cmd_bench_adaptive(args, out) -> int:
+    import json
+
+    from .errors import CalibrationError
+    from .optimizer.adaptive import Calibration, bench_adaptive, render_report
+
+    calibration = None
+    if args.calibration:
+        try:
+            calibration = Calibration.load(args.calibration)
+        except OSError as exc:
+            print(f"bench-adaptive: cannot read {args.calibration}: {exc}",
+                  file=out)
+            return 2
+        except CalibrationError as exc:
+            print(f"bench-adaptive: {exc}", file=out)
+            return 2
+    report = bench_adaptive(scale=args.scale, seed=args.seed,
+                            queries=args.queries, n=args.n,
+                            train_queries=args.train_queries,
+                            tolerance=args.tolerance,
+                            calibration=calibration)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+    else:
+        print(render_report(report), file=out)
+    return 0 if report.ok else 1
+
+
 def _cmd_example1(args, out) -> int:
     from .algebra import parse
     from .optimizer import Optimizer
@@ -843,6 +1056,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_bench_cache(args, out)
     if args.command == "bench-blocks":
         return _cmd_bench_blocks(args, out)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args, out)
+    if args.command == "explain":
+        return _cmd_explain(args, out)
+    if args.command == "bench-adaptive":
+        return _cmd_bench_adaptive(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
     if args.command == "bench-serve":

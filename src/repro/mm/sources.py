@@ -50,6 +50,23 @@ class ScoreSource:
         """True when ``rank`` is past the end of the list."""
         return rank >= self.n_objects
 
+    def synopsis(self, ranks) -> list[tuple[int, float]] | None:
+        """Catalog metadata: ``(object, grade)`` at the given sorted
+        ranks, **uncharged** — the planner's champion-list sketch.
+
+        Like a zone map or the per-block upper bounds of
+        :class:`~repro.storage.blocks.ScoredBlocks`, this is metadata a
+        DBMS computes once while building the sorted list (the sort at
+        source construction is where the work already happened), so
+        reading it costs no sorted or random accesses at query time.
+        The adaptive plan chooser uses it to estimate the threshold
+        decay rate and cross-source agreement of a query *before*
+        picking an engine.  Ranks past the stored list report grade 0
+        (the posting convention: absent objects grade 0).  Returns
+        ``None`` when the source keeps no such metadata.
+        """
+        return None
+
 
 class ArraySource(ScoreSource):
     """A score source over a dense grade array (one grade per object)."""
@@ -87,6 +104,16 @@ class ArraySource(ScoreSource):
     def bottom_grade(self, rank: int) -> float:
         """Grade at ``rank`` without charging (used only by tests)."""
         return float(self._scores[self._order[min(rank, len(self._order) - 1)]])
+
+    def synopsis(self, ranks) -> list[tuple[int, float]]:
+        out = []
+        for rank in ranks:
+            if 0 <= rank < len(self._order):
+                obj = int(self._order[rank])
+                out.append((obj, float(self._scores[obj])))
+            else:
+                out.append((-1, 0.0))
+        return out
 
 
 def feature_source(space: FeatureSpace, query: np.ndarray, measure: str = "l2") -> ArraySource:
@@ -148,6 +175,16 @@ class PostingsSource(ScoreSource):
         if pos < len(self._doc_ids) and self._doc_ids[pos] == obj_id:
             return float(self._partials[pos])
         return 0.0
+
+    def synopsis(self, ranks) -> list[tuple[int, float]]:
+        out = []
+        for rank in ranks:
+            if 0 <= rank < len(self._by_score_docs):
+                out.append((int(self._by_score_docs[rank]),
+                            float(self._by_score_grades[rank])))
+            else:
+                out.append((-1, 0.0))
+        return out
 
 
 class BlockedSource(ScoreSource):
@@ -266,3 +303,13 @@ class BlockedSource(ScoreSource):
         """Per-block upper bounds as epoch-stamped ThresholdBound
         records (see :meth:`repro.storage.blocks.ScoredBlocks.threshold_bounds`)."""
         return self.blocks.threshold_bounds(epoch)
+
+    def synopsis(self, ranks) -> list[tuple[int, float]]:
+        out = []
+        for rank in ranks:
+            if 0 <= rank < self.blocks.n_postings:
+                out.append((int(self.blocks.doc_ids[rank]),
+                            float(self.blocks.grades[rank])))
+            else:
+                out.append((-1, 0.0))
+        return out

@@ -56,6 +56,7 @@ from ..sync import declares_shared_state
 __all__ = [
     "NOOP_SPAN",
     "SpanRecord",
+    "TRACE_SCHEMA_VERSION",
     "TraceSession",
     "annotate",
     "current_session",
@@ -71,6 +72,15 @@ _local = threading.local()
 
 #: default bound on retained finished root spans
 DEFAULT_MAX_SPANS = 4096
+
+#: version stamped on every exported span record (``repro profile
+#: --export`` JSONL and ``--json`` payloads).  Consumers — the
+#: calibration ingest in :mod:`repro.optimizer.adaptive` — validate it
+#: and skip records from unknown versions, so a trace produced by a
+#: different build degrades to a warning instead of silently feeding
+#: the cost model misinterpreted fields.  Bump on any change to the
+#: :meth:`SpanRecord.to_dict` schema.
+TRACE_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -122,6 +132,7 @@ class SpanRecord:
     def to_dict(self) -> dict:
         """Flat JSON-able form (children referenced by ``parent_id``)."""
         return {
+            "schema_version": TRACE_SCHEMA_VERSION,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,

@@ -3,7 +3,24 @@ rules, the novel inter-object layer coordinating rewrites across
 extensions, E-ADT-style intra-object rules, and a centralized cost
 model driving plan choice."""
 
-from .cost import CostModel, PlanEstimate
+from .adaptive import (
+    CALIBRATION_VERSION,
+    Calibration,
+    CalibrationStore,
+    ChooserDecision,
+    PlanCandidate,
+    QueryFeatures,
+    bench_adaptive,
+    choose,
+    choose_engine,
+    enumerate_candidates,
+    explain_example1,
+    explain_topn,
+    pareto_frontier,
+    query_features,
+    train_calibration,
+)
+from .cost import ColumnStatisticsLike, CostModel, PlanEstimate
 from .interobject import (
     DEFAULT_INTER_OBJECT_RULES,
     AggregateThroughConversion,
@@ -27,6 +44,11 @@ from .rules import (
 __all__ = [
     "AggregateThroughConversion",
     "BUDGET_EXHAUSTED_RULE",
+    "CALIBRATION_VERSION",
+    "Calibration",
+    "CalibrationStore",
+    "ChooserDecision",
+    "ColumnStatisticsLike",
     "CostModel",
     "DEFAULT_INTER_OBJECT_RULES",
     "DEFAULT_LOGICAL_RULES",
@@ -34,7 +56,9 @@ __all__ = [
     "MergeSelects",
     "OptimizationReport",
     "Optimizer",
+    "PlanCandidate",
     "PlanEstimate",
+    "QueryFeatures",
     "PushSelectThroughConversion",
     "PushSortThroughConversion",
     "PushTopNThroughConversion",
@@ -44,7 +68,15 @@ __all__ = [
     "SliceOfSortIsTopN",
     "SortIdempotent",
     "TraceEntry",
+    "bench_adaptive",
+    "choose",
+    "choose_engine",
+    "enumerate_candidates",
+    "explain_example1",
+    "explain_topn",
     "intra_rules_for",
     "register_intra_rule",
-    "rewrite_fixpoint",
+    "pareto_frontier",
+    "query_features",
+    "train_calibration",
 ]

@@ -1,0 +1,267 @@
+"""E20 — adaptive engine choice vs. static policies on a mixed workload.
+
+The experiment the adaptive optimizer has to win: a workload mixing
+the four :mod:`~repro.optimizer.adaptive.workload` classes, where no
+single static always-one-engine policy is best everywhere.  The harness
+
+1. **trains** a :class:`~repro.optimizer.adaptive.calibration.Calibration`
+   by running every scalar engine over a training split under the
+   tracer and feeding the engine spans (plus synopsis-derived features)
+   into a :class:`CalibrationStore` — exactly the evidence a production
+   ``repro profile --export`` / ``repro calibrate`` loop would collect;
+2. **evaluates** on a fresh split: the four static policies (always-FA
+   / TA / NRA / CA) against the adaptive policy (predict per query,
+   run the argmin), all measured with the *same* scalar charged-cost
+   functional, so ratios are apples-to-apples whatever the fitted
+   weights turned out to be;
+3. **checks safety**: every answer (static and adaptive) must be exact
+   against the naive reference (tie-aware: equal true-score multisets),
+   and every adaptively chosen plan must be MOA-verifier-clean and
+   MOA9xx bound-certified.
+
+``ok`` requires: per-class adaptive cost within ``tolerance`` (1.05×)
+of the best static policy for that class, adaptive strictly cheaper
+than at least two static policies overall, and every exactness /
+certification check green.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...obs import tracer
+from ...storage.stats import CostCounter
+from ...topn import SUM, combined_topn, fagin_topn, nra_topn, threshold_topn
+from .calibration import Calibration, CalibrationStore
+from .chooser import SCALAR_ENGINES, choose_engine, query_features, synopsis_upper_bound
+from .workload import CORPUS_KINDS, corpus_matrix, make_sources
+
+__all__ = ["AdaptiveReport", "ClassRow", "bench_adaptive", "render_report",
+           "train_calibration"]
+
+_ENGINE_FUNCS = {
+    "fa": fagin_topn,
+    "ta": threshold_topn,
+    "nra": nra_topn,
+    "ca": combined_topn,
+}
+
+#: cost slack the adaptive policy may pay over the best static policy
+#: per workload class (the E20 acceptance bar)
+DEFAULT_TOLERANCE = 1.05
+
+
+def train_calibration(*, seed: int = 7, objects: int = 800, sources: int = 3,
+                      n: int = 10, queries_per_class: int = 4,
+                      classes=CORPUS_KINDS,
+                      store: CalibrationStore | None = None) -> Calibration:
+    """Fit a calibration from traced engine runs over a training split.
+
+    Pass an existing ``store`` to blend the self-profiled spans with
+    already-ingested trace exports (``repro calibrate`` does)."""
+    if store is None:
+        store = CalibrationStore()
+    rng = np.random.default_rng(seed)
+    for kind in classes:
+        for _query in range(queries_per_class):
+            matrix = corpus_matrix(kind, objects, sources, rng)
+            source_list = make_sources(matrix, prefix=kind)
+            feats = query_features(source_list, n)
+            for func in _ENGINE_FUNCS.values():
+                with tracer.trace_session() as session:
+                    func(source_list, n)
+                    roots = list(session.roots)
+                for root in roots:
+                    store.observe_span(root.to_dict(), features=feats)
+    return store.fit()
+
+
+def _true_topn_scores(matrix: np.ndarray, n: int) -> np.ndarray:
+    """The exact top-``n`` aggregate scores, descending (SUM aggregate)."""
+    totals = matrix.sum(axis=1)
+    order = np.sort(totals)[::-1]
+    return order[:n]
+
+
+def _is_exact(result, matrix: np.ndarray, reference: np.ndarray) -> bool:
+    """Tie-aware exactness: the answer's *true* aggregate scores (looked
+    up in the grade matrix, not the engine's reported bounds — NRA/CA
+    report certified lower bounds) must match the reference score
+    multiset."""
+    totals = matrix.sum(axis=1)
+    scores = np.sort(np.array([totals[item.obj_id] for item in result.items]))[::-1]
+    if len(scores) != len(reference):
+        return False
+    return bool(np.allclose(scores, reference, atol=1e-9))
+
+
+@dataclass
+class ClassRow:
+    """Per-workload-class outcome: each policy's total charged cost."""
+
+    corpus: str
+    queries: int
+    costs: dict = field(default_factory=dict)
+    chosen: dict = field(default_factory=dict)
+    best_static: str = ""
+    ratio: float = 0.0
+    exact: bool = True
+    certified: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "corpus": self.corpus,
+            "queries": self.queries,
+            "costs": {name: round(value, 2) for name, value in self.costs.items()},
+            "chosen": dict(self.chosen),
+            "best_static": self.best_static,
+            "ratio": round(self.ratio, 4),
+            "exact": self.exact,
+            "certified": self.certified,
+        }
+
+
+@dataclass
+class AdaptiveReport:
+    """The full E20 outcome."""
+
+    scale: float
+    seed: int
+    n: int
+    objects: int
+    tolerance: float
+    rows: list = field(default_factory=list)
+    totals: dict = field(default_factory=dict)
+    statics_beaten: int = 0
+    ok: bool = True
+    seconds: float = 0.0
+    calibration_meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "n": self.n,
+            "objects": self.objects,
+            "tolerance": self.tolerance,
+            "rows": [row.to_dict() for row in self.rows],
+            "totals": {name: round(value, 2) for name, value in self.totals.items()},
+            "statics_beaten": self.statics_beaten,
+            "ok": self.ok,
+            "seconds": round(self.seconds, 3),
+            "calibration": dict(self.calibration_meta),
+        }
+
+
+def bench_adaptive(*, scale: float = 1.0, seed: int = 7, queries: int = 5,
+                   n: int = 10, sources: int = 3,
+                   train_queries: int = 4,
+                   tolerance: float = DEFAULT_TOLERANCE,
+                   calibration: Calibration | None = None) -> AdaptiveReport:
+    """Run E20 (see module docstring).  ``scale`` sizes the corpus
+    (~800 objects at scale 1.0); ``calibration=None`` trains one on a
+    disjoint split first."""
+    t_start = time.perf_counter()
+    objects = max(200, int(800 * scale))
+    if calibration is None:
+        calibration = train_calibration(
+            seed=seed + 1000, objects=objects, sources=sources, n=n,
+            queries_per_class=train_queries)
+    policies = list(SCALAR_ENGINES) + ["adaptive"]
+    rng = np.random.default_rng(seed)
+    rows = []
+    totals = dict.fromkeys(policies, 0.0)
+    for kind in CORPUS_KINDS:
+        row = ClassRow(corpus=kind, queries=queries,
+                       costs=dict.fromkeys(policies, 0.0),
+                       chosen=dict.fromkeys(SCALAR_ENGINES, 0))
+        for _query in range(queries):
+            matrix = corpus_matrix(kind, objects, sources, rng)
+            source_list = make_sources(matrix, prefix=kind)
+            reference = _true_topn_scores(matrix, n)
+            for engine in SCALAR_ENGINES:
+                with CostCounter.activate() as cost:
+                    result = _ENGINE_FUNCS[engine](source_list, n)
+                row.costs[engine] += calibration.charged_cost(cost.snapshot())
+                if not _is_exact(result, matrix, reference):
+                    row.exact = False
+            engine, _estimates = choose_engine(source_list, n,
+                                               calibration=calibration)
+            if not _plan_certified(engine, source_list, n):
+                row.certified = False
+            with CostCounter.activate() as cost:
+                result = _ENGINE_FUNCS[engine](source_list, n)
+            row.costs["adaptive"] += calibration.charged_cost(cost.snapshot())
+            row.chosen[engine] += 1
+            if not _is_exact(result, matrix, reference):
+                row.exact = False
+        row.best_static = min(SCALAR_ENGINES, key=lambda name: row.costs[name])
+        best = row.costs[row.best_static]
+        row.ratio = row.costs["adaptive"] / best if best > 0 else 1.0
+        for name in policies:
+            totals[name] += row.costs[name]
+        rows.append(row)
+    adaptive_total = totals["adaptive"]
+    statics_beaten = sum(1 for name in SCALAR_ENGINES
+                         if totals[name] > adaptive_total * (1 + 1e-9))
+    ok = (all(row.ratio <= tolerance for row in rows)
+          and statics_beaten >= 2
+          and all(row.exact for row in rows)
+          and all(row.certified for row in rows))
+    return AdaptiveReport(
+        scale=scale, seed=seed, n=n, objects=objects, tolerance=tolerance,
+        rows=rows, totals=totals, statics_beaten=statics_beaten, ok=ok,
+        seconds=time.perf_counter() - t_start,
+        calibration_meta=dict(calibration.meta))
+
+
+#: per-engine certification verdicts are corpus-independent given the
+#: same (n, upper bound) plan shape; memoized per bench run
+_cert_cache: dict = {}
+
+
+def _plan_certified(engine: str, source_list, n: int) -> bool:
+    """Verifier-clean + bound-certified verdict for the chosen plan
+    (the gate every adaptively chosen plan must pass)."""
+    from .chooser import _verify_plan
+
+    upper = synopsis_upper_bound(source_list)
+    key = (engine, n, round(upper, 6))
+    verdict = _cert_cache.get(key)
+    if verdict is None:
+        certified, clean, _diagnostics = _verify_plan(engine, n, upper, SUM)
+        verdict = bool(certified) and clean
+        _cert_cache[key] = verdict
+    return verdict
+
+
+def render_report(report: AdaptiveReport) -> str:
+    """Text table for ``repro bench-adaptive``."""
+    policies = list(SCALAR_ENGINES) + ["adaptive"]
+    header = (f"{'corpus':<12}" + "".join(f"{name:>12}" for name in policies)
+              + f"{'best':>8}{'ratio':>8}{'exact':>7}{'cert':>6}")
+    lines = [header]
+    for row in report.rows:
+        cells = "".join(f"{row.costs[name]:>12,.0f}" for name in policies)
+        lines.append(f"{row.corpus:<12}{cells}{row.best_static:>8}"
+                     f"{row.ratio:>8.3f}{str(row.exact):>7}{str(row.certified):>6}")
+    cells = "".join(f"{report.totals[name]:>12,.0f}" for name in policies)
+    lines.append(f"{'TOTAL':<12}{cells}")
+    picks = {}
+    for row in report.rows:
+        for engine, count in row.chosen.items():
+            picks[engine] = picks.get(engine, 0) + count
+    lines.append("adaptive picks: "
+                 + ", ".join(f"{engine}={count}" for engine, count
+                             in sorted(picks.items()) if count))
+    verdict = (f"ok: adaptive within {report.tolerance:g}x of the best static "
+               f"per class and beat {report.statics_beaten} static policies "
+               f"overall (exact, certified)"
+               if report.ok else
+               "NOT OK: adaptive missed the tolerance bar, lost to the "
+               "statics, or failed an exactness/certification check")
+    lines.append(verdict)
+    return "\n".join(lines)

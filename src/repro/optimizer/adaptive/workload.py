@@ -1,0 +1,57 @@
+"""Synthetic multi-feature workload classes for the adaptive optimizer.
+
+The mixed workload E20 trains and evaluates on.  Each class is a
+different joint distribution of per-source grades, chosen so the
+Fagin-family engines rank differently across classes — the situation
+where a per-query, trace-calibrated plan choice can beat any static
+always-one-engine policy:
+
+``uniform``
+    independent uniform grades: thresholds decay slowly, random
+    accesses are spent on objects that rarely pay off;
+``skewed``
+    independent heavy-tail grades (``u**8``): thresholds collapse
+    fast, early stopping is cheap;
+``correlated``
+    one shared base signal per object: the same objects top every
+    list, so sorted access converges almost immediately;
+``sparse``
+    posting-style lists (2% of objects graded, rest zero): sources
+    exhaust quickly and sorted-only strategies shine.
+
+Generators are deterministic given the caller's ``numpy`` RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mm.sources import ArraySource
+
+__all__ = ["CORPUS_KINDS", "corpus_matrix", "make_sources"]
+
+#: the workload classes of the mixed suite, in report order
+CORPUS_KINDS = ("uniform", "skewed", "correlated", "sparse")
+
+
+def corpus_matrix(kind: str, objects: int, m: int, rng: np.random.Generator) -> np.ndarray:
+    """An ``objects x m`` grade matrix drawn from workload class ``kind``."""
+    if kind == "uniform":
+        return rng.random((objects, m))
+    if kind == "skewed":
+        return rng.random((objects, m)) ** 8
+    if kind == "correlated":
+        base = rng.random(objects)
+        noise = rng.random((objects, m))
+        return np.clip(0.9 * base[:, None] + 0.1 * noise, 0.0, 1.0)
+    if kind == "sparse":
+        grades = rng.random((objects, m))
+        mask = rng.random((objects, m)) < 0.02
+        return np.where(mask, grades, 0.0)
+    raise ValueError(f"unknown corpus kind {kind!r} (one of {CORPUS_KINDS})")
+
+
+def make_sources(matrix: np.ndarray, prefix: str = "src") -> list[ArraySource]:
+    """One :class:`~repro.mm.sources.ArraySource` per matrix column."""
+    return [ArraySource(matrix[:, j], name=f"{prefix}:{j}")
+            for j in range(matrix.shape[1])]

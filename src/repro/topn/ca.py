@@ -72,7 +72,8 @@ def combined_topn(sources: list, n: int, agg: AggregateFunction = SUM,
         max_rest = max((u for _, u, _ in rest), default=-math.inf)
         return nth_lower >= max(max_rest, virtual)
 
-    with tracer.span("topn.ca", n=n, m=m, agg=agg.name, h=h):
+    with tracer.span("topn.ca", n=n, m=m, agg=agg.name, h=h,
+                     objects=max(source.n_objects for source in sources)):
         stop_reason = "exhausted"
         bound_checks = 0
         checks_skipped = 0

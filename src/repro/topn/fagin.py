@@ -29,7 +29,8 @@ def fagin_topn(sources: list, n: int, agg: AggregateFunction = SUM) -> TopNResul
     agg.validate_arity(len(sources))
 
     m = len(sources)
-    with tracer.span("topn.fa", n=n, m=m, agg=agg.name):
+    with tracer.span("topn.fa", n=n, m=m, agg=agg.name,
+                     objects=max(source.n_objects for source in sources)):
         traced = tracer.enabled()
         seen_in: dict[int, int] = {}  # obj -> number of lists it was seen in
         seen_in_all = 0

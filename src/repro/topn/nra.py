@@ -50,7 +50,8 @@ def nra_topn(sources: list, n: int, agg: AggregateFunction = SUM,
     agg.validate_arity(len(sources))
 
     m = len(sources)
-    with tracer.span("topn.nra", n=n, m=m, agg=agg.name, check_every=check_every):
+    with tracer.span("topn.nra", n=n, m=m, agg=agg.name, check_every=check_every,
+                     objects=max(source.n_objects for source in sources)):
         traced = tracer.enabled()
         grades: dict[int, list[float | None]] = {}
         bottoms = [math.inf] * m  # current last sorted-access grade per source

@@ -79,6 +79,7 @@ def threshold_topn(sources: list, n: int, agg: AggregateFunction = SUM, *,
 
     m = len(sources)
     with tracer.span("topn.ta", n=n, m=m, agg=agg.name,
+                     objects=max(source.n_objects for source in sources),
                      resumed=resume_from is not None):
         traced = tracer.enabled()
         heap = BoundedTopN(n)

@@ -1,0 +1,72 @@
+"""The ``bench-*`` subcommands share one flag vocabulary.
+
+``_add_bench_flags`` is the single definition of ``--queries`` /
+``--n`` / ``--json`` for every bench CLI; this snapshot pins each
+subcommand's full option set so the shared trio cannot drift apart
+flag by flag (and so adding a bench-specific flag is a conscious,
+test-visible change)."""
+
+import argparse
+
+from repro.cli import _build_parser
+
+#: every flag each bench subcommand accepts (the shared trio plus the
+#: bench's own knobs); ``--scale`` / ``--seed`` are global flags on the
+#: root parser, not repeated per subcommand
+EXPECTED = {
+    "bench-parallel": {"--shards", "--kind", "--workers",
+                       "--queries", "--n", "--json"},
+    "bench-cache": {"--resume-n", "--queries", "--n", "--json"},
+    "bench-blocks": {"--block-sizes", "--queries", "--n", "--json"},
+    "bench-serve": {"--duration", "--algorithm", "--clients",
+                    "--chunk-depth", "--n", "--json"},
+    "bench-adaptive": {"--train-queries", "--tolerance", "--calibration",
+                       "--queries", "--n", "--json"},
+}
+
+HELP = {"-h", "--help"}
+
+
+def _bench_actions():
+    parser = _build_parser()
+    sub = next(action for action in parser._actions
+               if isinstance(action, argparse._SubParsersAction))
+    return {name: choice._actions for name, choice in sub.choices.items()
+            if name.startswith("bench-")}
+
+
+def _by_flag(actions):
+    return {option: action for action in actions
+            for option in action.option_strings}
+
+
+class TestBenchFlagIdentity:
+    def test_every_bench_subcommand_is_snapshotted(self):
+        assert set(_bench_actions()) == set(EXPECTED)
+
+    def test_option_sets_match_the_snapshot_exactly(self):
+        for name, actions in _bench_actions().items():
+            flags = {option for action in actions
+                     for option in action.option_strings} - HELP
+            assert flags == EXPECTED[name], name
+
+    def test_shared_trio_has_identical_spelling_and_types(self):
+        for name, actions in _bench_actions().items():
+            by_flag = _by_flag(actions)
+            n = by_flag["--n"]
+            assert n.type is int and n.default == 10, name
+            json_flag = by_flag["--json"]
+            assert isinstance(json_flag, argparse._StoreTrueAction), name
+            if "--queries" in EXPECTED[name]:
+                queries = by_flag["--queries"]
+                assert queries.type is int and queries.default > 0, name
+
+    def test_scale_and_seed_stay_global(self):
+        parser = _build_parser()
+        root_flags = {option for action in parser._actions
+                      for option in action.option_strings}
+        assert {"--scale", "--seed"} <= root_flags
+        for name, actions in _bench_actions().items():
+            flags = {option for action in actions
+                     for option in action.option_strings}
+            assert not flags & {"--scale", "--seed"}, name

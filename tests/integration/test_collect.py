@@ -72,3 +72,29 @@ class TestCollectTolerance:
         results.mkdir()
         payload = collect.collect(results, tmp_path / "out.json")
         assert payload["tables"] == [] and payload["skipped"] == 0
+
+    def test_partial_rerun_keeps_absent_experiments(self, tmp_path):
+        """A run that only regenerated some experiments must not erase
+        the others' tables from the merged output."""
+        collect = load_collect()
+        output = tmp_path / "out.json"
+        results = write_results(tmp_path, e1=json.dumps(table("e1")),
+                                e2=json.dumps(table("e2")))
+        collect.collect(results, output)
+        (results / "e1.json").unlink()
+        fresh = table("e2")
+        fresh["rows"] = [[2]]  # e2 reran with new numbers
+        (results / "e2.json").write_text(json.dumps(fresh))
+        payload = collect.collect(results, output)
+        by_slug = {t["slug"]: t for t in payload["tables"]}
+        assert set(by_slug) == {"e1", "e2"}  # e1 survived the rerun
+        assert by_slug["e2"]["rows"] == [[2]]  # e2 was updated
+
+    def test_unreadable_previous_output_is_ignored(self, tmp_path, capsys):
+        collect = load_collect()
+        output = tmp_path / "out.json"
+        output.write_text("{broken")
+        results = write_results(tmp_path, e1=json.dumps(table("e1")))
+        payload = collect.collect(results, output)
+        assert [t["slug"] for t in payload["tables"]] == ["e1"]
+        assert "ignoring unreadable" in capsys.readouterr().err

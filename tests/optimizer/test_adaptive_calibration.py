@@ -1,0 +1,250 @@
+"""Tests for the calibration store: ingest hardening, λ extraction,
+weight fitting, k-NN predictors, and the versioned persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.obs import run_profiled, tracer
+from repro.obs.tracer import TRACE_SCHEMA_VERSION
+from repro.optimizer.adaptive import (
+    Calibration,
+    CalibrationStore,
+    QueryFeatures,
+    train_calibration,
+)
+from repro.optimizer.adaptive.calibration import (
+    CALIBRATION_VERSION,
+    COST_KEYS,
+    DEFAULT_WEIGHTS,
+    _decay_from_events,
+)
+from repro.topn import threshold_topn
+from repro.mm.sources import ArraySource
+
+
+def _engine_record(engine="ta", n=10, m=3, objects=500, depth=40.0,
+                   cost=None, duration=0.01, version=TRACE_SCHEMA_VERSION):
+    record = {
+        "schema_version": version,
+        "span_id": 1,
+        "parent_id": None,
+        "name": f"topn.{engine}",
+        "depth": 0,
+        "attrs": {"n": n, "m": m, "objects": objects, "depth": depth},
+        "t_start": 0.0,
+        "t_end": duration,
+        "duration": duration,
+        "cost": cost or {"sorted_accesses": depth * m,
+                         "random_accesses": depth * m * (m - 1),
+                         "comparisons": depth},
+        "self_cost": cost or {"sorted_accesses": depth * m},
+        "events": [],
+    }
+    if version is None:
+        del record["schema_version"]
+    return record
+
+
+class TestSchemaVersionExport:
+    def test_span_to_dict_carries_schema_version(self):
+        with tracer.trace_session() as session:
+            with tracer.span("topn.ta", n=5, m=2, objects=10):
+                pass
+            records = [record.to_dict() for record in session.spans()]
+        assert records
+        assert all(r["schema_version"] == TRACE_SCHEMA_VERSION for r in records)
+        assert next(iter(records[0])) == "schema_version"
+
+    def test_profile_export_jsonl_carries_schema_version(self, tmp_path):
+        sources = [ArraySource(np.linspace(0.1, 1.0, 50)) for _ in range(2)]
+        report = run_profiled(lambda: threshold_topn(sources, 3))
+        path = tmp_path / "trace.jsonl"
+        report.export_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            assert json.loads(line)["schema_version"] == TRACE_SCHEMA_VERSION
+
+
+class TestIngestHardening:
+    def test_unknown_version_skipped_with_warning(self):
+        store = CalibrationStore()
+        stats = store.ingest_records([
+            _engine_record(),
+            _engine_record(version=99),
+            _engine_record(version=None),
+        ], source="unit")
+        assert stats.engine_spans == 1
+        assert stats.skipped == 2
+        assert len(store.observations) == 1
+        joined = " ".join(stats.warnings)
+        assert "99" in joined and "<missing>" in joined
+
+    def test_damaged_jsonl_lines_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(_engine_record()) + "\n"
+                        + "{not json at all\n"
+                        + json.dumps(_engine_record(engine="nra")) + "\n")
+        store = CalibrationStore()
+        stats = store.ingest_jsonl(path)
+        assert stats.engine_spans == 2
+        assert stats.skipped == 1
+        assert any("damaged" in warning for warning in stats.warnings)
+
+    def test_non_dict_records_skipped(self):
+        store = CalibrationStore()
+        stats = store.ingest_records([[1, 2, 3], "nope", _engine_record()])
+        assert stats.skipped == 2
+        assert len(store.observations) == 1
+
+    def test_empty_store_fit_raises(self):
+        with pytest.raises(CalibrationError, match="empty"):
+            CalibrationStore().fit()
+
+
+class TestDecayExtraction:
+    def test_lambda_from_ta_round_thresholds(self):
+        # τ(d) = 3 e^{-0.05 d}: λ must come back as 0.05
+        events = [{"name": "ta.round",
+                   "attrs": {"depth": d, "threshold": 3.0 * np.exp(-0.05 * d)}}
+                  for d in range(1, 41)]
+        lam = _decay_from_events(events)
+        assert lam == pytest.approx(0.05, rel=1e-6)
+
+    def test_no_thresholds_means_no_decay(self):
+        assert _decay_from_events([]) is None
+        assert _decay_from_events(
+            [{"name": "nra.check", "attrs": {"depth": 5}}]) is None
+        assert _decay_from_events(
+            [{"name": "ta.round", "attrs": {"depth": 1, "threshold": 2.0}}]) is None
+
+    def test_real_ta_trace_yields_positive_decay(self):
+        rng = np.random.default_rng(5)
+        sources = [ArraySource(rng.random(400) ** 6) for _ in range(3)]
+        store = CalibrationStore()
+        with tracer.trace_session() as session:
+            threshold_topn(sources, 5)
+            for root in session.roots:
+                store.observe_span(root.to_dict())
+        assert len(store.observations) == 1
+        decay = store.observations[0].features.decay
+        assert decay is not None and decay > 0
+
+
+class TestWeightFit:
+    def test_recovers_planted_weight_ratios(self):
+        # wall = 1·SA + 2·RA (in arbitrary time units): the fitted
+        # weights must come back normalized to SA=1, RA=2
+        rng = np.random.default_rng(0)
+        store = CalibrationStore()
+        records = []
+        for i in range(40):
+            sa = float(rng.integers(10, 1000))
+            ra = float(rng.integers(10, 1000))
+            wall = (sa + 2.0 * ra) * 1e-6
+            records.append({
+                "schema_version": TRACE_SCHEMA_VERSION,
+                "span_id": i, "parent_id": None, "name": "work",
+                "depth": 0, "attrs": {}, "t_start": 0.0, "t_end": wall,
+                "duration": wall,
+                "cost": {"sorted_accesses": sa, "random_accesses": ra},
+                "self_cost": {"sorted_accesses": sa, "random_accesses": ra},
+                "events": [],
+            })
+        store.ingest_records(records)
+        calibration = store.fit()  # weight rows alone are enough evidence
+        assert calibration.meta["weights_fitted"]
+        assert calibration.weights["sorted_accesses"] == pytest.approx(1.0)
+        assert calibration.weights["random_accesses"] == pytest.approx(2.0, rel=0.05)
+        # counters never observed keep their default weight
+        assert calibration.weights["page_reads"] == DEFAULT_WEIGHTS["page_reads"]
+
+    def test_too_few_rows_keeps_defaults(self):
+        store = CalibrationStore()
+        store.ingest_records([_engine_record()])
+        calibration = store.fit()
+        assert not calibration.meta["weights_fitted"]
+        assert calibration.weights == DEFAULT_WEIGHTS
+
+
+class TestEngineModels:
+    def test_knn_recovers_cluster_means(self):
+        store = CalibrationStore()
+        # two clusters of TA runs: small-n cheap, large-n expensive
+        for n, depth in [(5, 20.0)] * 5 + [(100, 900.0)] * 5:
+            store.observe_span(_engine_record(n=n, objects=1000, depth=depth,
+                                              cost={"sorted_accesses": depth}))
+        calibration = store.fit()
+        cheap = calibration.predict_cost(
+            "ta", QueryFeatures(n=5, m=3, objects=1000))
+        pricey = calibration.predict_cost(
+            "ta", QueryFeatures(n=100, m=3, objects=1000))
+        assert cheap == pytest.approx(20.0, rel=0.01)
+        assert pricey == pytest.approx(900.0, rel=0.01)
+        assert calibration.predict_depth(
+            "ta", QueryFeatures(n=5, m=3, objects=1000)) == pytest.approx(20.0, rel=0.01)
+
+    def test_unknown_engine_predicts_none(self):
+        store = CalibrationStore()
+        store.observe_span(_engine_record())
+        calibration = store.fit()
+        assert calibration.predict_cost(
+            "nra", QueryFeatures(n=5, m=3, objects=100)) is None
+
+
+class TestPersistence:
+    def test_round_trip_preserves_predictions(self, tmp_path):
+        calibration = train_calibration(seed=11, objects=250,
+                                        queries_per_class=2)
+        path = tmp_path / "calibration.json"
+        calibration.save(path)
+        loaded = Calibration.load(path)
+        feats = QueryFeatures(n=10, m=3, objects=250, decay=0.05,
+                              agreement=0.3)
+        for engine in ("fa", "ta", "nra", "ca"):
+            assert loaded.predict_cost(engine, feats) == pytest.approx(
+                calibration.predict_cost(engine, feats))
+        assert loaded.weights == calibration.weights
+        assert loaded.constants == calibration.constants
+
+    def test_version_mismatch_raises(self, tmp_path):
+        payload = Calibration.uncalibrated().to_json()
+        payload["version"] = CALIBRATION_VERSION + 1
+        path = tmp_path / "calibration.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CalibrationError, match="version"):
+            Calibration.load(path)
+
+    def test_damaged_file_raises(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        path.write_text("{broken")
+        with pytest.raises(CalibrationError, match="damaged"):
+            Calibration.load(path)
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CalibrationError):
+            Calibration.load(path)
+
+
+class TestCalibratedCostModel:
+    def test_constants_flow_into_cost_model(self):
+        calibration = Calibration.uncalibrated()
+        calibration.constants.update({"tuple_write": 0.8, "comparison": 0.4,
+                                      "select_selectivity": 0.2,
+                                      "dedup_ratio": 0.9})
+        model = calibration.cost_model()
+        assert model.tuple_write == 0.8
+        assert model.comparison == 0.4
+        assert model.select_selectivity == 0.2
+        assert model.dedup_ratio == 0.9
+        # overrides win
+        assert calibration.cost_model(comparison=1.5).comparison == 1.5
+
+    def test_charged_cost_is_linear_in_counters(self):
+        calibration = Calibration.uncalibrated()
+        counters = {key: 10 for key in COST_KEYS}
+        expected = sum(DEFAULT_WEIGHTS[key] * 10 for key in COST_KEYS)
+        assert calibration.charged_cost(counters) == pytest.approx(expected)
+        assert calibration.charged_cost({}) == 0.0

@@ -1,0 +1,226 @@
+"""Tests for the adaptive plan chooser: candidate enumeration, the
+Pareto frontier, quality-floor gating, certification, synopsis-derived
+query features, and the two ``repro explain`` scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.cache import QueryCache, QueryFingerprint
+from repro.optimizer.adaptive import (
+    Calibration,
+    choose,
+    choose_engine,
+    enumerate_candidates,
+    explain_example1,
+    explain_topn,
+    pareto_frontier,
+    query_features,
+    train_calibration,
+)
+from repro.optimizer.adaptive.chooser import SCALAR_ENGINES, PlanCandidate
+from repro.optimizer.adaptive.workload import corpus_matrix, make_sources
+
+
+@pytest.fixture(scope="module")
+def uniform_sources():
+    rng = np.random.default_rng(3)
+    return make_sources(corpus_matrix("uniform", 300, 3, rng), prefix="u")
+
+
+def _names(candidates):
+    return [candidate.name for candidate in candidates]
+
+
+class TestEnumeration:
+    def test_scalar_engines_and_budget_plan_always_present(self, uniform_sources):
+        names = _names(enumerate_candidates(uniform_sources, 10))
+        for expected in SCALAR_ENGINES:
+            assert expected in names
+        assert "ta_budget" in names
+        assert "naive" not in names and "cached" not in names
+
+    def test_blocked_variants_need_blocked_sources(self, uniform_sources):
+        from repro.mm.sources import BlockedSource
+
+        rng = np.random.default_rng(3)
+        matrix = corpus_matrix("uniform", 300, 3, rng)
+        blocked = [BlockedSource.from_array(matrix[:, j], 32, name=f"b{j}")
+                   for j in range(3)]
+        names = _names(enumerate_candidates(uniform_sources, 10,
+                                            blocked_sources=blocked))
+        assert {"blocked_ta", "blocked_nra", "blocked_ca"} <= set(names)
+        # blocked estimates pay the block-granularity overshoot
+        by_name = {c.name: c for c in enumerate_candidates(
+            uniform_sources, 10, blocked_sources=blocked)}
+        assert by_name["blocked_ta"].est_cost > by_name["ta"].est_cost
+
+    def test_cached_candidate_appears_on_peek_hit_only(self, uniform_sources):
+        from repro.topn import naive_topn_sources
+
+        cache = QueryCache()
+        fingerprint = QueryFingerprint(kind="topn", terms=("u",),
+                                       aggregate="sum", epoch=0)
+        names = _names(enumerate_candidates(uniform_sources, 10, cache=cache,
+                                            fingerprint=fingerprint))
+        assert "cached" not in names  # nothing stored yet
+        cache.store(fingerprint, 10, naive_topn_sources(uniform_sources, 10))
+        hits_before = cache.counters()["hits"]
+        candidates = enumerate_candidates(uniform_sources, 10, cache=cache,
+                                          fingerprint=fingerprint)
+        by_name = {c.name: c for c in candidates}
+        assert "cached" in by_name
+        assert by_name["cached"].est_cost == 0.0
+        # enumeration peeks: hit statistics are not distorted
+        assert cache.counters()["hits"] == hits_before
+
+    def test_every_candidate_is_certified_and_clean(self, uniform_sources):
+        for candidate in enumerate_candidates(uniform_sources, 10,
+                                              include_naive=True):
+            assert candidate.verifier_clean, candidate.name
+            assert candidate.certified is not False, candidate.name
+
+    def test_knn_estimator_used_when_calibrated(self, uniform_sources):
+        calibration = train_calibration(seed=13, objects=300,
+                                        queries_per_class=2)
+        candidates = enumerate_candidates(uniform_sources, 10,
+                                          calibration=calibration)
+        estimators = {c.name: c.estimator for c in candidates
+                      if c.name in SCALAR_ENGINES}
+        assert set(estimators.values()) == {"knn"}
+
+
+class TestParetoFrontier:
+    def test_non_dominated_set(self):
+        def plan(name, cost, quality):
+            return PlanCandidate(name=name, engine=name, safe=quality >= 1,
+                                 est_cost=cost, quality=quality)
+
+        cheap_exact = plan("a", 10.0, 1.0)
+        pricey_exact = plan("b", 20.0, 1.0)       # dominated by a
+        cheaper_lossy = plan("c", 4.0, 0.7)       # frontier: cheaper
+        dominated_lossy = plan("d", 12.0, 0.7)    # dominated by a and c
+        frontier = pareto_frontier([cheap_exact, pricey_exact, cheaper_lossy,
+                                    dominated_lossy])
+        assert frontier == [cheap_exact, cheaper_lossy]
+        assert cheap_exact.on_frontier and cheaper_lossy.on_frontier
+        assert not pricey_exact.on_frontier and not dominated_lossy.on_frontier
+
+
+class TestChoose:
+    def test_default_floor_excludes_unsafe_plans(self, uniform_sources):
+        candidates = enumerate_candidates(uniform_sources, 10)
+        decision = choose(candidates)
+        assert decision.chosen is not None
+        assert decision.chosen.safe and decision.chosen.quality == 1.0
+        assert decision.chosen.name != "ta_budget"
+        assert "ta_budget" in decision.why  # named as below the floor
+
+    def test_low_floor_admits_the_budget_plan(self, uniform_sources):
+        candidates = enumerate_candidates(uniform_sources, 10)
+        budget = next(c for c in candidates if c.name == "ta_budget")
+        assert budget.quality < 1.0
+        decision = choose(candidates, quality_floor=budget.quality - 0.01)
+        eligible_costs = {c.name: c.est_cost for c in candidates
+                          if c.quality >= budget.quality - 0.01 - 1e-9}
+        assert decision.chosen.name == min(eligible_costs, key=eligible_costs.get)
+
+    def test_uncertified_candidates_are_never_chosen(self):
+        good = PlanCandidate(name="good", engine="ta", safe=True,
+                             est_cost=100.0, quality=1.0, certified=True)
+        cheat = PlanCandidate(name="cheat", engine="ta", safe=True,
+                              est_cost=1.0, quality=1.0, certified=False)
+        dirty = PlanCandidate(name="dirty", engine="ta", safe=True,
+                              est_cost=2.0, quality=1.0, certified=True,
+                              verifier_clean=False)
+        decision = choose([good, cheat, dirty])
+        assert decision.chosen is good
+
+    def test_no_eligible_candidate_chooses_none(self):
+        lossy = PlanCandidate(name="lossy", engine="ta", safe=False,
+                              est_cost=1.0, quality=0.5)
+        decision = choose([lossy], quality_floor=1.0)
+        assert decision.chosen is None
+        assert "no candidate" in decision.why
+
+    def test_decision_to_dict_is_json_shaped(self, uniform_sources):
+        import json
+
+        decision = choose(enumerate_candidates(uniform_sources, 10))
+        payload = decision.to_dict()
+        json.dumps(payload)  # serializable (diagnostics stay live objects)
+        assert payload["chosen"] == decision.chosen.name
+        assert len(payload["candidates"]) == len(decision.candidates)
+
+
+class TestQueryFeatures:
+    def test_skewed_corpus_decays_faster_than_uniform(self):
+        rng = np.random.default_rng(9)
+        skewed = make_sources(corpus_matrix("skewed", 400, 3, rng), prefix="s")
+        uniform = make_sources(corpus_matrix("uniform", 400, 3, rng), prefix="u")
+        decay_s = query_features(skewed, 10).decay
+        decay_u = query_features(uniform, 10).decay
+        assert decay_s is not None and decay_u is not None
+        assert decay_s > decay_u
+
+    def test_correlated_sources_agree_near_one(self):
+        rng = np.random.default_rng(9)
+        correlated = make_sources(corpus_matrix("correlated", 400, 3, rng),
+                                  prefix="c")
+        uniform = make_sources(corpus_matrix("uniform", 400, 3, rng),
+                               prefix="u")
+        agreement_c = query_features(correlated, 10).agreement
+        agreement_u = query_features(uniform, 10).agreement
+        # the 10% noise still reorders the tightly spaced top ranks, so
+        # the absolute overlap is modest — but it must clearly beat the
+        # independent-sources baseline (~top/objects)
+        assert agreement_c > 0.2
+        assert agreement_c > 2 * agreement_u
+
+    def test_single_source_agreement_is_one(self):
+        rng = np.random.default_rng(9)
+        single = make_sources(corpus_matrix("uniform", 100, 1, rng), prefix="o")
+        assert query_features(single, 5).agreement == 1.0
+
+    def test_choose_engine_returns_all_estimates(self, uniform_sources):
+        engine, estimates = choose_engine(uniform_sources, 10)
+        assert set(estimates) == set(SCALAR_ENGINES)
+        assert estimates[engine] == min(estimates.values())
+
+
+class TestExplain:
+    def test_topn_report_renders_box_table_with_pick(self):
+        report = explain_topn(corpus="uniform", n=5, objects=250, seed=4)
+        text = report.render_text()
+        assert "┌" in text and "┼" in text and "└" in text
+        assert "<==" in text
+        assert report.winner in text
+        assert report.ok
+        # every executed candidate got an observed cost on the same scale
+        for row in report.rows:
+            if row.name != "cached":
+                assert row.observed_cost is not None and row.observed_cost > 0
+
+    def test_topn_report_diagnostics_feed_the_shared_payload(self):
+        report = explain_topn(corpus="skewed", n=5, objects=250, seed=4)
+        payload = report.diagnostics.to_dict()
+        assert payload["source"] == "explain:topn:skewed"
+        assert not report.diagnostics.has_errors
+
+    def test_example1_rows_match_optimizer_candidates(self):
+        from repro.algebra import parse
+        from repro.optimizer import Optimizer
+
+        report = explain_example1()
+        pipeline = Optimizer().optimize(
+            parse("select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)"))
+        assert len(report.rows) == len(pipeline.candidates)
+        assert report.ok
+        winner = next(row for row in report.rows if row.chosen)
+        assert winner.name == str(pipeline.optimized)
+        assert "rewrite step(s)" in report.why
+
+    def test_quality_floor_flows_into_report(self):
+        report = explain_topn(corpus="uniform", n=5, objects=250, seed=4,
+                              quality_floor=0.4)
+        assert report.quality_floor == 0.4
+        assert f"quality_floor={0.4:g}" in report.render_text()

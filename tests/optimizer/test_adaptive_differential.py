@@ -1,0 +1,151 @@
+"""Differential tests: the *calibrated* cost model must order plans the
+way execution does.
+
+Two layers of evidence:
+
+* the E10 equivalent-plan pairs (inlined here at test scale — tests
+  cannot import from ``benchmarks/``): the uncalibrated model already
+  picks the measured winner of each pair, and a model refitted from
+  trace evidence must keep doing so — calibration may move constants,
+  never flip a conformance ordering;
+* TA vs NRA on the adaptive workload classes: whenever the observed
+  charged-cost gap between the two engines is decisive, the calibrated
+  k-NN predictors must point the same way (tolerance-aware — near-ties
+  carry no signal and are not asserted).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import evaluate, make_bag, make_list, parse
+from repro.optimizer.adaptive import (
+    Calibration,
+    query_features,
+    train_calibration,
+)
+from repro.optimizer.adaptive.workload import CORPUS_KINDS, corpus_matrix, make_sources
+from repro.storage import CostCounter
+from repro.topn import nra_topn, threshold_topn
+
+# -- the E10 pair suite, inlined at test scale ---------------------------------
+
+N = 5_000
+
+EQUIVALENT_PAIRS = [
+    ("select(projecttobag(sorted_xs), 100, 200)",
+     "projecttobag(select(sorted_xs, 100, 200))"),
+    ("slice(sort(bag, 1), 0, 10)", "topn(bag, 10)"),
+    ("select(select(random_xs, 1000, 40000), 2000, 3000)",
+     "select(random_xs, 2000, 3000)"),
+]
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = np.random.default_rng(101)
+    return {
+        "sorted_xs": make_list(list(range(N))),
+        "random_xs": make_list(rng.permutation(N).tolist()),
+        "bag": make_bag(rng.random(N).tolist()),
+    }
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    return train_calibration(seed=17, objects=300, queries_per_class=3)
+
+
+def measure(expr_text, env):
+    with CostCounter.activate() as cost:
+        evaluate(parse(expr_text), env)
+    return cost.tuples_read + cost.comparisons
+
+
+def _orders_pairs(model, env):
+    """True when the model picks the measured winner of every pair."""
+    for left_text, right_text in EQUIVALENT_PAIRS:
+        est_left = model.estimate_expr(parse(left_text), env).cost
+        est_right = model.estimate_expr(parse(right_text), env).cost
+        predicted = left_text if est_left < est_right else right_text
+        actual = (left_text if measure(left_text, env) < measure(right_text, env)
+                  else right_text)
+        if predicted != actual:
+            return False
+    return True
+
+
+class TestE10PairConformance:
+    def test_uncalibrated_model_orders_every_pair(self, env):
+        assert _orders_pairs(Calibration.uncalibrated().cost_model(), env)
+
+    def test_fitted_model_keeps_the_ordering(self, env, fitted):
+        assert fitted.calibrated and fitted.meta["observations"] > 0
+        assert _orders_pairs(fitted.cost_model(), env)
+
+    def test_extreme_but_positive_constants_keep_the_ordering(self, env):
+        # the orderings are driven by cardinalities, so any positive
+        # per-unit constants a fit could produce must preserve them
+        for comparison in (0.01, 0.25, 5.0):
+            model = Calibration.uncalibrated().cost_model(comparison=comparison)
+            assert _orders_pairs(model, env), comparison
+
+
+# -- TA vs NRA: predicted ordering vs observed ordering ------------------------
+
+#: observed gaps below this ratio are near-ties; no ordering is asserted
+DECISIVE = 1.5
+
+
+def _observed_charged(engine_func, sources, n, calibration):
+    with CostCounter.activate() as cost:
+        engine_func(sources, n)
+    return calibration.charged_cost(cost.snapshot())
+
+
+class TestEngineOrdering:
+    @pytest.mark.parametrize("kind", CORPUS_KINDS)
+    def test_decisive_observed_gaps_are_predicted(self, kind, fitted):
+        rng = np.random.default_rng(23)
+        agreements = 0
+        for _ in range(3):
+            matrix = corpus_matrix(kind, 300, 3, rng)
+            sources = make_sources(matrix, prefix=kind)
+            observed_ta = _observed_charged(threshold_topn, sources, 10, fitted)
+            observed_nra = _observed_charged(nra_topn, sources, 10, fitted)
+            hi, lo = max(observed_ta, observed_nra), min(observed_ta, observed_nra)
+            if lo == 0 or hi / lo < DECISIVE:
+                continue  # near-tie: no signal to check
+            feats = query_features(sources, 10)
+            predicted_ta = fitted.predict_cost("ta", feats)
+            predicted_nra = fitted.predict_cost("nra", feats)
+            assert predicted_ta is not None and predicted_nra is not None
+            assert ((predicted_ta < predicted_nra)
+                    == (observed_ta < observed_nra)), kind
+            agreements += 1
+        # every workload class produces at least one decisive query at
+        # this scale; a class of pure near-ties would test nothing
+        assert agreements >= 1, kind
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(kind=st.sampled_from(CORPUS_KINDS),
+           objects=st.integers(min_value=200, max_value=500),
+           n=st.integers(min_value=5, max_value=20),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_property_predictions_track_decisive_gaps(self, kind, objects,
+                                                      n, seed, fitted):
+        rng = np.random.default_rng(seed)
+        matrix = corpus_matrix(kind, objects, 3, rng)
+        sources = make_sources(matrix, prefix=kind)
+        observed_ta = _observed_charged(threshold_topn, sources, n, fitted)
+        observed_nra = _observed_charged(nra_topn, sources, n, fitted)
+        hi, lo = max(observed_ta, observed_nra), min(observed_ta, observed_nra)
+        if lo == 0 or hi / lo < DECISIVE:
+            return  # tolerance: near-ties are not asserted
+        feats = query_features(sources, n)
+        predicted_ta = fitted.predict_cost("ta", feats)
+        predicted_nra = fitted.predict_cost("nra", feats)
+        assert ((predicted_ta < predicted_nra)
+                == (observed_ta < observed_nra))
